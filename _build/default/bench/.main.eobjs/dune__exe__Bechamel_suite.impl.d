@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analyze Bechamel Benchmark Common Hashtbl Inliner Instance Ir List Measure Opt Option Printf Runtime Staged Test Time Toolkit Workloads

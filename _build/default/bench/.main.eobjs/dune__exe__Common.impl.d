@@ -1,0 +1,1 @@
+bench/common.ml: Baselines Inliner Ir Jit List Printf String Workloads

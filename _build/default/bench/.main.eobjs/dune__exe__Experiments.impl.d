@@ -1,0 +1,1 @@
+bench/experiments.ml: Common Inliner Ir Jit List Opt Option Printf Runtime Support Unix Workloads

@@ -1,0 +1,1 @@
+bench/main.ml: Arg Bechamel_suite Cmd Cmdliner Common Experiments Fmt List Printf String Term Workloads

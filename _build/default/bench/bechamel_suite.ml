@@ -1,0 +1,76 @@
+(* Wall-clock microbenchmarks (Bechamel): one Test.make per paper
+   table/figure, measuring the real cost of regenerating a representative
+   slice of that experiment (the simulated-cycle numbers themselves are
+   printed by the Experiments module; these measure the harness itself,
+   e.g. to track compiler-pipeline performance regressions). *)
+
+open Bechamel
+open Toolkit
+
+let slice_workload name = Option.get (Workloads.Registry.find name)
+
+let run_slice (c : Common.config) name () =
+  ignore (Common.measure ~iters:10 (slice_workload name) c)
+
+let compile_only ~params name () =
+  let w = slice_workload name in
+  let prog = Workloads.Registry.compile w in
+  Opt.Driver.prepare_program prog;
+  let vm = Runtime.Interp.create prog in
+  ignore (Runtime.Interp.run_meth vm "bench" [ Runtime.Values.Vunit ]);
+  let m = Option.get (Ir.Program.find_meth prog "bench") in
+  ignore (Inliner.Algorithm.compile prog vm.profiles params m)
+
+let tests =
+  [
+    Test.make ~name:"fig5-warmup-slice (incremental, foreach-poly)"
+      (Staged.stage (run_slice Common.cfg_incremental "foreach-poly"));
+    Test.make ~name:"fig6-fixed-te-slice (Te=300, gauss-mix)"
+      (Staged.stage
+         (run_slice
+            (Common.cfg_params "Te300"
+               (Inliner.Params.with_fixed ~te:300 ~ti:600 Inliner.Params.default))
+            "gauss-mix"));
+    Test.make ~name:"fig7-fixed-ti-slice (Ti=300, stm-bench)"
+      (Staged.stage
+         (run_slice
+            (Common.cfg_params "Ti300"
+               (Inliner.Params.with_fixed ~te:300 ~ti:300 Inliner.Params.default))
+            "stm-bench"));
+    Test.make ~name:"fig8-1by1-slice (scalac-visitor)"
+      (Staged.stage
+         (run_slice
+            (Common.cfg_params "1x1"
+               (Inliner.Params.without_clustering Inliner.Params.default))
+            "scalac-visitor"));
+    Test.make ~name:"fig9-compiler-pipeline (incremental, factorie-gm)"
+      (Staged.stage (compile_only ~params:Inliner.Params.default "factorie-gm"));
+    Test.make ~name:"fig10-code-size-slice (c1-all, jython-loop)"
+      (Staged.stage (run_slice Common.cfg_c1 "jython-loop"));
+    Test.make ~name:"table1-greedy-pipeline (greedy, actors-msg)"
+      (Staged.stage (run_slice Common.cfg_greedy "actors-msg"));
+  ]
+
+let run () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 100) ()
+  in
+  let raw =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"experiments" tests)
+  in
+  let results =
+    List.map (fun instance -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instance raw)
+      instances
+  in
+  let results = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instances results in
+  print_endline "\nBechamel wall-clock results (monotonic clock, ns/run):";
+  Hashtbl.iter
+    (fun _instance tbl ->
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-55s %12.0f ns/run\n" name est
+          | _ -> Printf.printf "  %-55s (no estimate)\n" name)
+        tbl)
+    results

@@ -1,0 +1,113 @@
+(* Shared machinery for the experiment harness: JIT configurations, one
+   measured run per (workload, configuration), and plain-text table
+   rendering for the tee'd bench output. *)
+
+let hotness_threshold = 8
+let compile_cost_per_node = 50
+
+(* One trial cache per compiler instance (and engines get one program
+   each, so the cache never spans programs). *)
+let incremental ?(params = Inliner.Params.default) () : Jit.Engine.compiler =
+  let trial_cache = Inliner.Trial_cache.create () in
+  fun prog profiles m ->
+    (Inliner.Algorithm.compile ~trial_cache prog profiles params m).body
+
+let greedy : Jit.Engine.compiler = fun p pr m -> Baselines.Greedy.compile p pr m
+let c2like : Jit.Engine.compiler = fun p pr m -> Baselines.C2like.compile p pr m
+
+(* First-tier-style "compile everything, inline nothing": used for the C1
+   bars of Figure 10. *)
+let c1_copy : Jit.Engine.compiler =
+ fun prog _profiles m ->
+  match (Ir.Program.meth prog m).body with
+  | Some fn -> Ir.Fn.copy fn
+  | None -> invalid_arg "c1: no body"
+
+(* A configuration holds a compiler *factory*: every measurement gets a
+   fresh compiler instance, because stateful compilers (the incremental
+   inliner's trial cache) must never span programs. *)
+type config = {
+  label : string;
+  compiler : unit -> Jit.Engine.compiler option;
+  hotness : int;
+}
+
+let cfg ?(hotness = hotness_threshold) label compiler = { label; compiler; hotness }
+
+let interp = cfg "interp" (fun () -> None)
+let cfg_incremental = cfg "incremental" (fun () -> Some (incremental ()))
+let cfg_greedy = cfg "greedy" (fun () -> Some greedy)
+let cfg_c2 = cfg "c2-like" (fun () -> Some c2like)
+let cfg_c1 = cfg ~hotness:1 "c1-all" (fun () -> Some c1_copy)
+
+let cfg_params label params = cfg label (fun () -> Some (incremental ~params ()))
+
+type measurement = {
+  workload : string;
+  config : string;
+  run : Jit.Harness.run;
+  code_size : int;
+  compiled_methods : int;
+  compile_cycles : int;
+}
+
+(* One fresh engine per measurement; deterministic end to end. *)
+let measure ?(iters = 0) (w : Workloads.Defs.t) (c : config) : measurement =
+  let iters = if iters > 0 then iters else w.iters in
+  let prog = Workloads.Registry.compile w in
+  let engine =
+    Jit.Engine.create prog
+      {
+        name = c.label;
+        compiler = c.compiler ();
+        hotness_threshold = c.hotness;
+        compile_cost_per_node;
+        verify = false;
+      }
+  in
+  let run = Jit.Harness.run_benchmark ~iters engine ~entry:"bench" ~label:c.label in
+  {
+    workload = w.name;
+    config = c.label;
+    run;
+    code_size = Jit.Engine.installed_code_size engine;
+    compiled_methods = Jit.Engine.installed_methods engine;
+    compile_cycles = engine.compile_cycles;
+  }
+
+(* ---------- table rendering ---------- *)
+
+let hr width = print_endline (String.make width '-')
+
+let print_header title =
+  print_newline ();
+  print_endline (String.make 78 '=');
+  print_endline title;
+  print_endline (String.make 78 '=')
+
+(* A simple aligned table: first column left-aligned, rest right-aligned. *)
+let print_table ~(columns : string list) ~(rows : string list list) : unit =
+  let widths =
+    List.mapi
+      (fun i col ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length col) rows)
+      columns
+  in
+  let render_row cells =
+    String.concat "  "
+      (List.mapi
+         (fun i cell ->
+           let w = List.nth widths i in
+           if i = 0 then Printf.sprintf "%-*s" w cell else Printf.sprintf "%*s" w cell)
+         cells)
+  in
+  let total = List.fold_left ( + ) 0 widths + (2 * (List.length widths - 1)) in
+  print_endline (render_row columns);
+  hr total;
+  List.iter (fun row -> print_endline (render_row row)) rows
+
+let fmt_cycles (x : float) = Printf.sprintf "%.0f" x
+let fmt_ratio (x : float) = Printf.sprintf "%.2fx" x
+
+let note fmt = Printf.printf ("\n" ^^ fmt ^^ "\n")

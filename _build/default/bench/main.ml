@@ -1,0 +1,56 @@
+(* Benchmark harness entry point.
+
+     dune exec bench/main.exe              # regenerate every figure/table
+     dune exec bench/main.exe -- fig9      # a single experiment
+     dune exec bench/main.exe -- bechamel  # wall-clock harness benchmarks
+
+   Output is plain text, designed to be tee'd into bench_output.txt and
+   compared against the paper's Section V (see EXPERIMENTS.md). *)
+
+open Cmdliner
+
+let banner () =
+  print_endline "SelVM incremental-inlining reproduction harness";
+  Printf.printf "workloads: %s\n" (String.concat ", " (Workloads.Registry.names ()));
+  Printf.printf
+    "method: up to %d iterations per run, peak = mean of the last 40%% (max 20); \
+     fresh engine per (workload, config); hotness threshold %d; simulated cycles\n"
+    (List.fold_left (fun acc (w : Workloads.Defs.t) -> max acc w.iters) 0
+       Workloads.Registry.all)
+    Common.hotness_threshold
+
+let run_named = function
+  | "fig5" -> Experiments.fig5 ()
+  | "fig6" -> Experiments.fig6 ()
+  | "fig7" -> Experiments.fig7 ()
+  | "fig8" -> Experiments.fig8 ()
+  | "fig9" -> Experiments.fig9 ()
+  | "fig10" -> ignore (Experiments.fig10 ())
+  | "table1" -> Experiments.table1 ()
+  | "warmup" -> Experiments.warmup ()
+  | "opts-ablation" -> Experiments.opts_ablation ()
+  | "scaling" -> Experiments.scaling ()
+  | "bechamel" -> Bechamel_suite.run ()
+  | "all" ->
+      Experiments.all ();
+      Bechamel_suite.run ()
+  | other -> Fmt.failwith "unknown experiment %s" other
+
+let experiment =
+  let doc =
+    "Experiment to run: fig5, fig6, fig7, fig8, fig9, fig10, table1, warmup, \
+     opts-ablation, scaling, bechamel, or all (default)."
+  in
+  Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
+
+let cmd =
+  let doc = "regenerate the paper's evaluation figures and tables on SelVM" in
+  Cmd.v
+    (Cmd.info "bench" ~doc)
+    Term.(
+      const (fun name ->
+          banner ();
+          run_named name)
+      $ experiment)
+
+let () = exit (Cmd.eval cmd)

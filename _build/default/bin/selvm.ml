@@ -1,0 +1,350 @@
+(* The SelVM command-line interface.
+
+     selvm run prog.sel                       # run main under the JIT
+     selvm run --config greedy prog.sel       # choose the inliner
+     selvm bench --entry bench prog.sel       # repeat a method, report cycles
+     selvm compile --method f prog.sel        # dump a method's optimized IR
+     selvm workloads                          # list the built-in benchmarks
+     selvm run --workload gauss-mix           # run a built-in benchmark
+
+   Configurations: interp (no JIT), greedy (open-source-Graal-like),
+   c2 (HotSpot-C2-like), incremental (the paper's algorithm, default),
+   and the ablations incremental-1by1, incremental-shallow,
+   incremental-fixed. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let compiler_of_config (name : string) : (Jit.Engine.compiler option, string) result =
+  let incr params : Jit.Engine.compiler =
+   fun prog profiles m -> (Inliner.Algorithm.compile prog profiles params m).body
+  in
+  match name with
+  | "interp" -> Ok None
+  | "greedy" -> Ok (Some (fun p pr m -> Baselines.Greedy.compile p pr m))
+  | "c2" -> Ok (Some (fun p pr m -> Baselines.C2like.compile p pr m))
+  | "incremental" -> Ok (Some (incr Inliner.Params.default))
+  | "incremental-1by1" ->
+      Ok (Some (incr (Inliner.Params.without_clustering Inliner.Params.default)))
+  | "incremental-shallow" ->
+      Ok (Some (incr (Inliner.Params.without_deep_trials Inliner.Params.default)))
+  | "incremental-fixed" ->
+      Ok (Some (incr (Inliner.Params.with_fixed ~te:300 ~ti:600 Inliner.Params.default)))
+  | other -> Error (Printf.sprintf "unknown configuration %s" other)
+
+let load_program ~(file : string option) ~(workload : string option) :
+    (Ir.Types.program * string, string) result =
+  match (file, workload) with
+  | Some path, None -> (
+      match Frontend.Pipeline.compile (read_file path) with
+      | Ok prog -> Ok (prog, path)
+      | Error e -> Error (Frontend.Pipeline.error_to_string e))
+  | None, Some name -> (
+      match Workloads.Registry.find name with
+      | Some w -> Ok (Workloads.Registry.compile w, name)
+      | None ->
+          Error
+            (Printf.sprintf "unknown workload %s (try: selvm workloads)" name))
+  | Some _, Some _ -> Error "pass either a file or --workload, not both"
+  | None, None -> Error "pass a .sel file or --workload NAME"
+
+let make_engine prog config hotness verify =
+  match compiler_of_config config with
+  | Error e -> Error e
+  | Ok compiler ->
+      Ok
+        (Jit.Engine.create prog
+           {
+             name = config;
+             compiler;
+             hotness_threshold = hotness;
+             compile_cost_per_node = 50;
+             verify;
+           })
+
+let print_stats (e : Jit.Engine.t) =
+  Printf.eprintf
+    "-- %s: %d cycles executed, %d methods compiled (%d IR nodes installed, %d \
+     compile cycles)\n"
+    e.config.name e.vm.cycles
+    (Jit.Engine.installed_methods e)
+    (Jit.Engine.installed_code_size e)
+    e.compile_cycles
+
+(* ---- common options ---- *)
+
+let file_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Sel source file.")
+
+let workload_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "workload"; "w" ] ~docv:"NAME" ~doc:"Run a built-in workload instead of a file.")
+
+let config_arg =
+  Arg.(
+    value
+    & opt string "incremental"
+    & info [ "config"; "c" ] ~docv:"CONFIG"
+        ~doc:
+          "JIT configuration: interp, greedy, c2, incremental, incremental-1by1, \
+           incremental-shallow, incremental-fixed.")
+
+let hotness_arg =
+  Arg.(
+    value
+    & opt int 8
+    & info [ "hotness" ] ~docv:"N" ~doc:"Invocations before a method compiles.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print engine statistics to stderr.")
+
+let verify_arg =
+  Arg.(value & flag & info [ "verify" ] ~doc:"Verify every compiled body (slower).")
+
+let fail msg =
+  Printf.eprintf "selvm: %s\n" msg;
+  exit 1
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let run file workload config hotness stats verify =
+    match load_program ~file ~workload with
+    | Error e -> fail e
+    | Ok (prog, _) -> (
+        match make_engine prog config hotness verify with
+        | Error e -> fail e
+        | Ok e -> (
+            match Jit.Engine.run_main e with
+            | _ ->
+                print_string (Jit.Engine.output e);
+                if stats then print_stats e
+            | exception Runtime.Values.Trap msg ->
+                print_string (Jit.Engine.output e);
+                fail ("runtime trap: " ^ msg)))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a Sel program's main under the JIT.")
+    Term.(const run $ file_arg $ workload_arg $ config_arg $ hotness_arg $ stats_arg $ verify_arg)
+
+(* ---- bench ---- *)
+
+let bench_cmd =
+  let entry_arg =
+    Arg.(
+      value & opt string "bench"
+      & info [ "entry" ] ~docv:"METHOD" ~doc:"0-argument method to repeat.")
+  in
+  let iters_arg =
+    Arg.(value & opt int 40 & info [ "iters" ] ~docv:"N" ~doc:"Iterations to run.")
+  in
+  let save_profiles_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "save-profiles" ] ~docv:"FILE"
+          ~doc:"Write the collected profiles to FILE afterwards (see `compile \
+                --profiles`).")
+  in
+  let bench file workload config hotness entry iters save_profiles =
+    match load_program ~file ~workload with
+    | Error e -> fail e
+    | Ok (prog, label) -> (
+        match make_engine prog config hotness false with
+        | Error e -> fail e
+        | Ok e ->
+            let run =
+              Jit.Harness.run_benchmark ~iters e ~entry ~label:(label ^ "/" ^ config)
+            in
+            Printf.printf "# %s  entry=%s config=%s\n" label entry config;
+            Printf.printf "# iter cycles compiled_methods\n";
+            List.iter
+              (fun (it : Jit.Harness.iteration) ->
+                Printf.printf "%d %d %d\n" it.index it.cycles it.compiled_methods)
+              run.iterations;
+            Printf.printf "# peak %.1f +- %.1f cycles; %d IR nodes installed\n"
+              run.peak_cycles run.peak_stddev run.code_size;
+            match save_profiles with
+            | Some path ->
+                let oc = open_out path in
+                Fun.protect
+                  ~finally:(fun () -> close_out_noerr oc)
+                  (fun () ->
+                    output_string oc (Runtime.Profile.to_text e.vm.profiles));
+                Printf.eprintf "-- profiles written to %s\n" path
+            | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Repeat a method and report per-iteration simulated cycles.")
+    Term.(
+      const bench $ file_arg $ workload_arg $ config_arg $ hotness_arg $ entry_arg
+      $ iters_arg $ save_profiles_arg)
+
+(* ---- compile ---- *)
+
+let compile_cmd =
+  let method_arg =
+    Arg.(
+      required & opt (some string) None
+      & info [ "method"; "m" ] ~docv:"NAME" ~doc:"Method to compile and dump.")
+  in
+  let warmup_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "warmup" ] ~docv:"N" ~doc:"main() runs to collect profiles first.")
+  in
+  let profiles_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "profiles" ] ~docv:"FILE"
+          ~doc:"Load profiles saved by `bench --save-profiles` (from the same \
+                sources) instead of interpreting main for warmup.")
+  in
+  let compile file workload config meth_name warmup profiles =
+    match load_program ~file ~workload with
+    | Error e -> fail e
+    | Ok (prog, _) -> (
+        Opt.Driver.prepare_program prog;
+        let vm = Runtime.Interp.create prog in
+        (match profiles with
+        | Some path -> (
+            match Runtime.Profile.of_text (read_file path) with
+            | loaded -> vm.profiles <- loaded
+            | exception Runtime.Profile.Bad_profile msg ->
+                fail ("bad profile file: " ^ msg))
+        | None ->
+            for _ = 1 to warmup do
+              ignore (Runtime.Interp.run_main vm)
+            done);
+        match Ir.Program.find_meth prog meth_name with
+        | None -> fail (Printf.sprintf "no method named %s" meth_name)
+        | Some m -> (
+            match compiler_of_config config with
+            | Error e -> fail e
+            | Ok None ->
+                (* interp: show the prepared body *)
+                print_string
+                  (Ir.Printer.fn_to_string (Option.get (Ir.Program.meth prog m).body))
+            | Ok (Some compiler) ->
+                let body = compiler prog vm.profiles m in
+                Printf.printf "; %s compiled with %s (%d IR nodes)\n" meth_name config
+                  (Ir.Fn.size body);
+                print_string (Ir.Printer.fn_to_string body)))
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Profile a program, compile one method, and dump the optimized IR.")
+    Term.(
+      const compile $ file_arg $ workload_arg $ config_arg $ method_arg $ warmup_arg
+      $ profiles_arg)
+
+(* ---- parse-ir ---- *)
+
+let parse_ir_cmd =
+  let file_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Textual IR dump (the format `selvm compile` prints).")
+  in
+  let parse_ir file =
+    let text = read_file file in
+    (* tolerate a leading `; comment` line from `selvm compile` output *)
+    let text =
+      if String.length text > 0 && text.[0] = ';' then
+        match String.index_opt text '\n' with
+        | Some i -> String.sub text (i + 1) (String.length text - i - 1)
+        | None -> text
+      else text
+    in
+    match Ir.Parse.parse_fn text with
+    | fn -> (
+        match Ir.Verify.check fn with
+        | () ->
+            Printf.printf "%s: well-formed, %d IR nodes, %d blocks\n" fn.fname
+              (Ir.Fn.size fn)
+              (List.length (Ir.Fn.block_ids fn))
+        | exception Ir.Verify.Ill_formed msg ->
+            fail (Printf.sprintf "parses but is ill-formed: %s" msg))
+    | exception Ir.Parse.Ir_parse_error msg -> fail ("parse error: " ^ msg)
+  in
+  Cmd.v
+    (Cmd.info "parse-ir" ~doc:"Parse and verify a textual IR dump (round-trip check).")
+    Term.(const parse_ir $ file_arg)
+
+(* ---- workloads ---- *)
+
+let workloads_cmd =
+  let list () =
+    List.iter
+      (fun (w : Workloads.Defs.t) ->
+        Printf.printf "%-16s %-8s %s\n" w.name
+          (Workloads.Defs.flavor_to_string w.flavor)
+          w.description)
+      Workloads.Registry.all
+  in
+  Cmd.v (Cmd.info "workloads" ~doc:"List the built-in benchmark workloads.")
+    Term.(const list $ const ())
+
+(* ---- synth ---- *)
+
+let synth_cmd =
+  let int_opt name v doc = Arg.(value & opt int v & info [ name ] ~docv:"N" ~doc) in
+  let depth = int_opt "depth" 3 "Call-chain depth above the dispatch layer." in
+  let fanout = int_opt "fanout" 2 "Callees per layer function." in
+  let poly = int_opt "poly" 3 "Concrete Op implementations." in
+  let seed = int_opt "seed" 1 "Generator seed." in
+  let leaf = int_opt "leaf-work" 8 "Loop trips per Op implementation." in
+  let hot =
+    Arg.(
+      value & opt float 0.5
+      & info [ "hot" ] ~docv:"F" ~doc:"Fraction of callsites inside loops.")
+  in
+  let run_it =
+    Arg.(
+      value & flag
+      & info [ "bench" ]
+          ~doc:"Benchmark the generated program under the chosen config instead of \
+                printing its source.")
+  in
+  let synth depth fanout poly_degree seed leaf_work hot_fraction bench config =
+    let cfg =
+      { Workloads.Synth.seed; depth; fanout; poly_degree; leaf_work; hot_fraction }
+    in
+    if not bench then print_string (Workloads.Synth.source_of cfg)
+    else begin
+      let w = Workloads.Synth.generate cfg in
+      let prog = Workloads.Registry.compile w in
+      match make_engine prog config 8 false with
+      | Error e -> fail e
+      | Ok engine ->
+          let run =
+            Jit.Harness.run_benchmark ~iters:w.iters engine ~entry:"bench"
+              ~label:(w.name ^ "/" ^ config)
+          in
+          Printf.printf "%s under %s: peak %.1f cycles, %d IR nodes installed\n" w.name
+            config run.peak_cycles
+            (Jit.Engine.installed_code_size engine)
+    end
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:
+         "Generate a synthetic call-graph benchmark (print its Sel source, or \
+          --bench it).")
+    Term.(const synth $ depth $ fanout $ poly $ seed $ leaf $ hot $ run_it $ config_arg)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "selvm" ~version:"1.0.0"
+       ~doc:
+         "A JIT-compiled VM for the Sel language with the CGO'19 \
+          optimization-driven incremental inline-substitution algorithm.")
+    [ run_cmd; bench_cmd; compile_cmd; parse_ir_cmd; workloads_cmd; synth_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

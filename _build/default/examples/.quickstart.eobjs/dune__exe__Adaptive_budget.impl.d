@@ -1,0 +1,1 @@
+examples/adaptive_budget.ml: Inliner Jit List Option Printf Workloads

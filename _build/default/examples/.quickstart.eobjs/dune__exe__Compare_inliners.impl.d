@@ -1,0 +1,1 @@
+examples/compare_inliners.ml: Array Baselines Inliner Jit List Printf String Sys Workloads

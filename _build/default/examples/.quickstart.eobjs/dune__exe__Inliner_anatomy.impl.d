@@ -1,0 +1,1 @@
+examples/inliner_anatomy.ml: Fmt Frontend Inliner Ir List Opt Option Printf Runtime

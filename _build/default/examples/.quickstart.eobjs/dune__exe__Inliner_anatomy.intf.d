@@ -1,0 +1,1 @@
+examples/inliner_anatomy.mli:

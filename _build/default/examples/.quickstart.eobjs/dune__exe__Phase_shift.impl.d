@@ -1,0 +1,1 @@
+examples/phase_shift.ml: Frontend Inliner Ir Jit List Printf Runtime

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Frontend Inliner Ir Jit List Printf

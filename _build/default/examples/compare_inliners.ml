@@ -1,0 +1,69 @@
+(* Compare the paper's incremental inliner against the greedy and C2-like
+   baselines on a built-in workload, including warmup behaviour — a small
+   interactive version of the harness's Figure 9.
+
+     dune exec examples/compare_inliners.exe            # default workload
+     dune exec examples/compare_inliners.exe stm-bench  # pick another *)
+
+let configs : (string * Jit.Engine.compiler option) list =
+  [
+    ("interp", None);
+    ("greedy", Some (fun p pr m -> Baselines.Greedy.compile p pr m));
+    ("c2-like", Some (fun p pr m -> Baselines.C2like.compile p pr m));
+    ( "incremental",
+      Some
+        (fun p pr m ->
+          (Inliner.Algorithm.compile p pr Inliner.Params.default m).body) );
+  ]
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "foreach-poly" in
+  let w =
+    match Workloads.Registry.find name with
+    | Some w -> w
+    | None ->
+        Printf.eprintf "unknown workload %s; available: %s\n" name
+          (String.concat ", " (Workloads.Registry.names ()));
+        exit 1
+  in
+  Printf.printf "workload %s: %s\n\n" w.name w.description;
+  let runs =
+    List.map
+      (fun (label, compiler) ->
+        let prog = Workloads.Registry.compile w in
+        let engine =
+          Jit.Engine.create prog
+            { name = label; compiler; hotness_threshold = 8;
+              compile_cost_per_node = 50; verify = false }
+        in
+        let run = Jit.Harness.run_benchmark ~iters:30 engine ~entry:"bench" ~label in
+        (label, engine, run))
+      configs
+  in
+  (* warmup curves *)
+  print_endline "per-iteration cycles (warmup):";
+  Printf.printf "%4s" "iter";
+  List.iter (fun (label, _, _) -> Printf.printf "%14s" label) runs;
+  print_newline ();
+  List.iter
+    (fun i ->
+      Printf.printf "%4d" (i + 1);
+      List.iter
+        (fun (_, _, (run : Jit.Harness.run)) ->
+          Printf.printf "%14d" (List.nth run.iterations i).cycles)
+        runs;
+      print_newline ())
+    [ 0; 1; 2; 4; 7; 9; 14; 19; 29 ];
+  (* summary *)
+  print_endline "\nsummary:";
+  let _, _, (interp_run : Jit.Harness.run) = List.hd runs in
+  List.iter
+    (fun (label, engine, (run : Jit.Harness.run)) ->
+      Printf.printf
+        "  %-12s peak %10.0f cycles  (%5.2fx vs interp)   code %5d nodes in %2d \
+         methods\n"
+        label run.peak_cycles
+        (interp_run.peak_cycles /. run.peak_cycles)
+        (Jit.Engine.installed_code_size engine)
+        (Jit.Engine.installed_methods engine))
+    runs

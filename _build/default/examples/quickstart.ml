@@ -1,0 +1,78 @@
+(* Quickstart: compile a Sel program, run it tiered (interpret -> profile ->
+   JIT-compile with the incremental inliner), and look at what the compiler
+   produced.
+
+     dune exec examples/quickstart.exe *)
+
+let source =
+  {|
+abstract class Shape {
+  def area(): Int
+}
+class Square(side: Int) extends Shape {
+  def area(): Int = side * side
+}
+class Circle(r: Int) extends Shape {
+  def area(): Int = 3 * r * r   /* pi ~ 3 in integer land */
+}
+
+def totalArea(shapes: Array[Shape]): Int = {
+  var i = 0;
+  var total = 0;
+  while (i < shapes.length) { total = total + shapes[i].area(); i = i + 1; }
+  total
+}
+
+def bench(): Int = {
+  val shapes = new Array[Shape](20);
+  var i = 0;
+  while (i < 20) {
+    if (i % 2 == 0) { shapes[i] = new Square(i + 1) } else { shapes[i] = new Circle(i) };
+    i = i + 1;
+  }
+  totalArea(shapes)
+}
+
+def main(): Unit = println(bench())
+|}
+
+let () =
+  (* 1. Source -> verified SSA IR. *)
+  let prog = Frontend.Pipeline.compile_exn source in
+  Printf.printf "compiled %d methods, %d classes, %d IR nodes total\n"
+    (Ir.Program.num_meths prog) (Ir.Program.num_classes prog)
+    (Ir.Program.total_ir_size prog);
+
+  (* 2. A tiered engine: interpret until hot, then hand hot methods to the
+     paper's incremental inlining algorithm. *)
+  let engine =
+    Jit.Engine.create prog
+      {
+        name = "incremental";
+        compiler =
+          Some
+            (fun prog profiles m ->
+              (Inliner.Algorithm.compile prog profiles Inliner.Params.default m).body);
+        hotness_threshold = 5;
+        compile_cost_per_node = 50;
+        verify = true;
+      }
+  in
+
+  (* 3. Repeat the benchmark entry; watch it speed up as compilation kicks
+     in. *)
+  let run = Jit.Harness.run_benchmark ~iters:15 engine ~entry:"bench" ~label:"demo" in
+  print_endline "iter  cycles  compiled-methods";
+  List.iter
+    (fun (it : Jit.Harness.iteration) ->
+      Printf.printf "%4d  %6d  %d\n" it.index it.cycles it.compiled_methods)
+    run.iterations;
+  Printf.printf "peak: %.0f cycles/iteration (first: %d)\n" run.peak_cycles
+    (List.hd run.iterations).cycles;
+
+  (* 4. Inspect the code the inliner produced for the hot method. *)
+  match Jit.Engine.compiled_body engine "bench" with
+  | Some fn ->
+      Printf.printf "\ncompiled bench (%d IR nodes):\n%s" (Ir.Fn.size fn)
+        (Ir.Printer.fn_to_string fn)
+  | None -> print_endline "bench never got hot enough to compile"

@@ -1,0 +1,1 @@
+lib/baselines/c2like.ml: Common Ir List Opt Runtime

@@ -1,0 +1,1 @@
+lib/baselines/c2like.mli: Ir Runtime

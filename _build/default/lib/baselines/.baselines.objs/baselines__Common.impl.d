@@ -1,0 +1,1 @@
+lib/baselines/common.ml: Hashtbl Inliner Ir List Runtime

@@ -1,0 +1,1 @@
+lib/baselines/common.mli: Hashtbl Ir Runtime

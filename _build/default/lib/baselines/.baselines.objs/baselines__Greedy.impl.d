@@ -1,0 +1,1 @@
+lib/baselines/greedy.ml: Common Ir List Opt Runtime

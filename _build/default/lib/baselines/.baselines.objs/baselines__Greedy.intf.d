@@ -1,0 +1,1 @@
+lib/baselines/greedy.mli: Ir Runtime

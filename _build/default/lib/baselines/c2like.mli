@@ -1,0 +1,19 @@
+(** A HotSpot-C2-style baseline (paper, Section V): trivial methods inline
+    exhaustively during a parse-time-like phase; larger methods inline in
+    a later greedy phase under fixed size/frequency thresholds, with
+    profile-guided monomorphic speculation. Single method at a time. *)
+
+open Ir.Types
+
+type params = {
+  trivial_size : int;
+  max_inline_size : int;
+  freq_threshold : float;
+  max_root_size : int;
+  max_depth : int;
+  mono_min_prob : float;
+}
+
+val default : params
+
+val compile : ?params:params -> program -> Runtime.Profile.t -> meth_id -> fn

@@ -1,0 +1,20 @@
+(** The greedy priority baseline, modeled on the open-source Graal inliner
+    as the paper characterizes it (akin to Steiner et al.):
+    priority-ordered (frequency/size), fixed thresholds, monomorphic
+    speculation, and no alternation between exploration, optimization and
+    inlining — the optimizer runs once at the end. *)
+
+open Ir.Types
+
+type params = {
+  max_root_size : int;
+  max_callee_size : int;
+  trivial_size : int;
+  max_depth : int;
+  min_freq : float;
+  mono_min_prob : float;
+}
+
+val default : params
+
+val compile : ?params:params -> program -> Runtime.Profile.t -> meth_id -> fn

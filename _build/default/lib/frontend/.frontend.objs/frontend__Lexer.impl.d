@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: Ast Buffer List Printf String

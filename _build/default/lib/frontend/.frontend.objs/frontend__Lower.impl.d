@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Array Hashtbl Ir List Printf Tast

@@ -1,0 +1,1 @@
+lib/frontend/pipeline.ml: Ast Fmt Ir Lexer Lower Parser Typecheck

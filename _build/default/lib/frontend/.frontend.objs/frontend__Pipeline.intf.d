@@ -1,0 +1,1 @@
+lib/frontend/pipeline.mli: Ast Ir

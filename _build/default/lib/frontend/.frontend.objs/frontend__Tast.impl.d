@@ -1,0 +1,1 @@
+lib/frontend/tast.ml: Ast Ir

@@ -1,0 +1,1 @@
+lib/frontend/typecheck.ml: Array Ast Fmt Hashtbl Ir List Option Printf Support Tast

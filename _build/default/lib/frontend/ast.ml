@@ -1,0 +1,97 @@
+(* Surface syntax of Sel, the small Scala-like language the VM executes.
+
+   Sel deliberately includes the features that make JIT inlining
+   interesting: classes with single inheritance and virtual dispatch,
+   first-class functions (desugared to classes with an [apply] method, as
+   scalac does), arrays, and mutable locals. *)
+
+type pos = { line : int; col : int }
+
+let pp_pos ppf { line; col } = Fmt.pf ppf "%d:%d" line col
+
+(* Surface types; resolved against the class table during checking. *)
+type tyx =
+  | Tx_int
+  | Tx_bool
+  | Tx_unit
+  | Tx_string
+  | Tx_array of tyx
+  | Tx_named of string
+  | Tx_fun of tyx list * tyx
+
+type expr = { e : expr_kind; pos : pos }
+
+and expr_kind =
+  | Eint of int
+  | Ebool of bool
+  | Estr of string
+  | Eunit
+  | Enull
+  | Ethis
+  | Evar of string
+  | Efield of expr * string             (* e.f — also array/string .length *)
+  | Emethod of expr * string * expr list  (* e.m(args) *)
+  | Einvoke of string * expr list       (* f(args): top-level fn, closure var, or intrinsic *)
+  | Eapply of expr * expr list          (* e(args) on a non-identifier callee: closure call *)
+  | Enew of string * expr list
+  | Enewarr of tyx * expr
+  | Elambda of (string * tyx) list * expr
+  | Eif of expr * expr * expr option
+  | Ewhile of expr * expr
+  | Eblock of stmt list
+  | Eassign of lvalue * expr
+  | Ebin of string * expr * expr
+  | Eun of string * expr
+  | Eindex of expr * expr               (* a[i] *)
+
+and lvalue =
+  | Lvar of string
+  | Lfield of expr * string
+  | Lindex of expr * expr
+
+and stmt =
+  | Sexpr of expr
+  | Slet of { name : string; mutbl : bool; ty : tyx option; init : expr; pos : pos }
+
+type member =
+  | Mfield of { name : string; ty : tyx; pos : pos }
+  | Mmethod of {
+      name : string;
+      params : (string * tyx) list;
+      rty : tyx;
+      body : expr option;  (* None: abstract *)
+      pos : pos;
+    }
+
+type classdecl = {
+  cname : string;
+  abstract : bool;
+  ctor_params : (string * tyx) list;
+  parent : (string * expr list) option;
+  members : member list;
+  cpos : pos;
+}
+
+type fundef = {
+  fname : string;
+  params : (string * tyx) list;
+  rty : tyx;
+  body : expr;
+  fpos : pos;
+}
+
+type topdecl = Dclass of classdecl | Dfun of fundef
+
+type prog = topdecl list
+
+let rec pp_tyx ppf = function
+  | Tx_int -> Fmt.string ppf "Int"
+  | Tx_bool -> Fmt.string ppf "Bool"
+  | Tx_unit -> Fmt.string ppf "Unit"
+  | Tx_string -> Fmt.string ppf "String"
+  | Tx_array t -> Fmt.pf ppf "Array[%a]" pp_tyx t
+  | Tx_named n -> Fmt.string ppf n
+  | Tx_fun (args, r) ->
+      Fmt.pf ppf "(%a) => %a" (Fmt.list ~sep:Fmt.comma pp_tyx) args pp_tyx r
+
+let tyx_to_string t = Fmt.str "%a" pp_tyx t

@@ -1,0 +1,129 @@
+(* Hand-written lexer for Sel. Produces a token array in one pass; the
+   parser indexes into it. Line comments (//) and nesting block comments
+   are skipped. *)
+
+type token =
+  | INT of int
+  | STRING of string
+  | IDENT of string
+  | KW of string      (* class abstract extends def val var new if else while true false null this *)
+  | PUNCT of string   (* ( ) { } [ ] , ; : . => = == != < <= > >= + - * / % << >> & && | || ^ ! *)
+  | EOF
+
+type tok = { t : token; pos : Ast.pos }
+
+exception Lex_error of string * Ast.pos
+
+let keywords =
+  [ "class"; "abstract"; "extends"; "def"; "val"; "var"; "new"; "if"; "else";
+    "while"; "true"; "false"; "null"; "this" ]
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | STRING s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> s
+  | EOF -> "<eof>"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '$'
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : tok list =
+  let n = String.length src in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let toks = ref [] in
+  let pos () : Ast.pos = { line = !line; col = !col } in
+  let advance () =
+    (if !i < n then
+       if src.[!i] = '\n' then begin
+         incr line;
+         col := 1
+       end
+       else incr col);
+    incr i
+  in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let cur () = peek 0 in
+  let emit t p = toks := { t; pos = p } :: !toks in
+  let error msg = raise (Lex_error (msg, pos ())) in
+  let rec skip_block_comment depth p0 =
+    if depth = 0 then ()
+    else
+      match cur () with
+      | None -> raise (Lex_error ("unterminated block comment", p0))
+      | Some '*' when peek 1 = Some '/' ->
+          advance (); advance ();
+          skip_block_comment (depth - 1) p0
+      | Some '/' when peek 1 = Some '*' ->
+          advance (); advance ();
+          skip_block_comment (depth + 1) p0
+      | Some _ ->
+          advance ();
+          skip_block_comment depth p0
+  in
+  let lex_string p0 =
+    advance () (* opening quote *);
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match cur () with
+      | None -> raise (Lex_error ("unterminated string literal", p0))
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match cur () with
+          | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance (); go ()
+          | Some '"' -> Buffer.add_char buf '"'; advance (); go ()
+          | _ -> error "invalid escape sequence")
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    emit (STRING (Buffer.contents buf)) p0
+  in
+  while !i < n do
+    let p = pos () in
+    match src.[!i] with
+    | ' ' | '\t' | '\r' | '\n' -> advance ()
+    | '/' when peek 1 = Some '/' ->
+        while cur () <> None && cur () <> Some '\n' do advance () done
+    | '/' when peek 1 = Some '*' ->
+        advance (); advance ();
+        skip_block_comment 1 p
+    | '"' -> lex_string p
+    | c when is_digit c ->
+        let start = !i in
+        while (match cur () with Some d -> is_digit d | None -> false) do advance () done;
+        let text = String.sub src start (!i - start) in
+        (match int_of_string_opt text with
+        | Some v -> emit (INT v) p
+        | None -> error (Printf.sprintf "integer literal out of range: %s" text))
+    | c when is_ident_start c ->
+        let start = !i in
+        while (match cur () with Some d -> is_ident_char d | None -> false) do advance () done;
+        let text = String.sub src start (!i - start) in
+        if List.mem text keywords then emit (KW text) p else emit (IDENT text) p
+    | _ ->
+        let two =
+          if !i + 1 < n then Some (String.sub src !i 2) else None
+        in
+        (match two with
+        | Some (("=>" | "==" | "!=" | "<=" | ">=" | "<<" | ">>" | "&&" | "||") as op) ->
+            advance (); advance ();
+            emit (PUNCT op) p
+        | _ -> (
+            match src.[!i] with
+            | ( '(' | ')' | '{' | '}' | '[' | ']' | ',' | ';' | ':' | '.' | '='
+              | '<' | '>' | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^' | '!' ) as c ->
+                advance ();
+                emit (PUNCT (String.make 1 c)) p
+            | c -> error (Printf.sprintf "unexpected character %C" c)))
+  done;
+  emit EOF (pos ());
+  List.rev !toks

@@ -1,0 +1,21 @@
+(** Hand-written lexer for Sel. *)
+
+type token =
+  | INT of int
+  | STRING of string
+  | IDENT of string
+  | KW of string     (** class abstract extends def val var new if else while true false null this *)
+  | PUNCT of string
+  | EOF
+
+type tok = { t : token; pos : Ast.pos }
+
+exception Lex_error of string * Ast.pos
+
+val keywords : string list
+val token_to_string : token -> string
+
+val tokenize : string -> tok list
+(** The returned list always ends with [EOF]. Line ([//]) and nesting block
+    ([/* */]) comments are skipped.
+    @raise Lex_error on malformed input. *)

@@ -1,0 +1,11 @@
+(** SSA lowering from the typed AST, using Braun et al.'s on-the-fly SSA
+    construction (mutable locals become per-block definition tables; phis
+    are created on demand and completed when blocks seal; trivial phis are
+    removed as discovered).
+
+    Assigns every Call and If its stable profile site key. *)
+
+val lower_method : Ir.Types.program -> Tast.tmethod -> unit
+(** Lowers one checked method and installs the body in the program. *)
+
+val lower_program : Ir.Types.program -> Tast.tmethod list -> unit

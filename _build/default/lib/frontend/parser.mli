@@ -1,0 +1,13 @@
+(** Recursive-descent parser for Sel (precedence climbing for binary
+    operators). *)
+
+exception Parse_error of string * Ast.pos
+
+val parse_program : Lexer.tok list -> Ast.prog
+(** @raise Parse_error on syntax errors, with the position of the
+    offending token. *)
+
+val parse_string : string -> Ast.prog
+(** [parse_program] composed with {!Lexer.tokenize}.
+    @raise Lexer.Lex_error
+    @raise Parse_error *)

@@ -1,0 +1,29 @@
+(* Front-end driver: source text -> verified IR program. *)
+
+type error = { msg : string; pos : Ast.pos option }
+
+let error_to_string { msg; pos } =
+  match pos with
+  | Some p -> Fmt.str "%a: %s" Ast.pp_pos p msg
+  | None -> msg
+
+let compile (src : string) : (Ir.Types.program, error) result =
+  match
+    let toks = Lexer.tokenize src in
+    let ast = Parser.parse_program toks in
+    let prog, tms = Typecheck.check_program ast in
+    Lower.lower_program prog tms;
+    prog
+  with
+  | prog -> (
+      match Ir.Verify.check_program prog with
+      | Ok () -> Ok prog
+      | Error msg -> Error { msg = "internal error: lowering produced ill-formed IR: " ^ msg; pos = None })
+  | exception Lexer.Lex_error (msg, pos) -> Error { msg; pos = Some pos }
+  | exception Parser.Parse_error (msg, pos) -> Error { msg; pos = Some pos }
+  | exception Typecheck.Type_error (msg, pos) -> Error { msg; pos = Some pos }
+
+let compile_exn src =
+  match compile src with
+  | Ok prog -> prog
+  | Error e -> failwith (error_to_string e)

@@ -1,0 +1,13 @@
+(** Front-end driver: Sel source text to a verified IR program. *)
+
+type error = { msg : string; pos : Ast.pos option }
+
+val error_to_string : error -> string
+
+val compile : string -> (Ir.Types.program, error) result
+(** Lex, parse, check, lower, verify. The produced program's method bodies
+    are *unoptimized*; run {!Opt.Driver.prepare_program} (the JIT engine
+    does this automatically) before profiling or inlining. *)
+
+val compile_exn : string -> Ir.Types.program
+(** @raise Failure with a rendered error. *)

@@ -1,0 +1,41 @@
+(* Typed AST: the output of the checker and input to SSA lowering.
+
+   Names are resolved (locals to slots, fields to layout slots, calls to
+   static targets / virtual selectors / intrinsics), lambdas are lifted to
+   classes, and every node carries its type. *)
+
+open Ir.Types
+
+type texpr = { ty : ty; k : tkind; pos : Ast.pos }
+
+and tkind =
+  | Tconst of const
+  | Tlocal of int                                   (* slot; params come first *)
+  | Tgetfield of texpr * int * string * ty          (* obj, slot, name, field ty *)
+  | Tstatic of meth_id * texpr list
+  | Tvirtual of texpr * string * texpr list * ty    (* receiver, selector, args, return *)
+  | Tintrinsic of intrinsic * texpr list
+  | Tnew of class_id * meth_id * texpr list         (* class, <init>, ctor args *)
+  | Tnewarr of ty * texpr
+  | Tif of texpr * texpr * texpr option
+  | Twhile of texpr * texpr
+  | Tblock of tstmt list
+  | Tassignlocal of int * texpr
+  | Tassignfield of texpr * int * string * texpr
+  | Tassignindex of texpr * texpr * texpr
+  | Tbinop of binop * texpr * texpr
+  | Tunop of unop * texpr
+  | Tindex of texpr * texpr * ty                    (* array, index, element ty *)
+  | Tarraylen of texpr
+
+and tstmt = TSexpr of texpr | TSlet of int * texpr
+
+(* A checked method body, ready for lowering. [nslots] counts all locals
+   including parameters; parameter [i] lives in slot [i]. *)
+type tmethod = {
+  tm_id : meth_id;
+  nslots : int;
+  body : texpr;
+}
+
+let unit_e pos : texpr = { ty = Tunit; k = Tconst Cunit; pos }

@@ -1,0 +1,15 @@
+(** Name resolution, type checking and lambda lifting.
+
+    Builds the program's class and method tables (an {!Ir.Types.program})
+    and produces one checked {!Tast.tmethod} per concrete method body,
+    ready for SSA lowering. Lambdas are lifted to fresh classes extending
+    a synthetic per-signature function base class, with captured values as
+    constructor parameters and fields; capturing a mutable local is
+    rejected. *)
+
+exception Type_error of string * Ast.pos
+
+val check_program : Ast.prog -> Ir.Types.program * Tast.tmethod list
+(** @raise Type_error on any static error (unknown names, type mismatches,
+    abstract instantiation, missing overrides, inheritance cycles,
+    missing [main], ...). *)

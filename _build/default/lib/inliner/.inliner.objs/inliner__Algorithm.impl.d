@@ -1,0 +1,1 @@
+lib/inliner/algorithm.ml: Analysis Calltree Expansion Fmt Inline_phase Ir Logs Opt Params Runtime

@@ -1,0 +1,1 @@
+lib/inliner/algorithm.mli: Format Ir Logs Params Runtime Trial_cache

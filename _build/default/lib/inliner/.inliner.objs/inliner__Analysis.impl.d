@@ -1,0 +1,1 @@
+lib/inliner/analysis.ml: Calltree List

@@ -1,0 +1,1 @@
+lib/inliner/calltree.ml: Array Fmt Hashtbl Ir Lazy List Opt Option Params Runtime Sigs Trial_cache

@@ -1,0 +1,1 @@
+lib/inliner/calltree.mli: Format Ir Params Runtime Trial_cache

@@ -1,0 +1,1 @@
+lib/inliner/expansion.ml: Calltree List Option Params

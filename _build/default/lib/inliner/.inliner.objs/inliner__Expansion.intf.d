@@ -1,0 +1,1 @@
+lib/inliner/expansion.mli: Calltree

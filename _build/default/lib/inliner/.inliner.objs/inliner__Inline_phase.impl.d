@@ -1,0 +1,1 @@
+lib/inliner/inline_phase.ml: Analysis Calltree Hashtbl Ir List Logs Params Typeswitch

@@ -1,0 +1,1 @@
+lib/inliner/inline_phase.mli: Calltree Logs

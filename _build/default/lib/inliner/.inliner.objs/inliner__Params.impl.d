@@ -1,0 +1,1 @@
+lib/inliner/params.ml: Fmt Printf

@@ -1,0 +1,1 @@
+lib/inliner/sigs.ml: Array Fmt Ir String

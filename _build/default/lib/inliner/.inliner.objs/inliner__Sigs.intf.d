@@ -1,0 +1,1 @@
+lib/inliner/sigs.mli: Ir

@@ -1,0 +1,1 @@
+lib/inliner/trial_cache.ml: Hashtbl Ir Sigs

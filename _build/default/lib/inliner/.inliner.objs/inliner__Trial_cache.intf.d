@@ -1,0 +1,1 @@
+lib/inliner/trial_cache.mli: Ir Sigs

@@ -1,0 +1,1 @@
+lib/inliner/typeswitch.ml: Calltree Ir List

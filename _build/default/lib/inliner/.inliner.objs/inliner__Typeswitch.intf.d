@@ -1,0 +1,1 @@
+lib/inliner/typeswitch.mli: Calltree Ir

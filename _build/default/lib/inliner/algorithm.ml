@@ -1,0 +1,74 @@
+(* The top-level incremental inlining algorithm (paper, Listing 1):
+
+     root = createRoot(μ)
+     while !detectTermination(root):
+       expand(root); analyze(root); inline(root)
+
+   plus the per-round root optimizations of Section IV: canonicalization,
+   read-write elimination and first-iteration loop peeling on the root
+   method, followed by a call-tree refresh (deleted callsites, devirtualized
+   targets, re-specialization, new callsites from peeling).
+
+   Termination (paper): no cutoff nodes left, or no change during the last
+   round, or the root IR size exceeding the cap. *)
+
+type stats = {
+  mutable rounds : int;
+  mutable expanded : int;
+  mutable inlined : int;
+  mutable initial_size : int;
+  mutable final_size : int;
+  mutable opt_events : int;
+}
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf "rounds=%d expanded=%d inlined=%d size %d->%d opts=%d" s.rounds s.expanded
+    s.inlined s.initial_size s.final_size s.opt_events
+
+type result = { body : Ir.Types.fn; stats : stats }
+
+let log_src = Logs.Src.create "inliner" ~doc:"incremental inliner"
+
+module Log = (val Logs.src_log log_src)
+
+(* Compiles [root_meth]: returns the optimized root body with callees
+   inlined per the algorithm. The method's interpreter body is left
+   untouched; the caller installs the result in the code cache. *)
+let compile ?trial_cache (prog : Ir.Types.program) (profiles : Runtime.Profile.t)
+    (params : Params.t) (root_meth : Ir.Types.meth_id) : result =
+  let t = Calltree.create ?trial_cache prog profiles params root_meth in
+  let stats =
+    {
+      rounds = 0;
+      expanded = 0;
+      inlined = 0;
+      initial_size = Ir.Fn.size t.root_fn;
+      final_size = 0;
+      opt_events = 0;
+    }
+  in
+  let changed = ref true in
+  while
+    !changed
+    && stats.rounds < params.max_rounds
+    && Ir.Fn.size t.root_fn < params.root_size_cap
+  do
+    stats.rounds <- stats.rounds + 1;
+    let expanded = Expansion.run t in
+    Analysis.run t;
+    let inlined = Inline_phase.run t in
+    let opt_stats =
+      Opt.Driver.round_root_opts ~rwelim:params.opt_rwelim ~scalar:params.opt_scalar
+        ~licm:params.opt_licm ~peel:params.opt_peel prog t.root_fn
+    in
+    stats.expanded <- stats.expanded + expanded;
+    stats.inlined <- stats.inlined + inlined;
+    stats.opt_events <- stats.opt_events + Opt.Driver.simple_opt_count opt_stats;
+    Calltree.refresh t;
+    Log.debug (fun m ->
+        m "round %d: expanded=%d inlined=%d root_size=%d cutoffs=%d" stats.rounds expanded
+          inlined (Ir.Fn.size t.root_fn) (Calltree.tree_n_c t));
+    changed := expanded > 0 || inlined > 0
+  done;
+  stats.final_size <- Ir.Fn.size t.root_fn;
+  { body = t.root_fn; stats }

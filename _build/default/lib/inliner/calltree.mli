@@ -1,0 +1,128 @@
+(** The partial call tree (paper, Section III-A) and deep inlining trials
+    (Section IV).
+
+    Nodes carry the paper's kind tags — C (cutoff), E (expanded, holding a
+    callsite-specialized copy of the callee IR), P (polymorphic,
+    speculated from the receiver profile), G (generic / not inlinable),
+    D (deleted by optimization) — plus the metrics the heuristics consume:
+    relative frequency f(n), refined-argument count N_a, triggered-
+    optimization count N_s, and subtree size aggregates. *)
+
+open Ir.Types
+
+type target = Known of meth_id | Unknown of string
+
+type kind =
+  | Cutoff of target
+  | Expanded of { body : fn; n_opts : int }
+  | Poly of string
+  | Generic of string
+  | Deleted
+
+type node = {
+  nid : int;
+  mutable kind : kind;
+  mutable call_vid : vid;         (** the callsite within [owner] *)
+  mutable owner : fn;
+  site : site;
+  freq : float;                   (** f(n), relative to the root *)
+  prob : float;                   (** dispatch probability under a Poly parent *)
+  recv_cls : class_id option;     (** speculated receiver (Poly children) *)
+  ancestors : meth_id list;       (** call-path targets, for recursion depth *)
+  mutable n_args_refined : int;
+  mutable children : node list;
+  mutable spec_sig : (const option * ty option) array;
+  mutable tuple : float * float;  (** benefit|cost, set by {!Analysis} *)
+  mutable in_parent_cluster : bool;
+  mutable front : node list;
+  mutable declined : bool;        (** failed the expansion threshold this phase *)
+}
+
+type t = {
+  prog : program;
+  profiles : Runtime.Profile.t;
+  params : Params.t;
+  root_meth : meth_id;
+  root_fn : fn;                   (** the working copy being compiled *)
+  mutable children : node list;
+  mutable next_id : int;
+  mutable next_syn_site : int;
+  trial_cache : Trial_cache.t option;
+}
+
+val create :
+  ?trial_cache:Trial_cache.t -> program -> Runtime.Profile.t -> Params.t -> meth_id -> t
+(** Copies the method's prepared body and scans its callsites into cutoff
+    children with profile-driven frequencies. An installed [trial_cache]
+    memoizes specialization results across compilations of the same
+    program. *)
+
+val fresh_syn_site : t -> site
+(** A synthetic (negative) site key for compiler-introduced control flow;
+    never re-speculated and never profiled. *)
+
+(** {1 Metrics} *)
+
+val node_size : t -> node -> int
+(** |ir(n)|: the size inlining this node would add. *)
+
+val s_ir : t -> node -> int
+val s_b : t -> node -> int
+val n_c : node -> int
+val tree_s_ir : t -> int
+val tree_n_c : t -> int
+
+val local_benefit : t -> node -> float
+(** B_L(n), Eq. 4 (cutoff/expanded) and Eq. 13 (poly). *)
+
+val rec_depth : node -> int
+(** d(n) for the recursion penalty ψ_r (Eq. 14). *)
+
+(** {1 Deep inlining trials} *)
+
+val spec_signature :
+  t -> owner:fn -> call_vid:vid -> recv_cls:class_id option -> declared:ty array ->
+  (const option * ty option) array
+(** Per-parameter (constant, refined type) a callsite would specialize its
+    callee with. *)
+
+val digest_of_signature : (const option * ty option) array -> string
+
+val signature_improves :
+  program -> old_sig:(const option * ty option) array ->
+  new_sig:(const option * ty option) array -> bool
+(** Strictly better information: some parameter gained a constant or a
+    more precise type, and none lost one. Guards re-specialization so
+    oscillating signatures do not discard subtree exploration. *)
+
+val specialize :
+  ?callee_m:meth_id -> t -> enabled:bool -> callee_body:fn ->
+  sg:(const option * ty option) array -> fn * int * int
+(** Fresh copy with the specialization applied and canonicalized; returns
+    (copy, N_s, N_a). With [enabled:false] the copy is merely simplified —
+    the shallow-trials ablation. [callee_m] keys the trial cache when one
+    is installed. *)
+
+(** {1 Tree evolution} *)
+
+val expand_cutoff : t -> node -> bool
+(** Expands in place: Known targets attach a specialized body and scan
+    children; Unknown selectors consult the receiver profile to become
+    Poly (≤ [poly_max_targets] targets with probability ≥ [poly_min_prob])
+    or Generic; recursion past the hard limit becomes Generic. True iff
+    the tree gained an Expanded or Poly node. *)
+
+val poly_targets : t -> node -> string -> (class_id * meth_id * float) list
+
+val refresh : t -> unit
+(** Re-synchronizes with the owner IRs after a round: deleted callsites
+    become D, devirtualized sites update their target, expanded nodes with
+    improved argument signatures re-specialize (deep trials only), and new
+    root callsites (e.g. duplicated by peeling) join as fresh cutoffs. *)
+
+val prepared_body : t -> meth_id -> fn option
+
+(** {1 Debugging} *)
+
+val pp_node : t -> Format.formatter -> node -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,126 @@
+(* The expansion phase (paper, Section III-B and Section IV "Expansion").
+
+   Repeatedly descends from the root, at each expanded node choosing the
+   child with the highest priority P(n), until reaching a cutoff node,
+   which is then expanded if it passes the expansion threshold.
+
+   Priorities:
+     P_I(n) = B_L(n)/|ir(n)| − ψ_r(n)          for cutoffs       (Eq. 5, 14)
+     P_I(n) = max over children of P_I          for expanded/poly (Eq. 5)
+     P(n)   = P_I(n) − ψ(n)                                      (Eq. 6)
+     ψ(n)   = p1·S_ir(n) + p2·S_b(n) − b1·max(0, b2 − N_c(n)²)   (Eq. 7)
+
+   Expansion threshold (adaptive, Eq. 8):
+     B_L(n)/|ir(n)| ≥ e^((S_ir(root) − r1)/r2)
+   or, under the Fixed ablation policy, expansion continues while the total
+   call-tree size stays under T_e. *)
+
+open Calltree
+
+let neg_inf = neg_infinity
+
+(* ψ_r(n), Eq. 14: pressure against monopolizing exploration with
+   recursion. d(n)=1 (first recursive occurrence) is free. *)
+let psi_r (n : node) : float =
+  let d = rec_depth n in
+  max 1.0 n.freq *. max 0.0 ((2.0 ** float_of_int d) -. 2.0)
+
+(* ψ(n), Eq. 7. *)
+let psi (t : t) (n : node) : float =
+  let p = t.params in
+  let ncn = float_of_int (n_c n) in
+  (p.p1 *. float_of_int (s_ir t n))
+  +. (p.p2 *. float_of_int (s_b t n))
+  -. (p.b1 *. max 0.0 (p.b2 -. (ncn *. ncn)))
+
+(* Does the subtree contain a cutoff still worth visiting this phase? *)
+let rec has_candidate (n : node) : bool =
+  match n.kind with
+  | Cutoff _ -> not n.declined
+  | Expanded _ | Poly _ -> List.exists has_candidate n.children
+  | Generic _ | Deleted -> false
+
+let rec intrinsic_priority (t : t) (n : node) : float =
+  match n.kind with
+  | Cutoff _ ->
+      let size = max 1 (node_size t n) in
+      (local_benefit t n /. float_of_int size) -. psi_r n
+  | Expanded _ | Poly _ ->
+      List.fold_left
+        (fun acc c -> if has_candidate c then max acc (intrinsic_priority t c) else acc)
+        neg_inf n.children
+  | Generic _ | Deleted -> neg_inf
+
+let priority (t : t) (n : node) : float = intrinsic_priority t n -. psi t n
+
+(* Walks from the root to the most promising cutoff. *)
+let rec descend (t : t) (n : node) : node option =
+  match n.kind with
+  | Cutoff _ -> if n.declined then None else Some n
+  | Expanded _ | Poly _ -> (
+      let candidates = List.filter has_candidate n.children in
+      match candidates with
+      | [] -> None
+      | _ ->
+          let best =
+            List.fold_left
+              (fun acc c ->
+                match acc with
+                | None -> Some c
+                | Some b -> if priority t c > priority t b then Some c else acc)
+              None candidates
+          in
+          Option.bind best (descend t))
+  | Generic _ | Deleted -> None
+
+let best_cutoff (t : t) : node option =
+  let candidates = List.filter has_candidate t.children in
+  match candidates with
+  | [] -> None
+  | _ ->
+      let best =
+        List.fold_left
+          (fun acc c ->
+            match acc with
+            | None -> Some c
+            | Some b -> if priority t c > priority t b then Some c else acc)
+          None candidates
+      in
+      Option.bind best (descend t)
+
+(* The expansion threshold for one cutoff. *)
+let may_expand (t : t) (n : node) : bool =
+  match t.params.threshold_policy with
+  | Params.Fixed { te; _ } -> tree_s_ir t < te
+  | Params.Adaptive ->
+      let p = t.params in
+      let size = max 1 (node_size t n) in
+      let relative_benefit = local_benefit t n /. float_of_int size in
+      relative_benefit >= exp ((float_of_int (tree_s_ir t) -. p.r1) /. p.r2)
+
+(* One expansion phase. Returns the number of nodes expanded. *)
+let run (t : t) : int =
+  let rec clear (n : node) =
+    n.declined <- false;
+    List.iter clear n.children
+  in
+  List.iter clear t.children;
+  let expanded = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !expanded < t.params.max_expansions_per_round do
+    match best_cutoff t with
+    | None -> continue_ := false
+    | Some n ->
+        if may_expand t n then begin
+          if expand_cutoff t n then incr expanded
+          (* Generic outcomes make no progress but also leave no cutoff *)
+        end
+        else begin
+          match t.params.threshold_policy with
+          | Params.Fixed _ ->
+              (* the budget is global: once exceeded, the phase is over *)
+              continue_ := false
+          | Params.Adaptive -> n.declined <- true
+        end
+  done;
+  !expanded

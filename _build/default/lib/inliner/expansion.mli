@@ -1,0 +1,31 @@
+(** The expansion phase (paper, Section III-B and IV): descend from the
+    root by priority P(n) = P_I(n) − ψ(n) to the most promising cutoff and
+    expand it if it passes the (adaptive or fixed) expansion threshold. *)
+
+open Calltree
+
+val psi_r : node -> float
+(** Recursion penalty ψ_r (Eq. 14). *)
+
+val psi : t -> node -> float
+(** Exploration penalty ψ (Eq. 7): grows with the subtree's attached and
+    prospective size, softened when few cutoffs remain. *)
+
+val intrinsic_priority : t -> node -> float
+(** P_I (Eq. 5): benefit per node for cutoffs, max over children for
+    expanded/poly nodes (ignoring exhausted subtrees). *)
+
+val priority : t -> node -> float
+(** P = P_I − ψ (Eq. 6). *)
+
+val best_cutoff : t -> node option
+(** The cutoff the descent reaches, or [None] when the tree is exhausted
+    for this phase. *)
+
+val may_expand : t -> node -> bool
+(** Adaptive: B_L/|ir| ≥ e^((S_ir(root) − r1)/r2) (Eq. 8). Fixed policy:
+    the total call-tree size is still below T_e. *)
+
+val run : t -> int
+(** One expansion phase; returns the number of nodes expanded. Bounded by
+    [max_expansions_per_round]. *)

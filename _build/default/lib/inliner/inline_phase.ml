@@ -1,0 +1,108 @@
+(* The inlining phase (paper, Listing 5 and Section IV "Inlining").
+
+   A queue starts with the root's children. The cluster with the best
+   benefit-to-cost ratio is repeatedly selected; if it passes the adaptive
+   inlining threshold (Eq. 12) it is spliced into the root — together with
+   every descendant in the same cluster — and the cluster's front (the
+   descendants left out) joins the queue as new root children.
+
+   Adaptive threshold (Eq. 12, reconstruction documented in DESIGN.md):
+
+     ⟨tuple(n)⟩ ≥ t1 · 2^((|ir(root)| + cost(n) − t2) / tscale)
+
+   Under the Fixed ablation policy, inlining instead proceeds best-first
+   while the root stays below T_i. *)
+
+open Calltree
+
+let log_src = Logs.Src.create "inliner.inline" ~doc:"inlining phase decisions"
+
+module Log = (val Logs.src_log log_src)
+
+let can_inline (t : t) (n : node) : bool =
+  Ir.Fn.size t.root_fn < t.params.root_size_cap
+  &&
+  match t.params.threshold_policy with
+  | Params.Fixed { ti; _ } -> Ir.Fn.size t.root_fn < ti
+  | Params.Adaptive ->
+      let p = t.params in
+      let root_size = float_of_int (Ir.Fn.size t.root_fn) in
+      let _, cost = n.tuple in
+      let threshold = p.t1 *. (2.0 ** ((root_size +. cost -. p.t2) /. p.tscale)) in
+      Analysis.ratio n.tuple >= threshold
+
+(* Splices node [n] (anchored in the root) into the root, recursively
+   splicing the members of its cluster. Returns the number of callsites
+   inlined. *)
+let rec inline_node (t : t) (n : node) : int =
+  assert (n.owner == t.root_fn);
+  match n.kind with
+  | Expanded { body; _ } ->
+      let remap = Ir.Splice.inline_call ~caller:t.root_fn ~call_vid:n.call_vid ~callee:body in
+      List.iter
+        (fun (c : node) ->
+          (match Hashtbl.find_opt remap.vmap c.call_vid with
+          | Some v' -> c.call_vid <- v'
+          | None ->
+              (* the callsite was unreachable in the specialized body *)
+              c.kind <- Deleted);
+          c.owner <- t.root_fn)
+        n.children;
+      1 + inline_cluster_children t n
+  | Poly _ ->
+      if Typeswitch.materialize t n then 1 + inline_cluster_children t n else 0
+  | Cutoff (Known m) -> (
+      match prepared_body t m with
+      | None -> 0
+      | Some body ->
+          let copy = Ir.Fn.copy body in
+          ignore (Ir.Splice.inline_call ~caller:t.root_fn ~call_vid:n.call_vid ~callee:copy);
+          (* a cutoff has no children yet; new callsites surface via the
+             orphan scan in the next round *)
+          1)
+  | Cutoff (Unknown _) | Generic _ | Deleted -> 0
+
+and inline_cluster_children (t : t) (n : node) : int =
+  List.fold_left
+    (fun acc (c : node) ->
+      if c.in_parent_cluster && Analysis.inlinable c && c.kind <> Deleted then
+        acc + inline_node t c
+      else acc)
+    0 n.children
+
+(* One inlining phase. Returns the number of callsites inlined into the
+   root. *)
+let run (t : t) : int =
+  let queue = ref (List.filter Analysis.inlinable t.children) in
+  let inlined = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !queue <> [] do
+    let best =
+      List.fold_left
+        (fun acc m ->
+          match acc with
+          | None -> Some m
+          | Some b -> if Analysis.ratio m.tuple > Analysis.ratio b.tuple then Some m else acc)
+        None !queue
+    in
+    match best with
+    | None -> continue_ := false
+    | Some n ->
+        queue := List.filter (fun m -> m.nid <> n.nid) !queue;
+        Log.debug (fun m_ ->
+            m_ "consider v%d tuple=%.2f|%.0f ratio=%.4f root=%d -> %s" n.call_vid
+              (fst n.tuple) (snd n.tuple) (Analysis.ratio n.tuple)
+              (Ir.Fn.size t.root_fn)
+              (if can_inline t n then "inline" else "skip"));
+        if Ir.Fn.size t.root_fn >= t.params.root_size_cap then continue_ := false
+        else if can_inline t n then begin
+          let k = inline_node t n in
+          inlined := !inlined + k;
+          (* the cluster's front becomes direct children of the root *)
+          let front = n.front in
+          t.children <-
+            List.filter (fun (c : node) -> c.nid <> n.nid) t.children @ front;
+          queue := !queue @ List.filter Analysis.inlinable front
+        end
+  done;
+  !inlined

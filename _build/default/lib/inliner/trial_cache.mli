@@ -1,0 +1,26 @@
+(** Cross-compilation memoization of deep inlining trials: (callee,
+    specialization signature) keys an immutable specialized-body template,
+    copied on use, so repeated expansion of the same helper under the same
+    argument shapes pays the canonicalization fixpoint once. Results are
+    bit-identical with and without a cache; one cache must never span
+    programs. *)
+
+open Ir.Types
+
+type t
+
+val create : unit -> t
+
+val bind : t -> Ir.Types.program -> unit
+(** Binds the cache to a program on first use.
+    @raise Invalid_argument when the cache is later used with a different
+    program — templates are meaningless under another program's tables. *)
+
+val find : t -> meth_id -> enabled:bool -> sg:Sigs.spec -> (fn * int * int) option
+(** A fresh copy of the template plus (N_s, N_a), or [None] on a miss. *)
+
+val store : t -> meth_id -> enabled:bool -> sg:Sigs.spec -> body:fn -> n_opts:int ->
+  n_a:int -> unit
+
+val stats : t -> int * int * int
+(** (hits, misses, entries). *)

@@ -1,0 +1,1 @@
+lib/ir/dominators.ml: Fn Hashtbl List Types

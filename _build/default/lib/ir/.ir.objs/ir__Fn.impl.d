@@ -1,0 +1,1 @@
+lib/ir/fn.ml: Array Hashtbl Instr List Printf Support Types

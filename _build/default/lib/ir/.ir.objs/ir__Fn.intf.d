@@ -1,0 +1,1 @@
+lib/ir/fn.mli: Hashtbl Types

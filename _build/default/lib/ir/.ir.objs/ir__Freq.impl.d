@@ -1,0 +1,1 @@
+lib/ir/freq.ml: Fn Hashtbl List Loops Types

@@ -1,0 +1,1 @@
+lib/ir/freq.mli: Hashtbl Types

@@ -1,0 +1,1 @@
+lib/ir/loops.ml: Dominators Fn Hashtbl List Types

@@ -1,0 +1,1 @@
+lib/ir/parse.ml: Array Fmt Fn List Option Printf Scanf String Types

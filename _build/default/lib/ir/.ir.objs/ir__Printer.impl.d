@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Fmt Fn List Support Types

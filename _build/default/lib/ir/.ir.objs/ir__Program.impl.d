@@ -1,0 +1,1 @@
+lib/ir/program.ml: Array Fn Hashtbl List Printf Support Types

@@ -1,0 +1,1 @@
+lib/ir/splice.ml: Array Fn Hashtbl Instr List Printf Types

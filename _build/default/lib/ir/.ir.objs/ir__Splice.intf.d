@@ -1,0 +1,1 @@
+lib/ir/splice.mli: Hashtbl Types

@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Dominators Fmt Fn Hashtbl Instr List Printf Program String Types

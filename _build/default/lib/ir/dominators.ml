@@ -1,0 +1,73 @@
+(* Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm.
+   Operates on reachable blocks only. *)
+
+open Types
+
+type t = {
+  idom : (bid, bid) Hashtbl.t;  (* immediate dominator; entry maps to itself *)
+  order : bid list;             (* reverse postorder *)
+  index : (bid, int) Hashtbl.t; (* rpo index *)
+}
+
+let compute (fn : fn) : t =
+  let order = Fn.rpo fn in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i b -> Hashtbl.replace index b i) order;
+  let preds = Fn.preds fn in
+  let idom = Hashtbl.create 16 in
+  Hashtbl.replace idom fn.entry fn.entry;
+  let intersect b1 b2 =
+    let rec go f1 f2 =
+      if f1 = f2 then f1
+      else
+        let i1 = Hashtbl.find index f1 and i2 = Hashtbl.find index f2 in
+        if i1 > i2 then go (Hashtbl.find idom f1) f2
+        else go f1 (Hashtbl.find idom f2)
+    in
+    go b1 b2
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if b <> fn.entry then begin
+          let ps =
+            (try Hashtbl.find preds b with Not_found -> [])
+            |> List.filter (fun x -> Hashtbl.mem index x)
+          in
+          let processed = List.filter (fun x -> Hashtbl.mem idom x) ps in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if Hashtbl.find_opt idom b <> Some new_idom then begin
+                Hashtbl.replace idom b new_idom;
+                changed := true
+              end
+        end)
+      order
+  done;
+  { idom; order; index }
+
+let idom t b = if b = -1 then None else Hashtbl.find_opt t.idom b
+
+(* Does [a] dominate [b]? Walks the idom chain from [b] to the entry. *)
+let dominates t ~(a : bid) ~(b : bid) : bool =
+  let rec up x =
+    if x = a then true
+    else
+      match Hashtbl.find_opt t.idom x with
+      | Some parent when parent <> x -> up parent
+      | _ -> false
+  in
+  up b
+
+(* Children in the dominator tree. *)
+let children t (b : bid) : bid list =
+  Hashtbl.fold
+    (fun child parent acc -> if parent = b && child <> b then child :: acc else acc)
+    t.idom []
+  |> List.sort compare
+
+let rpo t = t.order

@@ -1,0 +1,28 @@
+(** Operations over individual IR instructions. *)
+
+open Types
+
+val operands : instr_kind -> vid list
+(** The value operands of an instruction, in a stable order. *)
+
+val map_operands : (vid -> vid) -> instr_kind -> instr_kind
+(** [map_operands f k] rewrites every operand through [f], preserving
+    structure. The result shares no mutable state with [k]. *)
+
+val is_pure : instr_kind -> bool
+(** Pure instructions depend only on their operands: eligible for value
+    numbering. Loads are not pure (memory may change between them). *)
+
+val is_removable : instr_kind -> bool
+(** May the instruction be deleted when its result is unused? Pure
+    instructions, allocations, and loads (a dead load only drops a
+    potential trap). *)
+
+val has_side_effect : instr_kind -> bool
+(** [not is_removable]: calls, stores and observable intrinsics. *)
+
+val result_ty : param_ty:(int -> ty) -> instr_kind -> ty
+(** Static result type; [param_ty] supplies parameter types. *)
+
+val is_call : instr_kind -> bool
+val is_phi : instr_kind -> bool

@@ -1,0 +1,133 @@
+(* Program-level tables: classes, methods, dispatch.
+
+   The class table supports the queries the optimizer and inliner need:
+   subtype tests (for type-test folding), unique-concrete-subtype (for
+   devirtualization without profiles) and virtual dispatch resolution (for
+   both the interpreter and polymorphic inlining). *)
+
+open Types
+module Vec = Support.Vec
+
+(* The vec dummies are immediate values (never exposed): slots past the
+   length are unreachable through the Vec API. *)
+let dummy_cls : cls =
+  { c_id = -1; c_name = "<dummy>"; parent = None; layout = [||]; vtable = []; is_abstract = true }
+
+let dummy_meth : meth =
+  { m_id = -1; m_name = "<dummy>"; selector = "<dummy>"; owner = None;
+    m_param_tys = [||]; m_rty = Tunit; body = None }
+
+let create () =
+  {
+    classes = Vec.create ~dummy:dummy_cls;
+    meths = Vec.create ~dummy:dummy_meth;
+    meth_by_name = Hashtbl.create 64;
+    main = -1;
+  }
+
+let cls p (c : class_id) : cls =
+  if c < 0 || c >= Vec.length p.classes then
+    invalid_arg (Printf.sprintf "Program.cls: unknown class %d" c);
+  Vec.get p.classes c
+
+let meth p (m : meth_id) : meth =
+  if m < 0 || m >= Vec.length p.meths then
+    invalid_arg (Printf.sprintf "Program.meth: unknown method %d" m);
+  Vec.get p.meths m
+
+let find_meth p name : meth_id option =
+  Hashtbl.find_opt p.meth_by_name name
+
+let num_classes p = Vec.length p.classes
+let num_meths p = Vec.length p.meths
+
+let add_class p ~name ~parent ~own_fields : class_id =
+  let c_id = Vec.length p.classes in
+  let inherited =
+    match parent with
+    | None -> [||]
+    | Some pc -> (cls p pc).layout
+  in
+  let layout = Array.append inherited (Array.of_list own_fields) in
+  Vec.push p.classes
+    { c_id; c_name = name; parent; layout; vtable = []; is_abstract = false };
+  c_id
+
+let add_meth p ~name ~selector ~owner ~param_tys ~rty : meth_id =
+  if Hashtbl.mem p.meth_by_name name then
+    invalid_arg (Printf.sprintf "Program.add_meth: duplicate method %s" name);
+  let m_id = Vec.length p.meths in
+  Vec.push p.meths
+    { m_id; m_name = name; selector; owner; m_param_tys = param_tys; m_rty = rty; body = None };
+  Hashtbl.replace p.meth_by_name name m_id;
+  m_id
+
+let set_body p m fn = (meth p m).body <- Some fn
+
+(* Installs [m] in the vtable of its owner class, replacing any inherited
+   entry for the same selector. Call after all classes exist. *)
+let register_in_vtable p (m : meth_id) =
+  let mm = meth p m in
+  match mm.owner with
+  | None -> ()
+  | Some c ->
+      let klass = cls p c in
+      klass.vtable <-
+        (mm.selector, m) :: List.remove_assoc mm.selector klass.vtable
+
+(* Walks up the hierarchy to resolve [selector] on receiver class [c]. *)
+let rec resolve p (c : class_id) (selector : string) : meth_id option =
+  let klass = cls p c in
+  match List.assoc_opt selector klass.vtable with
+  | Some m -> Some m
+  | None -> (
+      match klass.parent with
+      | Some parent -> resolve p parent selector
+      | None -> None)
+
+let is_subclass p ~(sub : class_id) ~(sup : class_id) : bool =
+  let rec up c = c = sup || (match (cls p c).parent with Some parent -> up parent | None -> false) in
+  up sub
+
+(* Direct subclasses of [c]. *)
+let subclasses p (c : class_id) : class_id list =
+  let acc = ref [] in
+  Vec.iter
+    (fun k -> if k.parent = Some c then acc := k.c_id :: !acc)
+    p.classes;
+  List.rev !acc
+
+(* All concrete (non-abstract) classes at or below [c]. *)
+let concrete_subtypes p (c : class_id) : class_id list =
+  let acc = ref [] in
+  let rec go c =
+    let k = cls p c in
+    if not k.is_abstract then acc := c :: !acc;
+    List.iter go (subclasses p c)
+  in
+  go c;
+  List.rev !acc
+
+(* When a class hierarchy has exactly one concrete implementation below a
+   static receiver type, virtual calls through it can be devirtualized
+   without a profile (a simple class-hierarchy analysis). *)
+let unique_concrete_subtype p (c : class_id) : class_id option =
+  match concrete_subtypes p c with [ only ] -> Some only | _ -> None
+
+let field_slot p (c : class_id) (fname : string) : int option =
+  let layout = (cls p c).layout in
+  let rec find i =
+    if i >= Array.length layout then None
+    else if fst layout.(i) = fname then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let iter_meths f p = Vec.iter f p.meths
+let iter_classes f p = Vec.iter f p.classes
+
+(* Total size of all method bodies; used in tests and engine stats. *)
+let total_ir_size p =
+  Vec.fold_left
+    (fun acc (m : meth) -> match m.body with Some fn -> acc + Fn.size fn | None -> acc)
+    0 p.meths

@@ -1,0 +1,154 @@
+(* Inline substitution at the IR level.
+
+   [inline_call ~caller ~call_vid ~callee] splices a copy of [callee]'s body
+   into [caller] at the given call instruction:
+
+     pre:  ... instrs before call        (original block, preds unchanged)
+           goto callee_entry'
+     callee blocks (fresh ids; Param i replaced by the call's i-th argument;
+           every Return v becomes a goto to post)
+     post: call_vid = phi [(ret_block, v); ...]   <- the call's id is REUSED
+           ... instrs after the call
+           original terminator
+
+   Reusing the call's vid for the join phi means no use of the call result
+   anywhere in the caller needs rewriting. Successor blocks' phi edges are
+   renamed from the original block to [post] because the original
+   terminator moved there.
+
+   Returns the id remapping so the inliner can re-anchor call-tree children
+   (callee-local callsite vids -> caller vids). *)
+
+open Types
+
+type remap = {
+  vmap : (vid, vid) Hashtbl.t;  (* callee vid -> caller vid *)
+  bmap : (bid, bid) Hashtbl.t;  (* callee bid -> caller bid *)
+  post : bid;                   (* the join block in the caller *)
+}
+
+let inline_call ~(caller : fn) ~(call_vid : vid) ~(callee : fn) : remap =
+  let call_args, call_block =
+    let args = ref None and blk = ref None in
+    Fn.iter_blocks
+      (fun b -> if List.mem call_vid b.instrs then blk := Some b)
+      caller;
+    (match Fn.kind caller call_vid with
+    | Call { args = a; _ } -> args := Some a
+    | _ -> invalid_arg "Splice.inline_call: not a call instruction");
+    match (!args, !blk) with
+    | Some a, Some b -> (Array.of_list a, b)
+    | _ -> invalid_arg "Splice.inline_call: call instruction not found in any block"
+  in
+  (* 1. Split the containing block. *)
+  let post = Fn.add_block caller in
+  let rec split acc = function
+    | [] -> invalid_arg "Splice.inline_call: call vanished during split"
+    | v :: rest when v = call_vid -> (List.rev acc, rest)
+    | v :: rest -> split (v :: acc) rest
+  in
+  let before, after = split [] call_block.instrs in
+  call_block.instrs <- before;
+  let post_block = Fn.block caller post in
+  post_block.instrs <- after;
+  post_block.term <- call_block.term;
+  (* successor phis now flow in via [post] *)
+  List.iter
+    (fun s ->
+      let sb = Fn.block caller s in
+      List.iter
+        (fun v ->
+          match Fn.kind caller v with
+          | Phi p ->
+              p.inputs <-
+                List.map
+                  (fun (pb, pv) -> if pb = call_block.b_id then (post, pv) else (pb, pv))
+                  p.inputs
+          | _ -> ())
+        sb.instrs)
+    (Fn.succs_of_term post_block.term);
+  (* 2. Copy callee blocks and instructions (reachable only). *)
+  let reachable = Fn.reachable callee in
+  let bmap = Hashtbl.create 16 in
+  let vmap = Hashtbl.create 64 in
+  Fn.iter_blocks
+    (fun b ->
+      if Hashtbl.mem reachable b.b_id then
+        Hashtbl.replace bmap b.b_id (Fn.add_block caller))
+    callee;
+  (* pass 1: allocate ids; params map directly to arguments *)
+  Fn.iter_blocks
+    (fun b ->
+      if Hashtbl.mem reachable b.b_id then
+        List.iter
+          (fun v ->
+            match Fn.kind callee v with
+            | Param i ->
+                if i >= Array.length call_args then
+                  invalid_arg "Splice.inline_call: arity mismatch";
+                Hashtbl.replace vmap v call_args.(i)
+            | k ->
+                let fresh = Fn.fresh_instr caller k (* placeholder kind *) in
+                Hashtbl.replace vmap v fresh.id)
+          b.instrs)
+    callee;
+  let mv v =
+    match Hashtbl.find_opt vmap v with
+    | Some v' -> v'
+    | None -> invalid_arg (Printf.sprintf "Splice.inline_call: unmapped callee value v%d" v)
+  in
+  let mb b =
+    match Hashtbl.find_opt bmap b with
+    | Some b' -> b'
+    | None -> invalid_arg (Printf.sprintf "Splice.inline_call: unmapped callee block b%d" b)
+  in
+  (* pass 2: fill kinds with remapped operands and build block contents *)
+  let returns = ref [] in
+  Fn.iter_blocks
+    (fun b ->
+      if Hashtbl.mem reachable b.b_id then begin
+        let nb = Fn.block caller (mb b.b_id) in
+        nb.instrs <-
+          List.filter_map
+            (fun v ->
+              match Fn.kind callee v with
+              | Param _ -> None
+              | k ->
+                  let nk =
+                    match k with
+                    | Phi { ty; inputs } ->
+                        Phi
+                          {
+                            ty;
+                            inputs =
+                              List.filter_map
+                                (fun (pb, pv) ->
+                                  if Hashtbl.mem reachable pb then Some (mb pb, mv pv)
+                                  else None)
+                                inputs;
+                          }
+                    | k -> Instr.map_operands mv k
+                  in
+                  (Fn.instr caller (mv v)).kind <- nk;
+                  Some (mv v))
+            b.instrs;
+        nb.term <-
+          (match b.term with
+          | Goto t -> Goto (mb t)
+          | If { cond; site; tb; fb } -> If { cond = mv cond; site; tb = mb tb; fb = mb fb }
+          | Return v ->
+              returns := (nb.b_id, mv v) :: !returns;
+              Goto post
+          | Unreachable -> Unreachable)
+      end)
+    callee;
+  (* 3. Wire control into the callee and materialize the join phi. *)
+  call_block.term <- Goto (mb callee.entry);
+  let rty =
+    match (Fn.instr caller call_vid).kind with
+    | Call { rty; _ } -> rty
+    | _ -> assert false
+  in
+  (Fn.instr caller call_vid).kind <- Phi { ty = rty; inputs = List.rev !returns };
+  post_block.instrs <- call_vid :: post_block.instrs;
+  { vmap; bmap; post }

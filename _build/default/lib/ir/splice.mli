@@ -1,0 +1,20 @@
+(** Inline substitution at the IR level: splicing a callee body into a
+    caller at a call instruction. The call's SSA id is reused as the join
+    phi over the callee's returns, so no use of the call result needs
+    rewriting. Parameters are replaced by the call's arguments; profile
+    site keys inside the callee copy are preserved. *)
+
+open Types
+
+type remap = {
+  vmap : (vid, vid) Hashtbl.t;  (** callee vid -> caller vid *)
+  bmap : (bid, bid) Hashtbl.t;  (** callee bid -> caller bid *)
+  post : bid;                   (** the join block created in the caller *)
+}
+
+val inline_call : caller:fn -> call_vid:vid -> callee:fn -> remap
+(** Destroys [callee]'s independence (its reachable content is copied; the
+    argument itself is not mutated, but pass a fresh copy when the original
+    must stay pristine — {!Fn.copy}).
+    @raise Invalid_argument if [call_vid] is not a live call in [caller],
+    or on arity mismatch. *)

@@ -1,0 +1,154 @@
+(* IR well-formedness checker.
+
+   Run after every transformation in tests (and behind a debug flag in the
+   engine). Checks:
+   - structural: operands and branch targets refer to live entities; block
+     instruction lists mention only live instructions, each exactly once
+     across the whole function.
+   - phi shape: phis appear at the start of their block; their input edges
+     exactly match the block's reachable predecessors.
+   - SSA dominance: each non-phi use is dominated by its definition; a phi
+     input is dominated along its incoming edge. *)
+
+open Types
+
+exception Ill_formed of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Ill_formed s)) fmt
+
+let check (fn : fn) : unit =
+  if not (Fn.block_live fn fn.entry) then fail "entry block b%d is dead" fn.entry;
+  (* validate all terminator targets up front: reachability and dominator
+     computations below would crash on dangling edges *)
+  Fn.iter_blocks
+    (fun blk ->
+      List.iter
+        (fun s ->
+          if not (Fn.block_live fn s) then
+            fail "terminator of b%d targets dead block b%d" blk.b_id s)
+        (Fn.succs_of_term blk.term))
+    fn;
+  (* def_block: vid -> bid, and uniqueness of placement *)
+  let def_block = Hashtbl.create 64 in
+  Fn.iter_blocks
+    (fun blk ->
+      List.iter
+        (fun v ->
+          if not (Fn.instr_live fn v) then
+            fail "block b%d lists dead instruction v%d" blk.b_id v;
+          if Hashtbl.mem def_block v then
+            fail "instruction v%d appears in more than one block" v;
+          Hashtbl.replace def_block v blk.b_id)
+        blk.instrs)
+    fn;
+  let reachable = Fn.reachable fn in
+  let preds = Fn.preds fn in
+  let doms = Dominators.compute fn in
+  (* instruction-position index within its block, for same-block dominance *)
+  let pos = Hashtbl.create 64 in
+  Fn.iter_blocks
+    (fun blk -> List.iteri (fun i v -> Hashtbl.replace pos v i) blk.instrs)
+    fn;
+  let check_target what b =
+    if not (Fn.block_live fn b) then fail "%s targets dead block b%d" what b
+  in
+  let value_dominates_use ~(def : vid) ~(use_block : bid) ~(use_pos : int) =
+    match Hashtbl.find_opt def_block def with
+    | None -> fail "use of unplaced instruction v%d" def
+    | Some db ->
+        if db = use_block then begin
+          let dp = Hashtbl.find pos def in
+          if dp >= use_pos then
+            fail "v%d used at position %d of b%d before its definition at %d"
+              def use_pos use_block dp
+        end
+        else if not (Dominators.dominates doms ~a:db ~b:use_block) then
+          fail "definition of v%d in b%d does not dominate use in b%d" def db use_block
+  in
+  Fn.iter_blocks
+    (fun blk ->
+      if Hashtbl.mem reachable blk.b_id then begin
+        (* phis first *)
+        let seen_non_phi = ref false in
+        List.iteri
+          (fun i v ->
+            let k = Fn.kind fn v in
+            (match k with
+            | Phi { inputs; _ } ->
+                if blk.b_id = fn.entry then
+                  fail "phi v%d in the entry block (no incoming edge on first entry)" v;
+                if !seen_non_phi then
+                  fail "phi v%d appears after a non-phi in b%d" v blk.b_id;
+                let ps =
+                  (try Hashtbl.find preds blk.b_id with Not_found -> [])
+                  |> List.filter (fun p -> Hashtbl.mem reachable p)
+                  |> List.sort_uniq compare
+                in
+                let ins = List.map fst inputs |> List.sort_uniq compare in
+                if ins <> ps then
+                  fail "phi v%d in b%d has edges {%s} but predecessors are {%s}"
+                    v blk.b_id
+                    (String.concat "," (List.map string_of_int ins))
+                    (String.concat "," (List.map string_of_int ps));
+                List.iter
+                  (fun (pred, pv) ->
+                    if not (Fn.instr_live fn pv) then
+                      fail "phi v%d input v%d is dead" v pv;
+                    match Hashtbl.find_opt def_block pv with
+                    | None -> fail "phi v%d input v%d unplaced" v pv
+                    | Some db ->
+                        if
+                          Hashtbl.mem reachable pred
+                          && not (Dominators.dominates doms ~a:db ~b:pred)
+                        then
+                          fail
+                            "phi v%d input v%d (defined in b%d) does not dominate edge from b%d"
+                            v pv db pred)
+                  inputs
+            | _ ->
+                seen_non_phi := true;
+                List.iter
+                  (fun opnd ->
+                    if not (Fn.instr_live fn opnd) then
+                      fail "v%d uses dead operand v%d" v opnd;
+                    value_dominates_use ~def:opnd ~use_block:blk.b_id ~use_pos:i)
+                  (Instr.operands k));
+            ())
+          blk.instrs;
+        (* terminator *)
+        (match blk.term with
+        | Goto b -> check_target (Printf.sprintf "goto in b%d" blk.b_id) b
+        | If { cond; tb; fb; _ } ->
+            check_target (Printf.sprintf "if in b%d" blk.b_id) tb;
+            check_target (Printf.sprintf "if in b%d" blk.b_id) fb;
+            if not (Fn.instr_live fn cond) then
+              fail "if in b%d uses dead condition v%d" blk.b_id cond;
+            value_dominates_use ~def:cond ~use_block:blk.b_id
+              ~use_pos:(List.length blk.instrs)
+        | Return v ->
+            if not (Fn.instr_live fn v) then
+              fail "return in b%d uses dead value v%d" blk.b_id v;
+            value_dominates_use ~def:v ~use_block:blk.b_id
+              ~use_pos:(List.length blk.instrs)
+        | Unreachable -> ())
+      end)
+    fn
+
+let check_exn = check
+
+let is_well_formed fn =
+  match check fn with () -> true | exception Ill_formed _ -> false
+
+(* Checks every method body in a program; returns the first error. *)
+let check_program (p : program) : (unit, string) result =
+  let error = ref None in
+  Program.iter_meths
+    (fun (m : meth) ->
+      if !error = None then
+        match m.body with
+        | Some fn -> (
+            try check fn
+            with Ill_formed msg -> error := Some (Printf.sprintf "%s: %s" m.m_name msg))
+        | None -> ())
+    p;
+  match !error with None -> Ok () | Some e -> Error e

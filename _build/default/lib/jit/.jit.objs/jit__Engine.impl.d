@@ -1,0 +1,1 @@
+lib/jit/engine.ml: Fun Hashtbl Ir Opt Runtime

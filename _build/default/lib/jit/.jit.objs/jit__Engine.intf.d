@@ -1,0 +1,1 @@
+lib/jit/engine.mli: Hashtbl Ir Runtime

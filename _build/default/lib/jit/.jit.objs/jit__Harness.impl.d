@@ -1,0 +1,1 @@
+lib/jit/harness.ml: Engine List Runtime Support

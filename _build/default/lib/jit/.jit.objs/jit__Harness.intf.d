@@ -1,0 +1,1 @@
+lib/jit/harness.mli: Engine

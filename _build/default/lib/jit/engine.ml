@@ -1,0 +1,164 @@
+(* The tiered execution engine: interpret, detect hotness, compile, install.
+
+   This is the "stream of compilation requests" environment from the
+   paper's online-inlining problem statement (Section II): methods start
+   interpreted (collecting profiles); when a method's invocation count
+   crosses the threshold it is handed to the configured [compiler] — the
+   paper's algorithm, a baseline, or nothing — and the returned optimized
+   body is installed in the code cache, where the interpreter picks it up
+   at the next invocation.
+
+   Compilation is synchronous but its simulated cost is metered on a
+   separate clock ([compile_cycles]), mirroring a background compiler
+   thread that does not stall the mutator. *)
+
+open Ir.Types
+
+(* A compiler maps a hot method to an optimized body to install. *)
+type compiler = program -> Runtime.Profile.t -> meth_id -> fn
+
+type config = {
+  name : string;
+  compiler : compiler option;      (* None: pure interpreter *)
+  hotness_threshold : int;         (* invocations before compilation *)
+  compile_cost_per_node : int;     (* simulated compile cycles per output IR node *)
+  verify : bool;                   (* check produced IR (tests; off in benches) *)
+}
+
+let interpreter_config = {
+  name = "interpreter";
+  compiler = None;
+  hotness_threshold = max_int;
+  compile_cost_per_node = 0;
+  verify = false;
+}
+
+type compilation = { cm : meth_id; size : int; at_cycles : int }
+
+type t = {
+  vm : Runtime.Interp.vm;
+  config : config;
+  code_cache : (meth_id, fn) Hashtbl.t;
+  mutable compiling : bool;
+  mutable compile_cycles : int;
+  mutable compilations : compilation list;  (* most recent first *)
+  (* asynchronous-compilation model (paper, Section II.2 "compilation
+     impact"): a hot method's code is produced when it crosses the
+     threshold but installs only after its simulated compile latency has
+     elapsed on the execution clock, as a background compiler thread
+     would; until then the method keeps interpreting (and profiling) *)
+  async_compile : bool;
+  pending : (meth_id, fn * int (* ready at [vm.cycles] *)) Hashtbl.t;
+  (* speculation management (deopt-lite): typeswitch fallbacks executed in
+     compiled code count as misses; past the threshold the method's code
+     is thrown away and it re-profiles before recompiling *)
+  spec_miss_threshold : int;
+  max_recompiles : int;
+  miss_counts : (meth_id, int ref) Hashtbl.t;
+  recompile_counts : (meth_id, int) Hashtbl.t;
+  cooldown : (meth_id, int) Hashtbl.t;      (* invocation count gating recompilation *)
+  mutable invalidations : (meth_id * int) list;  (* method, at_cycles *)
+}
+
+let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
+    ?(max_recompiles = 2) ?(async_compile = false) (prog : program) (config : config) : t =
+  (* parse-time canonicalization: prepared bodies are what gets profiled,
+     specialized and inlined (idempotent; safe if already prepared) *)
+  Opt.Driver.prepare_program prog;
+  let vm = Runtime.Interp.create ~cost prog in
+  let t =
+    { vm; config; code_cache = Hashtbl.create 32; compiling = false;
+      compile_cycles = 0; compilations = [];
+      async_compile; pending = Hashtbl.create 8;
+      spec_miss_threshold; max_recompiles;
+      miss_counts = Hashtbl.create 8; recompile_counts = Hashtbl.create 8;
+      cooldown = Hashtbl.create 8; invalidations = [] }
+  in
+  vm.code <- (fun m -> Hashtbl.find_opt t.code_cache m);
+  (match config.compiler with
+  | None -> ()
+  | Some compiler ->
+      let install m body size =
+        Hashtbl.replace t.code_cache m body;
+        t.compilations <- { cm = m; size; at_cycles = vm.cycles } :: t.compilations
+      in
+      vm.on_entry <-
+        (fun m ->
+          (* background compilations whose latency has elapsed install at
+             the next entry of their method *)
+          (match Hashtbl.find_opt t.pending m with
+          | Some (body, ready_at) when vm.cycles >= ready_at ->
+              Hashtbl.remove t.pending m;
+              install m body (Ir.Fn.size body)
+          | _ -> ());
+          if
+            (not t.compiling)
+            && (not (Hashtbl.mem t.code_cache m))
+            && (not (Hashtbl.mem t.pending m))
+            && (Ir.Program.meth prog m).body <> None
+            &&
+            let invocations = Runtime.Profile.invocation_count vm.profiles m in
+            invocations + 1 >= config.hotness_threshold
+            && invocations + 1
+               >= (match Hashtbl.find_opt t.cooldown m with Some c -> c | None -> 0)
+          then begin
+            t.compiling <- true;
+            Fun.protect
+              ~finally:(fun () -> t.compiling <- false)
+              (fun () ->
+                let body = compiler prog vm.profiles m in
+                if config.verify then Ir.Verify.check body;
+                let size = Ir.Fn.size body in
+                let latency = size * config.compile_cost_per_node in
+                t.compile_cycles <- t.compile_cycles + latency;
+                if t.async_compile then
+                  Hashtbl.replace t.pending m (body, vm.cycles + latency)
+                else install m body size)
+          end);
+      vm.on_spec_miss <-
+        (fun m _site ->
+          if t.spec_miss_threshold < max_int && Hashtbl.mem t.code_cache m then begin
+            let r =
+              match Hashtbl.find_opt t.miss_counts m with
+              | Some r -> r
+              | None ->
+                  let r = ref 0 in
+                  Hashtbl.replace t.miss_counts m r;
+                  r
+            in
+            incr r;
+            let recompiled =
+              match Hashtbl.find_opt t.recompile_counts m with Some n -> n | None -> 0
+            in
+            if !r >= t.spec_miss_threshold && recompiled < t.max_recompiles then begin
+              (* invalidate: drop the code, let the interpreter re-profile
+                 the shifted receiver distribution, recompile later *)
+              Hashtbl.remove t.code_cache m;
+              Hashtbl.replace t.recompile_counts m (recompiled + 1);
+              r := 0;
+              Hashtbl.replace t.cooldown m
+                (Runtime.Profile.invocation_count vm.profiles m + config.hotness_threshold);
+              t.invalidations <- (m, vm.cycles) :: t.invalidations
+            end
+          end))
+  ;
+  t
+
+let run_main (t : t) : Runtime.Values.value = Runtime.Interp.run_main t.vm
+
+let run_meth (t : t) (name : string) (args : Runtime.Values.value list) :
+    Runtime.Values.value =
+  Runtime.Interp.run_meth t.vm name args
+
+let output (t : t) : string = Runtime.Interp.output t.vm
+
+(* Total installed code size (the paper's Figure 10 / Table I metric). *)
+let installed_code_size (t : t) : int =
+  Hashtbl.fold (fun _ fn acc -> acc + Ir.Fn.size fn) t.code_cache 0
+
+let installed_methods (t : t) : int = Hashtbl.length t.code_cache
+
+let compiled_body (t : t) (name : string) : fn option =
+  match Ir.Program.find_meth t.vm.prog name with
+  | Some m -> Hashtbl.find_opt t.code_cache m
+  | None -> None

@@ -1,0 +1,71 @@
+(** The tiered execution engine: interpret, detect hotness, compile,
+    install — the paper's online compilation-request environment. Compiled
+    bodies are produced by a pluggable {!compiler} (the incremental
+    inliner, a baseline, or nothing) and installed in a code cache the
+    interpreter consults at every method entry. Compilation is synchronous
+    but its simulated cost is metered on a separate clock. *)
+
+open Ir.Types
+
+type compiler = program -> Runtime.Profile.t -> meth_id -> fn
+(** Maps a hot method to the optimized body to install. Must not mutate
+    the program's method bodies. *)
+
+type config = {
+  name : string;
+  compiler : compiler option;   (** [None]: pure interpreter *)
+  hotness_threshold : int;      (** invocations before compilation *)
+  compile_cost_per_node : int;  (** simulated compile cycles per output IR node *)
+  verify : bool;                (** verify every produced body (tests) *)
+}
+
+val interpreter_config : config
+
+type compilation = { cm : meth_id; size : int; at_cycles : int }
+
+type t = {
+  vm : Runtime.Interp.vm;
+  config : config;
+  code_cache : (meth_id, fn) Hashtbl.t;
+  mutable compiling : bool;
+  mutable compile_cycles : int;
+  mutable compilations : compilation list;  (** most recent first *)
+  async_compile : bool;
+  pending : (meth_id, fn * int) Hashtbl.t;
+  (** compiled but not yet installed (body, ready-at cycles) *)
+  spec_miss_threshold : int;
+  max_recompiles : int;
+  miss_counts : (meth_id, int ref) Hashtbl.t;
+  recompile_counts : (meth_id, int) Hashtbl.t;
+  cooldown : (meth_id, int) Hashtbl.t;
+  mutable invalidations : (meth_id * int) list;  (** method, at_cycles *)
+}
+
+val create :
+  ?cost:Runtime.Cost.t -> ?spec_miss_threshold:int -> ?max_recompiles:int ->
+  ?async_compile:bool -> program -> config -> t
+(** Also runs {!Opt.Driver.prepare_program} so profiles are collected
+    against prepared IR.
+
+    Speculation management (off unless [spec_miss_threshold] is given):
+    when a compiled method's typeswitch fallback executes that many times —
+    a receiver distribution the speculation never saw, e.g. after a phase
+    shift — the method's code is invalidated, the interpreter re-profiles
+    it for [hotness_threshold] further invocations, and it recompiles
+    against the new profile, at most [max_recompiles] times per method.
+
+    [async_compile] (default false) models a background compiler thread
+    (the paper's Section II.2 "compilation impact"): produced code installs
+    only once its simulated compile latency (size × [compile_cost_per_node])
+    has elapsed on the execution clock; the method keeps interpreting — and
+    profiling — in the meantime. *)
+
+val run_main : t -> Runtime.Values.value
+val run_meth : t -> string -> Runtime.Values.value list -> Runtime.Values.value
+val output : t -> string
+
+val installed_code_size : t -> int
+(** Total size of installed bodies — the Figure 10 / Table I metric. *)
+
+val installed_methods : t -> int
+val compiled_body : t -> string -> fn option

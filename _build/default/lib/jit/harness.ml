@@ -1,0 +1,53 @@
+(* Benchmark methodology from the paper's evaluation (Section V):
+   repeat a benchmark's entry method, record per-iteration simulated
+   cycles, and report peak performance as the mean of the last 40% (at
+   most 20) iterations, plus the installed code size. *)
+
+type iteration = {
+  index : int;
+  cycles : int;             (* simulated execution cycles of this iteration *)
+  compiled_methods : int;   (* code-cache size after the iteration *)
+}
+
+type run = {
+  name : string;            (* benchmark + configuration label *)
+  iterations : iteration list;
+  peak_cycles : float;      (* steady-state mean *)
+  peak_stddev : float;
+  code_size : int;          (* installed code size at the end *)
+  compile_cycles : int;
+  output : string;          (* program output, for differential checking *)
+}
+
+(* Runs [entry] (a 0-argument Sel function returning Int or Unit) [iters]
+   times on a fresh engine. A [setup] entry, when present, runs once
+   beforehand (workload initialization). *)
+let run_benchmark ?(setup : string option) ~(iters : int) (engine : Engine.t)
+    ~(entry : string) ~(label : string) : run =
+  (match setup with
+  | Some s -> ignore (Engine.run_meth engine s [ Runtime.Values.Vunit ])
+  | None -> ());
+  let iterations = ref [] in
+  for index = 1 to iters do
+    let c0 = engine.vm.cycles in
+    ignore (Engine.run_meth engine entry [ Runtime.Values.Vunit ]);
+    iterations :=
+      {
+        index;
+        cycles = engine.vm.cycles - c0;
+        compiled_methods = Engine.installed_methods engine;
+      }
+      :: !iterations
+  done;
+  let iterations = List.rev !iterations in
+  let series = List.map (fun i -> float_of_int i.cycles) iterations in
+  let window = Support.Stats.steady_state_window series in
+  {
+    name = label;
+    iterations;
+    peak_cycles = Support.Stats.mean window;
+    peak_stddev = Support.Stats.stddev window;
+    code_size = Engine.installed_code_size engine;
+    compile_cycles = engine.compile_cycles;
+    output = Engine.output engine;
+  }

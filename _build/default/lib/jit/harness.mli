@@ -1,0 +1,25 @@
+(** The paper's benchmarking methodology (Section V): repeat an entry
+    method, record per-iteration simulated cycles, report peak performance
+    as the mean of the last 40% (at most 20) iterations plus installed
+    code size. *)
+
+type iteration = {
+  index : int;
+  cycles : int;
+  compiled_methods : int;  (** code-cache population after the iteration *)
+}
+
+type run = {
+  name : string;
+  iterations : iteration list;
+  peak_cycles : float;
+  peak_stddev : float;
+  code_size : int;
+  compile_cycles : int;
+  output : string;
+}
+
+val run_benchmark :
+  ?setup:string -> iters:int -> Engine.t -> entry:string -> label:string -> run
+(** Runs [entry] (a 0-argument function) [iters] times; [setup] runs once
+    beforehand when given. *)

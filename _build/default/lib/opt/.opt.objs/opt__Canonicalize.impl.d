@@ -1,0 +1,1 @@
+lib/opt/canonicalize.ml: Char Fmt Ir List String Tyinfer

@@ -1,0 +1,1 @@
+lib/opt/canonicalize.mli: Format Ir

@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Hashtbl Ir List Queue

@@ -1,0 +1,1 @@
+lib/opt/driver.ml: Canonicalize Dce Fmt Gvn Ir Licm Peel Rwelim Scalarrepl Simplify

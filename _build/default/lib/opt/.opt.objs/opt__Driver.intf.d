@@ -1,0 +1,1 @@
+lib/opt/driver.mli: Canonicalize Format Ir

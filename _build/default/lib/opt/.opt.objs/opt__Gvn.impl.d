@@ -1,0 +1,1 @@
+lib/opt/gvn.ml: Fmt Hashtbl Ir List Printf String

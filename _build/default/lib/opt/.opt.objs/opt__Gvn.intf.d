@@ -1,0 +1,1 @@
+lib/opt/gvn.mli: Ir

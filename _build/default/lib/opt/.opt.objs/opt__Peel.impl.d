@@ -1,0 +1,1 @@
+lib/opt/peel.ml: Hashtbl Ir List Simplify Tyinfer

@@ -1,0 +1,1 @@
+lib/opt/peel.mli: Hashtbl Ir

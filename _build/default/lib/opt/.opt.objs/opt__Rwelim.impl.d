@@ -1,0 +1,1 @@
+lib/opt/rwelim.ml: Hashtbl Ir List

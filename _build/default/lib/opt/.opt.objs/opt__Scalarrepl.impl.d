@@ -1,0 +1,1 @@
+lib/opt/scalarrepl.ml: Array Hashtbl Ir List Simplify

@@ -1,0 +1,1 @@
+lib/opt/simplify.ml: Hashtbl Ir List

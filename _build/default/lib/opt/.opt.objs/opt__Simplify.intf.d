@@ -1,0 +1,1 @@
+lib/opt/simplify.mli: Ir

@@ -1,0 +1,1 @@
+lib/opt/tyinfer.ml: Array Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/opt/tyinfer.mli: Hashtbl Ir

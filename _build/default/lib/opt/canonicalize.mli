@@ -1,0 +1,32 @@
+(** Canonicalization: the "simple optimizations" counted by deep inlining
+    trials — constant folding, algebraic simplification, strength
+    reduction, branch pruning, type-check folding and type-driven
+    devirtualization. Rewrites in place; [stats] counts applied rewrites
+    per category (the inliner's N_s input). *)
+
+open Ir.Types
+
+type stats = {
+  mutable const_folds : int;
+  mutable algebraic : int;
+  mutable strength : int;
+  mutable branch_prunes : int;
+  mutable devirts : int;
+  mutable typetest_folds : int;
+}
+
+val empty_stats : unit -> stats
+val total : stats -> int
+val add_into : into:stats -> stats -> unit
+val pp_stats : Format.formatter -> stats -> unit
+
+val fold_binop : binop -> const -> const -> const option
+(** Pure constant folding; [None] when not foldable (e.g. division by a
+    zero constant, which must keep its runtime trap). *)
+
+val fold_unop : unop -> const -> const option
+val fold_intrinsic : intrinsic -> const option list -> const option
+
+val run_once : program -> fn -> stats -> bool
+(** One sweep over all instructions plus branch pruning; true when
+    anything changed. Drive to a fixpoint via {!Driver.simplify}. *)

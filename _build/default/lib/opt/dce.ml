@@ -1,0 +1,37 @@
+(* Dead-code elimination: removes instructions whose results are unused and
+   whose execution is unobservable (pure ops, dead loads, dead
+   allocations). Uses a mark phase seeded from side-effecting instructions
+   and terminator operands, so phi cycles feeding only each other die. *)
+
+open Ir.Types
+
+let run (fn : fn) : int =
+  let marked : (vid, unit) Hashtbl.t = Hashtbl.create 64 in
+  let work = Queue.create () in
+  let mark v =
+    if not (Hashtbl.mem marked v) then begin
+      Hashtbl.replace marked v ();
+      Queue.add v work
+    end
+  in
+  Ir.Fn.iter_instrs
+    (fun i -> if Ir.Instr.has_side_effect i.kind then mark i.id)
+    fn;
+  Ir.Fn.iter_blocks
+    (fun blk ->
+      match blk.term with
+      | If { cond; _ } -> mark cond
+      | Return v -> mark v
+      | Goto _ | Unreachable -> ())
+    fn;
+  while not (Queue.is_empty work) do
+    let v = Queue.pop work in
+    if Ir.Fn.instr_live fn v then
+      List.iter mark (Ir.Instr.operands (Ir.Fn.kind fn v))
+  done;
+  let dead = ref [] in
+  Ir.Fn.iter_instrs
+    (fun i -> if not (Hashtbl.mem marked i.id) then dead := i.id :: !dead)
+    fn;
+  List.iter (fun v -> Ir.Fn.delete_instr fn v) !dead;
+  List.length !dead

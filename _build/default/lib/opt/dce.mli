@@ -1,0 +1,7 @@
+(** Dead-code elimination: removes unused removable instructions (pure
+    ops, loads, allocations), seeded from side-effecting instructions and
+    terminator operands so that self-sustaining phi cycles also die. Calls
+    are conservatively kept. *)
+
+val run : Ir.Types.fn -> int
+(** Returns the number of instructions removed. *)

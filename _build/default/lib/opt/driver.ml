@@ -1,0 +1,107 @@
+(* Pass orchestration.
+
+   [simplify] is the canonicalization fixpoint used everywhere: by the
+   baseline preparation of freshly lowered methods (Graal's parse-time
+   canonicalization), by deep inlining trials on specialized callee copies
+   (where its event count is the paper's N_s), and on the root method
+   between inlining rounds. [round_root_opts] additionally runs read-write
+   elimination and first-iteration peeling, which the paper applies to the
+   root at the end of every round. *)
+
+open Ir.Types
+
+type stats = {
+  canon : Canonicalize.stats;
+  mutable gvn_hits : int;
+  mutable dce_removed : int;
+  mutable rw_eliminated : int;
+  mutable loops_peeled : int;
+  mutable scalar_replaced : int;
+  mutable licm_hoisted : int;
+}
+
+let empty_stats () =
+  {
+    canon = Canonicalize.empty_stats ();
+    gvn_hits = 0;
+    dce_removed = 0;
+    rw_eliminated = 0;
+    loops_peeled = 0;
+    scalar_replaced = 0;
+    licm_hoisted = 0;
+  }
+
+(* The paper's "simple optimizations" count: canonicalization events plus
+   value-numbering hits (Section IV lists global value numbering among
+   them). Code-removal bookkeeping (DCE) is not itself an optimization
+   event. *)
+let simple_opt_count (s : stats) = Canonicalize.total s.canon + s.gvn_hits
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf "%a gvn=%d dce=%d rw=%d peel=%d scalar=%d licm=%d" Canonicalize.pp_stats
+    s.canon s.gvn_hits s.dce_removed s.rw_eliminated s.loops_peeled s.scalar_replaced
+    s.licm_hoisted
+
+(* Canonicalize + GVN + DCE + CFG cleanup to a fixpoint (bounded). *)
+let simplify ?(max_rounds = 10) (prog : program) (fn : fn) : stats =
+  let stats = empty_stats () in
+  let rec go round =
+    if round < max_rounds then begin
+      let changed = ref false in
+      let cstats = Canonicalize.empty_stats () in
+      if Canonicalize.run_once prog fn cstats then changed := true;
+      Canonicalize.add_into ~into:stats.canon cstats;
+      let g = Gvn.run fn in
+      stats.gvn_hits <- stats.gvn_hits + g;
+      if g > 0 then changed := true;
+      let d = Dce.run fn in
+      stats.dce_removed <- stats.dce_removed + d;
+      if d > 0 then changed := true;
+      if Simplify.cleanup fn then changed := true;
+      if !changed then go (round + 1)
+    end
+  in
+  go 0;
+  stats
+
+(* Root-method optimizations at the end of an inlining round: simplify,
+   then read-write elimination, scalar replacement of allocations whose
+   constructors were just inlined, loop-invariant hoisting and profitable
+   first-iteration peeling, then simplify again to exploit what they
+   exposed. The flags exist for the ablation bench (`opts-ablation`). *)
+let round_root_opts ?(rwelim = true) ?(scalar = true) ?(licm = true) ?(peel = true)
+    (prog : program) (fn : fn) : stats =
+  let stats = simplify prog fn in
+  let rw = if rwelim then Rwelim.run prog fn else 0 in
+  stats.rw_eliminated <- stats.rw_eliminated + rw;
+  let scalar = if scalar then Scalarrepl.run prog fn else 0 in
+  stats.scalar_replaced <- stats.scalar_replaced + scalar;
+  let hoisted = if licm then Licm.run fn else 0 in
+  stats.licm_hoisted <- stats.licm_hoisted + hoisted;
+  let peeled = if peel then Peel.run prog fn else 0 in
+  stats.loops_peeled <- stats.loops_peeled + peeled;
+  if rw > 0 || scalar > 0 || hoisted > 0 || peeled > 0 then begin
+    let s2 = simplify prog fn in
+    Canonicalize.add_into ~into:stats.canon s2.canon;
+    stats.gvn_hits <- stats.gvn_hits + s2.gvn_hits;
+    stats.dce_removed <- stats.dce_removed + s2.dce_removed
+  end;
+  stats
+
+(* Baseline preparation of every method body right after lowering, before
+   any profiling: equivalent to parse-time canonicalization. Profiles are
+   then collected against the prepared IR, so block ids referenced by
+   profiles match the IR every later consumer sees. *)
+let prepare_program (prog : program) : unit =
+  Ir.Program.iter_meths
+    (fun (m : meth) ->
+      match m.body with
+      | Some fn ->
+          ignore (simplify prog fn);
+          (* hoist loop invariants once at parse time too, so interpreted
+             code and every later IR copy profit; block ids referenced by
+             profiles are the post-prepare ones, so this must happen before
+             any interpretation *)
+          if Licm.run fn > 0 then ignore (simplify prog fn)
+      | None -> ())
+    prog

@@ -1,0 +1,40 @@
+(** Pass orchestration. *)
+
+open Ir.Types
+
+type stats = {
+  canon : Canonicalize.stats;
+  mutable gvn_hits : int;
+  mutable dce_removed : int;
+  mutable rw_eliminated : int;
+  mutable loops_peeled : int;
+  mutable scalar_replaced : int;
+  mutable licm_hoisted : int;
+}
+
+val empty_stats : unit -> stats
+
+val simple_opt_count : stats -> int
+(** The paper's "simple optimizations triggered" metric N_s:
+    canonicalization events plus value-numbering hits. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val simplify : ?max_rounds:int -> program -> fn -> stats
+(** Canonicalize + GVN + DCE + CFG cleanup to a (bounded) fixpoint. Used
+    to prepare freshly lowered bodies, inside deep inlining trials, and on
+    the root between rounds. *)
+
+val round_root_opts :
+  ?rwelim:bool -> ?scalar:bool -> ?licm:bool -> ?peel:bool -> program -> fn -> stats
+(** The per-round root treatment: [simplify], then read-write elimination
+    (per the paper), scalar replacement of non-escaping allocations (per
+    the Graal EE context the paper's inliner ships in), loop-invariant
+    hoisting and profitable loop peeling (per the paper), then [simplify]
+    again. The flags (all default true) feed the optimization-ablation
+    bench. *)
+
+val prepare_program : program -> unit
+(** Baseline (parse-time-style) canonicalization of every method body.
+    Must run before profiling so profile block ids match the IR every
+    later consumer sees; idempotent. *)

@@ -1,0 +1,11 @@
+(** Global value numbering over the dominator tree (scoped hashing): pure
+    instructions (and array lengths, which are immutable) with identical
+    operation and operands collapse to the first dominating occurrence.
+    Commutative operands are normalized; loads from mutable memory never
+    participate. *)
+
+val key_of : Ir.Types.instr_kind -> string option
+(** The structural key, or [None] for non-numberable instructions. *)
+
+val run : Ir.Types.fn -> int
+(** Returns the number of instructions replaced. *)

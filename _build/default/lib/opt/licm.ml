@@ -1,0 +1,158 @@
+(* Loop-invariant code motion.
+
+   Hoists pure computations whose operands are defined outside a natural
+   loop (or are themselves invariant) into a preheader block, so hot loop
+   bodies — the place the inliner deliberately grows — shrink back. The
+   flagship case in this substrate is the `i < arr.length` bound of every
+   collection loop: array lengths are immutable, so the ArrayLen hoists.
+
+   Safety:
+   - only pure, non-phi instructions move; loads/stores/calls never do;
+   - ArrayLen additionally requires its array operand to be invariant
+     (lengths are immutable, and a dead hoisted length of a null array
+     only removes a trap, consistent with DCE's treatment of dead loads);
+   - trapping arithmetic (Div/Rem) and trapping intrinsics (Istr_get) are
+     excluded: hoisting would execute them on iterations (or zero
+     iterations) that never reached them;
+   - a fresh preheader is created per processed loop: entry edges are
+     redirected to it, and header phis over multiple entry predecessors
+     are split into a preheader phi plus a two-source header phi. *)
+
+open Ir.Types
+
+let hoistable (k : instr_kind) : bool =
+  match k with
+  | Binop ((Div | Rem), _, _) -> false
+  | Unop _ | Binop _ | Const _ | TypeTest _ -> true
+  | ArrayLen _ -> true
+  | Intrinsic ((Istr_len | Istr_eq | Iabs | Imin | Imax), _) -> true
+  | _ -> false
+
+(* Creates a preheader for [l]: a new block between the entry predecessors
+   and the header. Returns its id, or None when the header has no entry
+   predecessors (unreachable loop). *)
+let make_preheader (fn : fn) (l : Ir.Loops.loop) : bid option =
+  let preds = Ir.Fn.preds fn in
+  let header_preds = try Hashtbl.find preds l.header with Not_found -> [] in
+  let entry_preds = List.filter (fun p -> not (Hashtbl.mem l.body p)) header_preds in
+  match entry_preds with
+  | [] -> None
+  | _ ->
+      let ph = Ir.Fn.add_block fn in
+      Ir.Fn.set_term fn ph (Goto l.header);
+      (* redirect entry edges *)
+      List.iter
+        (fun p ->
+          let blk = Ir.Fn.block fn p in
+          let redirect b = if b = l.header then ph else b in
+          blk.term <-
+            (match blk.term with
+            | Goto t -> Goto (redirect t)
+            | If ({ tb; fb; _ } as r) -> If { r with tb = redirect tb; fb = redirect fb }
+            | t -> t))
+        entry_preds;
+      (* split header phis: entry inputs merge in the preheader *)
+      List.iter
+        (fun v ->
+          match Ir.Fn.kind fn v with
+          | Phi p -> (
+              let entry_inputs, latch_inputs =
+                List.partition (fun (pb, _) -> List.mem pb entry_preds) p.inputs
+              in
+              match entry_inputs with
+              | [] -> ()
+              | [ (_, only) ] -> p.inputs <- (ph, only) :: latch_inputs
+              | _ ->
+                  let ty =
+                    match Ir.Fn.kind fn v with
+                    | Phi { ty; _ } -> ty
+                    | _ -> assert false
+                  in
+                  let merged = Ir.Fn.prepend fn ph (Phi { ty; inputs = entry_inputs }) in
+                  p.inputs <- (ph, merged) :: latch_inputs)
+          | _ -> ())
+        (Ir.Fn.block fn l.header).instrs;
+      Some ph
+
+(* Hoists invariant instructions of one loop; returns how many moved. *)
+let hoist_loop (fn : fn) (l : Ir.Loops.loop) : int =
+  (* defined-in-loop set *)
+  let in_loop_def : (vid, unit) Hashtbl.t = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun b () ->
+      List.iter (fun v -> Hashtbl.replace in_loop_def v ()) (Ir.Fn.block fn b).instrs)
+    l.body;
+  (* fixpoint: invariant = hoistable and all operands defined outside or
+     invariant *)
+  let invariant : (vid, unit) Hashtbl.t = Hashtbl.create 8 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun b () ->
+        List.iter
+          (fun v ->
+            if not (Hashtbl.mem invariant v) then
+              let k = Ir.Fn.kind fn v in
+              if
+                hoistable k
+                && List.for_all
+                     (fun o -> (not (Hashtbl.mem in_loop_def o)) || Hashtbl.mem invariant o)
+                     (Ir.Instr.operands k)
+              then begin
+                Hashtbl.replace invariant v ();
+                changed := true
+              end)
+          (Ir.Fn.block fn b).instrs)
+      l.body
+  done;
+  if Hashtbl.length invariant = 0 then 0
+  else
+    match make_preheader fn l with
+    | None -> 0
+    | Some ph ->
+        (* move in an order where operands precede users: repeatedly take
+           instructions whose invariant operands have already moved *)
+        let moved : (vid, unit) Hashtbl.t = Hashtbl.create 8 in
+        let ph_blk = Ir.Fn.block fn ph in
+        let progress = ref true in
+        while !progress do
+          progress := false;
+          Hashtbl.iter
+            (fun b () ->
+              let blk = Ir.Fn.block fn b in
+              List.iter
+                (fun v ->
+                  if Hashtbl.mem invariant v && not (Hashtbl.mem moved v) then
+                    let k = Ir.Fn.kind fn v in
+                    if
+                      List.for_all
+                        (fun o -> (not (Hashtbl.mem invariant o)) || Hashtbl.mem moved o)
+                        (Ir.Instr.operands k)
+                    then begin
+                      blk.instrs <- List.filter (fun x -> x <> v) blk.instrs;
+                      ph_blk.instrs <- ph_blk.instrs @ [ v ];
+                      Hashtbl.replace moved v ();
+                      progress := true
+                    end)
+                blk.instrs)
+            l.body
+        done;
+        Hashtbl.length moved
+
+let run (fn : fn) : int =
+  (* loop set is recomputed per hoisted loop: preheaders change the CFG *)
+  let total = ref 0 in
+  let continue_ = ref true in
+  let processed : (bid, unit) Hashtbl.t = Hashtbl.create 8 in
+  while !continue_ do
+    let loops = (Ir.Loops.compute fn).loops in
+    match
+      List.find_opt (fun (l : Ir.Loops.loop) -> not (Hashtbl.mem processed l.header)) loops
+    with
+    | None -> continue_ := false
+    | Some l ->
+        Hashtbl.replace processed l.header ();
+        total := !total + hoist_loop fn l
+  done;
+  !total

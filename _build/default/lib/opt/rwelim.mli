@@ -1,0 +1,12 @@
+(** Block-local read/write elimination for object fields: store-to-load
+    forwarding, redundant-load elimination, dead-store removal, and
+    default-value folding for fresh unescaped allocations. Conservative
+    aliasing: same slot through different bases may alias unless one base
+    is a fresh allocation that has not escaped; calls kill everything.
+
+    The paper applies this to the root between inlining rounds because it
+    restores receiver type information lost through memory (e.g. a lambda
+    stored into a field by an inlined constructor and loaded back). *)
+
+val run : Ir.Types.program -> Ir.Types.fn -> int
+(** Returns the number of loads/stores eliminated or folded. *)

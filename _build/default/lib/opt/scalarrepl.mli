@@ -1,0 +1,11 @@
+(** Scalar replacement of non-escaping allocations (escape-analysis lite,
+    the core of Graal EE's partial escape analysis that makes cluster
+    inlining pay): allocations used only as GetField/SetField receivers
+    dissolve into SSA values over their fields; the allocation, every
+    store and every load disappear. Runs between inlining rounds, after
+    constructor calls have been inlined. *)
+
+val escapes : Ir.Types.fn -> Ir.Types.vid -> bool
+
+val run : Ir.Types.program -> Ir.Types.fn -> int
+(** Replaces every non-escaping allocation; returns how many. *)

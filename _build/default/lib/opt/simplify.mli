@@ -1,0 +1,10 @@
+(** CFG cleanup after transformations that rewrite terminators (branch
+    pruning, inlining): unreachable-block removal with phi-edge pruning,
+    trivial-phi elimination, and straight-line block merging. *)
+
+val remove_unreachable : Ir.Types.fn -> bool
+val remove_trivial_phis : Ir.Types.fn -> bool
+val merge_blocks : Ir.Types.fn -> bool
+
+val cleanup : Ir.Types.fn -> bool
+(** All three, in order; true when anything changed. *)

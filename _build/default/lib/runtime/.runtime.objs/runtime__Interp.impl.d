@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Array Buffer Char Cost Hashtbl Ir List Profile String Values

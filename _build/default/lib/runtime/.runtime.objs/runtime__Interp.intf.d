@@ -1,0 +1,1 @@
+lib/runtime/interp.mli: Buffer Cost Ir Profile Values

@@ -1,0 +1,1 @@
+lib/runtime/profile.ml: Buffer Hashtbl Ir List Printf String

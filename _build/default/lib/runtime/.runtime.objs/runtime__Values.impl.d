@@ -1,0 +1,1 @@
+lib/runtime/values.ml: Array Fmt Ir Printf

@@ -1,0 +1,1 @@
+lib/runtime/values.mli: Format Ir

@@ -1,0 +1,99 @@
+(* Deterministic cycle cost model — the substitute for the paper's hardware
+   clock (see DESIGN.md, Section 1).
+
+   The relative magnitudes encode the facts the inlining literature relies
+   on: calls cost far more than arithmetic (frame setup, argument copying,
+   branch misprediction on virtual dispatch); interpretation pays a
+   dispatch penalty per instruction; allocation is expensive. Inlining
+   therefore pays off by (a) deleting call overhead, (b) replacing virtual
+   dispatch with direct flow, and (c) letting the optimizer delete
+   instructions outright — the same three effects the paper measures. *)
+
+open Ir.Types
+
+type t = {
+  interp_dispatch : int;   (* per-instruction interpreter overhead *)
+  compiled_dispatch : int; (* per-instruction compiled-code overhead *)
+  arith : int;
+  mul : int;
+  div : int;
+  cmp : int;
+  const : int;
+  phi : int;
+  field_access : int;
+  array_access : int;      (* includes the bounds check *)
+  alloc_base : int;
+  alloc_per_field : int;
+  type_test : int;
+  intrinsic_print : int;
+  intrinsic_str : int;
+  call_direct : int;       (* frame setup + jump + return *)
+  call_virtual : int;      (* + vtable load and indirect branch *)
+  call_megamorphic : int;  (* + inline-cache miss *)
+  branch : int;
+  return_ : int;
+}
+
+let default =
+  {
+    interp_dispatch = 12;
+    compiled_dispatch = 0;
+    arith = 1;
+    mul = 3;
+    div = 20;
+    cmp = 1;
+    const = 0;
+    phi = 0;
+    field_access = 2;
+    array_access = 3;
+    alloc_base = 25;
+    alloc_per_field = 2;
+    type_test = 2;
+    intrinsic_print = 30;
+    intrinsic_str = 4;
+    call_direct = 14;
+    call_virtual = 30;
+    call_megamorphic = 48;
+    branch = 1;
+    return_ = 2;
+  }
+
+let instr_cost (c : t) (k : instr_kind) : int =
+  match k with
+  | Const _ -> c.const
+  | Param _ -> 0
+  | Unop _ -> c.arith
+  | Binop (op, _, _) -> (
+      match op with
+      | Mul -> c.mul
+      | Div | Rem -> c.div
+      | Add | Sub | Shl | Shr | Band | Bor | Bxor -> c.arith
+      | Lt | Le | Gt | Ge | Eq | Ne | Andb | Orb | Xorb | Eqb -> c.cmp)
+  | Phi _ -> c.phi
+  | Call _ -> 0 (* call overhead charged separately, by dispatch kind *)
+  | New cls_ -> ignore cls_; c.alloc_base
+  | GetField _ | SetField _ -> c.field_access
+  | NewArray _ -> c.alloc_base
+  | ArrayGet _ | ArraySet _ | ArrayLen _ -> c.array_access
+  | TypeTest _ -> c.type_test
+  | Intrinsic (i, _) -> (
+      match i with
+      | Iprint_int | Iprint_str | Iprint_bool -> c.intrinsic_print
+      | Istr_len | Istr_get | Istr_eq -> c.intrinsic_str
+      | Iabs | Imin | Imax -> c.arith)
+
+let term_cost (c : t) (t_ : terminator) : int =
+  match t_ with
+  | Goto _ -> c.branch
+  | If _ -> c.branch + c.cmp
+  | Return _ -> c.return_
+  | Unreachable -> 0
+
+(* Overhead of performing a (non-inlined) call, by how it dispatches.
+   [targets] is the number of distinct receivers seen at a virtual site. *)
+let call_overhead (c : t) ~(virtual_ : bool) ~(targets : int) : int =
+  if not virtual_ then c.call_direct
+  else if targets <= 2 then c.call_virtual
+  else c.call_megamorphic
+
+let alloc_fields_cost (c : t) n = n * c.alloc_per_field

@@ -1,0 +1,43 @@
+(** The deterministic cycle cost model — the substitute for the paper's
+    hardware clock. Relative magnitudes encode what the inlining
+    literature relies on: calls ≫ arithmetic, virtual > direct dispatch,
+    interpretation pays a per-instruction penalty, allocation is expensive.
+    See DESIGN.md §1. *)
+
+open Ir.Types
+
+type t = {
+  interp_dispatch : int;
+  compiled_dispatch : int;
+  arith : int;
+  mul : int;
+  div : int;
+  cmp : int;
+  const : int;
+  phi : int;
+  field_access : int;
+  array_access : int;
+  alloc_base : int;
+  alloc_per_field : int;
+  type_test : int;
+  intrinsic_print : int;
+  intrinsic_str : int;
+  call_direct : int;
+  call_virtual : int;
+  call_megamorphic : int;
+  branch : int;
+  return_ : int;
+}
+
+val default : t
+
+val instr_cost : t -> instr_kind -> int
+(** Operation cost; call overhead is charged separately by dispatch kind. *)
+
+val term_cost : t -> terminator -> int
+
+val call_overhead : t -> virtual_:bool -> targets:int -> int
+(** [targets] is the number of distinct receiver classes observed at the
+    site; 3 or more models an inline-cache miss (megamorphic). *)
+
+val alloc_fields_cost : t -> int -> int

@@ -1,0 +1,256 @@
+(* The SelVM execution engine: a direct IR interpreter that doubles as the
+   "compiled code" executor.
+
+   The same evaluator runs both tiers; the [mode] controls (a) the
+   per-instruction dispatch penalty from the cost model and (b) whether
+   profiles are collected — interpreted code profiles (like the HotSpot
+   interpreter / C1), compiled code does not (like C2/Graal code).
+
+   Two hooks connect the VM to the JIT engine without a dependency cycle:
+   [code] looks up installed compiled code for a method, and [on_entry]
+   fires at every method entry so the engine can detect hotness and
+   trigger compilation. *)
+
+open Ir.Types
+open Values
+
+type mode = Interpreted | Compiled
+
+type vm = {
+  prog : program;
+  mutable profiles : Profile.t;
+  cost : Cost.t;
+  out : Buffer.t;
+  mutable cycles : int;          (* simulated execution clock *)
+  mutable code : meth_id -> fn option;
+  mutable on_entry : meth_id -> unit;
+  (* fired when compiled code reaches the residual virtual call of a
+     typeswitch (a synthetic site): the speculation missed *)
+  mutable on_spec_miss : meth_id -> site -> unit;
+  mutable steps : int;
+  mutable max_steps : int;
+  mutable depth : int;
+  max_depth : int;
+}
+
+let create ?(cost = Cost.default) ?(max_steps = 500_000_000) (prog : program) : vm =
+  {
+    prog;
+    profiles = Profile.create ();
+    cost;
+    out = Buffer.create 256;
+    cycles = 0;
+    code = (fun _ -> None);
+    on_entry = (fun _ -> ());
+    on_spec_miss = (fun _ _ -> ());
+    steps = 0;
+    max_steps;
+    depth = 0;
+    max_depth = 10_000;
+  }
+
+let output vm = Buffer.contents vm.out
+
+let charge vm n = vm.cycles <- vm.cycles + n
+
+let eval_binop (op : binop) (a : value) (b : value) : value =
+  match op with
+  | Add -> Vint (as_int a + as_int b)
+  | Sub -> Vint (as_int a - as_int b)
+  | Mul -> Vint (as_int a * as_int b)
+  | Div ->
+      let d = as_int b in
+      if d = 0 then trap "division by zero" else Vint (as_int a / d)
+  | Rem ->
+      let d = as_int b in
+      if d = 0 then trap "remainder by zero" else Vint (as_int a mod d)
+  | Shl -> Vint (as_int a lsl (as_int b land 63))
+  | Shr -> Vint (as_int a asr (as_int b land 63))
+  | Band -> Vint (as_int a land as_int b)
+  | Bor -> Vint (as_int a lor as_int b)
+  | Bxor -> Vint (as_int a lxor as_int b)
+  | Lt -> Vbool (as_int a < as_int b)
+  | Le -> Vbool (as_int a <= as_int b)
+  | Gt -> Vbool (as_int a > as_int b)
+  | Ge -> Vbool (as_int a >= as_int b)
+  | Eq -> Vbool (value_eq a b)
+  | Ne -> Vbool (not (value_eq a b))
+  | Andb -> Vbool (as_bool a && as_bool b)
+  | Orb -> Vbool (as_bool a || as_bool b)
+  | Xorb -> Vbool (as_bool a <> as_bool b)
+  | Eqb -> Vbool (as_bool a = as_bool b)
+
+let eval_unop (op : unop) (a : value) : value =
+  match op with Neg -> Vint (-as_int a) | Not -> Vbool (not (as_bool a))
+
+let rec invoke (vm : vm) (m : meth_id) (args : value array) : value =
+  vm.on_entry m;
+  match vm.code m with
+  | Some cfn -> exec vm ~mode:Compiled ~meth:m cfn args
+  | None -> (
+      let mm = Ir.Program.meth vm.prog m in
+      match mm.body with
+      | None -> trap "abstract method %s invoked" mm.m_name
+      | Some fn ->
+          Profile.record_invocation vm.profiles m;
+          exec vm ~mode:Interpreted ~meth:m fn args)
+
+and exec (vm : vm) ~(mode : mode) ~(meth : meth_id) (fn : fn) (args : value array) : value =
+  vm.depth <- vm.depth + 1;
+  if vm.depth > vm.max_depth then trap "call stack overflow in %s" fn.fname;
+  let dispatch =
+    match mode with
+    | Interpreted -> vm.cost.interp_dispatch
+    | Compiled -> vm.cost.compiled_dispatch
+  in
+  let profiling = mode = Interpreted in
+  let env : (vid, value) Hashtbl.t = Hashtbl.create 64 in
+  let get v =
+    match Hashtbl.find_opt env v with
+    | Some value -> value
+    | None -> trap "internal: use of unevaluated v%d in %s" v fn.fname
+  in
+  let eval_instr (i : instr) : unit =
+    vm.steps <- vm.steps + 1;
+    if vm.steps > vm.max_steps then trap "step budget exceeded";
+    charge vm (dispatch + Cost.instr_cost vm.cost i.kind);
+    let result =
+      match i.kind with
+      | Const (Cint n) -> Vint n
+      | Const (Cbool b) -> Vbool b
+      | Const (Cstring s) -> Vstr s
+      | Const Cunit -> Vunit
+      | Const Cnull -> Vnull
+      | Param k ->
+          if k >= Array.length args then trap "internal: missing argument %d" k
+          else args.(k)
+      | Unop (op, a) -> eval_unop op (get a)
+      | Binop (op, a, b) -> eval_binop op (get a) (get b)
+      | Phi _ -> assert false (* phis are evaluated by the block driver *)
+      | Call { callee; args = cargs; site; _ } ->
+          do_call vm ~profiling ~meth ~callee ~site (List.map get cargs)
+      | New c ->
+          charge vm (Cost.alloc_fields_cost vm.cost (Array.length (Ir.Program.cls vm.prog c).layout));
+          alloc_obj vm.prog c
+      | GetField { obj; slot; fname; _ } -> (
+          let o = as_obj (get obj) in
+          if slot >= Array.length o.fields then trap "internal: bad field slot for %s" fname
+          else o.fields.(slot))
+      | SetField { obj; slot; value; fname } ->
+          let o = as_obj (get obj) in
+          if slot >= Array.length o.fields then trap "internal: bad field slot for %s" fname;
+          o.fields.(slot) <- get value;
+          Vunit
+      | NewArray { ety; len } ->
+          let n = as_int (get len) in
+          charge vm (Cost.alloc_fields_cost vm.cost n);
+          alloc_array ety n
+      | ArrayGet { arr; idx; _ } ->
+          let a = as_arr (get arr) in
+          let i = as_int (get idx) in
+          if i < 0 || i >= Array.length a.elems then trap "array index %d out of bounds" i;
+          a.elems.(i)
+      | ArraySet { arr; idx; value } ->
+          let a = as_arr (get arr) in
+          let i = as_int (get idx) in
+          if i < 0 || i >= Array.length a.elems then trap "array index %d out of bounds" i;
+          a.elems.(i) <- get value;
+          Vunit
+      | ArrayLen a -> Vint (Array.length (as_arr (get a)).elems)
+      | TypeTest { obj; cls } -> (
+          match get obj with
+          | Vobj o -> Vbool (Ir.Program.is_subclass vm.prog ~sub:o.o_cls ~sup:cls)
+          | Vnull -> Vbool false
+          | _ -> trap "typetest on a non-object")
+      | Intrinsic (intr, iargs) -> (
+          let a k = get (List.nth iargs k) in
+          match intr with
+          | Iprint_int -> Buffer.add_string vm.out (string_of_int (as_int (a 0))); Vunit
+          | Iprint_bool -> Buffer.add_string vm.out (string_of_bool (as_bool (a 0))); Vunit
+          | Iprint_str -> Buffer.add_string vm.out (as_str (a 0)); Vunit
+          | Istr_len -> Vint (String.length (as_str (a 0)))
+          | Istr_get ->
+              let s = as_str (a 0) and i = as_int (a 1) in
+              if i < 0 || i >= String.length s then trap "string index %d out of bounds" i;
+              Vint (Char.code s.[i])
+          | Istr_eq -> Vbool (as_str (a 0) = as_str (a 1))
+          | Iabs -> Vint (abs (as_int (a 0)))
+          | Imin -> Vint (min (as_int (a 0)) (as_int (a 1)))
+          | Imax -> Vint (max (as_int (a 0)) (as_int (a 1))))
+    in
+    Hashtbl.replace env i.id result
+  in
+  let rec run (prev : bid) (b : bid) : value =
+    (* blocks count as steps too: an instruction-free cycle (possible after
+       aggressive DCE) must still exhaust the step budget *)
+    vm.steps <- vm.steps + 1;
+    if vm.steps > vm.max_steps then trap "step budget exceeded";
+    if profiling then Profile.record_block vm.profiles meth b;
+    let blk = Ir.Fn.block fn b in
+    (* phis evaluate simultaneously with respect to the incoming edge *)
+    let rec eval_phis = function
+      | v :: rest -> (
+          match Ir.Fn.kind fn v with
+          | Phi { inputs; _ } ->
+              vm.steps <- vm.steps + 1;
+              charge vm (dispatch + vm.cost.phi);
+              let value =
+                match List.assoc_opt prev inputs with
+                | Some pv -> get pv
+                | None -> trap "internal: phi v%d has no input for edge b%d" v prev
+              in
+              (v, value) :: eval_phis rest
+          | _ -> [])
+      | [] -> []
+    in
+    let phi_values = eval_phis blk.instrs in
+    List.iter (fun (v, value) -> Hashtbl.replace env v value) phi_values;
+    let non_phis =
+      List.filter (fun v -> not (Ir.Instr.is_phi (Ir.Fn.kind fn v))) blk.instrs
+    in
+    List.iter (fun v -> eval_instr (Ir.Fn.instr fn v)) non_phis;
+    charge vm (Cost.term_cost vm.cost blk.term);
+    match blk.term with
+    | Goto b' -> run b b'
+    | If { cond; site; tb; fb } ->
+        let taken = as_bool (get cond) in
+        if profiling then Profile.record_branch vm.profiles site ~taken;
+        run b (if taken then tb else fb)
+    | Return v -> get v
+    | Unreachable -> trap "reached an unreachable block in %s" fn.fname
+  in
+  let result = run (-1) fn.entry in
+  vm.depth <- vm.depth - 1;
+  result
+
+and do_call (vm : vm) ~profiling ~(meth : meth_id) ~(callee : callee) ~(site : site)
+    (args : value list) : value =
+  let args = Array.of_list args in
+  match callee with
+  | Direct m ->
+      charge vm (Cost.call_overhead vm.cost ~virtual_:false ~targets:1);
+      invoke vm m args
+  | Virtual sel -> (
+      if Array.length args = 0 then trap "virtual call with no receiver";
+      let o = as_obj args.(0) in
+      if profiling then Profile.record_receiver vm.profiles site o.o_cls;
+      (* synthetic sites are typeswitch fallbacks: reaching one in compiled
+         code means the speculation missed *)
+      if (not profiling) && site.sidx < 0 then vm.on_spec_miss meth site;
+      let observed = List.length (Profile.receiver_profile vm.profiles site) in
+      charge vm (Cost.call_overhead vm.cost ~virtual_:true ~targets:(max observed 1));
+      match Ir.Program.resolve vm.prog o.o_cls sel with
+      | Some m -> invoke vm m args
+      | None ->
+          trap "class %s does not understand %s" (Ir.Program.cls vm.prog o.o_cls).c_name sel)
+
+(* Runs a program's [main]; returns its result value. *)
+let run_main (vm : vm) : value =
+  if vm.prog.main < 0 then trap "program has no main";
+  invoke vm vm.prog.main [| Vunit |]
+
+(* Convenience for tests: run an arbitrary method by name. *)
+let run_meth (vm : vm) (name : string) (args : value list) : value =
+  match Ir.Program.find_meth vm.prog name with
+  | Some m -> invoke vm m (Array.of_list args)
+  | None -> trap "no method named %s" name

@@ -1,0 +1,49 @@
+(** The SelVM execution engine: a direct IR interpreter that doubles as the
+    compiled-code executor. Interpreted frames pay the interpreter
+    dispatch penalty and collect profiles; compiled frames pay only
+    operation costs and do not profile — the classic two-tier contract.
+
+    Two hooks connect the VM to a JIT engine without a dependency cycle:
+    [code] looks up installed compiled code, [on_entry] fires at every
+    method entry (hotness detection). *)
+
+open Ir.Types
+open Values
+
+type mode = Interpreted | Compiled
+
+type vm = {
+  prog : program;
+  mutable profiles : Profile.t;
+  cost : Cost.t;
+  out : Buffer.t;                          (** captured program output *)
+  mutable cycles : int;                    (** the simulated clock *)
+  mutable code : meth_id -> fn option;
+  mutable on_entry : meth_id -> unit;
+  mutable on_spec_miss : meth_id -> site -> unit;
+  (** fired when compiled code reaches a typeswitch's residual virtual
+      call (a synthetic site): the speculation missed *)
+  mutable steps : int;
+  mutable max_steps : int;
+  mutable depth : int;
+  max_depth : int;
+}
+
+val create : ?cost:Cost.t -> ?max_steps:int -> program -> vm
+
+val output : vm -> string
+
+val invoke : vm -> meth_id -> value array -> value
+(** Runs a method through the tier dispatch (compiled body if installed,
+    interpreter otherwise).
+    @raise Trap on runtime errors. *)
+
+val exec : vm -> mode:mode -> meth:meth_id -> fn -> value array -> value
+(** Executes a specific body in a specific tier; used by [invoke] and by
+    tests that want to pin the tier. *)
+
+val run_main : vm -> value
+(** @raise Trap if the program has no main or on runtime errors. *)
+
+val run_meth : vm -> string -> value list -> value
+(** Runs a method by qualified name. *)

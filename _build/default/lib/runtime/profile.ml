@@ -1,0 +1,155 @@
+(* Runtime profiles, the moral equivalent of the HotSpot profiling data the
+   paper's inliner consumes: invocation counters, per-block execution
+   counts (subsuming branch probabilities and loop backedge counters), and
+   per-callsite receiver type histograms.
+
+   Everything is keyed by stable ids: methods by [meth_id], blocks by
+   (meth, bid) — block ids are preserved by IR copying — and callsites by
+   their [site] key, which survives inlining. *)
+
+open Ir.Types
+
+type t = {
+  invocations : (meth_id, int ref) Hashtbl.t;
+  blocks : (meth_id * bid, int ref) Hashtbl.t;
+  receivers : (meth_id * int, (class_id, int ref) Hashtbl.t) Hashtbl.t;
+  branches : (meth_id * int, int ref * int ref) Hashtbl.t;  (* taken, not-taken *)
+}
+
+let create () =
+  {
+    invocations = Hashtbl.create 64;
+    blocks = Hashtbl.create 256;
+    receivers = Hashtbl.create 64;
+    branches = Hashtbl.create 128;
+  }
+
+let bump tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> incr r
+  | None -> Hashtbl.replace tbl key (ref 1)
+
+let record_invocation t m = bump t.invocations m
+
+let record_block t m b = bump t.blocks (m, b)
+
+let record_receiver t (site : site) (c : class_id) =
+  let key = (site.sm, site.sidx) in
+  let hist =
+    match Hashtbl.find_opt t.receivers key with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 4 in
+        Hashtbl.replace t.receivers key h;
+        h
+  in
+  bump hist c
+
+let record_branch t (site : site) ~(taken : bool) =
+  let key = (site.sm, site.sidx) in
+  let taken_r, not_taken_r =
+    match Hashtbl.find_opt t.branches key with
+    | Some p -> p
+    | None ->
+        let p = (ref 0, ref 0) in
+        Hashtbl.replace t.branches key p;
+        p
+  in
+  if taken then incr taken_r else incr not_taken_r
+
+let invocation_count t m =
+  match Hashtbl.find_opt t.invocations m with Some r -> !r | None -> 0
+
+let block_count t m b =
+  match Hashtbl.find_opt t.blocks (m, b) with Some r -> !r | None -> 0
+
+(* Receiver histogram as (class, probability), most frequent first. *)
+let receiver_profile t (site : site) : (class_id * float) list =
+  match Hashtbl.find_opt t.receivers (site.sm, site.sidx) with
+  | None -> []
+  | Some h ->
+      let total = Hashtbl.fold (fun _ r acc -> acc + !r) h 0 in
+      if total = 0 then []
+      else
+        Hashtbl.fold (fun c r acc -> (c, float_of_int !r /. float_of_int total) :: acc) h []
+        |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let branch_prob t (site : site) : float option =
+  match Hashtbl.find_opt t.branches (site.sm, site.sidx) with
+  | None -> None
+  | Some (tk, ntk) ->
+      let total = !tk + !ntk in
+      if total = 0 then None else Some (float_of_int !tk /. float_of_int total)
+
+let clear t =
+  Hashtbl.reset t.invocations;
+  Hashtbl.reset t.blocks;
+  Hashtbl.reset t.receivers;
+  Hashtbl.reset t.branches
+
+(* ---------- text serialization ----------
+
+   One record per line, sorted for determinism:
+     i <meth> <count>                  invocation counter
+     b <meth> <bid> <count>            block execution count
+     r <meth> <sidx> <class> <count>   receiver histogram entry
+     c <meth> <sidx> <taken> <nottaken>  branch counts
+
+   Ids are only meaningful against the same prepared program (same
+   sources); loaders of foreign profiles get whatever the ids say. *)
+
+let to_text (t : t) : string =
+  let buf = Buffer.create 1024 in
+  let lines = ref [] in
+  Hashtbl.iter
+    (fun m r -> lines := Printf.sprintf "i %d %d" m !r :: !lines)
+    t.invocations;
+  Hashtbl.iter
+    (fun (m, b) r -> lines := Printf.sprintf "b %d %d %d" m b !r :: !lines)
+    t.blocks;
+  Hashtbl.iter
+    (fun (m, s) hist ->
+      Hashtbl.iter
+        (fun c r -> lines := Printf.sprintf "r %d %d %d %d" m s c !r :: !lines)
+        hist)
+    t.receivers;
+  Hashtbl.iter
+    (fun (m, s) (tk, ntk) -> lines := Printf.sprintf "c %d %d %d %d" m s !tk !ntk :: !lines)
+    t.branches;
+  List.iter
+    (fun l ->
+      Buffer.add_string buf l;
+      Buffer.add_char buf '\n')
+    (List.sort compare !lines);
+  Buffer.contents buf
+
+exception Bad_profile of string
+
+let of_text (text : string) : t =
+  let t = create () in
+  let ints line =
+    match String.split_on_char ' ' (String.trim line) with
+    | kind :: rest -> (kind, List.map int_of_string rest)
+    | [] -> raise (Bad_profile "empty record")
+  in
+  String.split_on_char '\n' text
+  |> List.iteri (fun lineno line ->
+         if String.trim line <> "" then
+           match ints line with
+           | "i", [ m; count ] -> Hashtbl.replace t.invocations m (ref count)
+           | "b", [ m; b; count ] -> Hashtbl.replace t.blocks (m, b) (ref count)
+           | "r", [ m; s; c; count ] ->
+               let hist =
+                 match Hashtbl.find_opt t.receivers (m, s) with
+                 | Some h -> h
+                 | None ->
+                     let h = Hashtbl.create 4 in
+                     Hashtbl.replace t.receivers (m, s) h;
+                     h
+               in
+               Hashtbl.replace hist c (ref count)
+           | "c", [ m; s; tk; ntk ] -> Hashtbl.replace t.branches (m, s) (ref tk, ref ntk)
+           | _ -> raise (Bad_profile (Printf.sprintf "line %d: %S" (lineno + 1) line))
+           | exception _ ->
+               raise (Bad_profile (Printf.sprintf "line %d: %S" (lineno + 1) line)))
+  |> fun () -> t

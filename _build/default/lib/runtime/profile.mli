@@ -1,0 +1,44 @@
+(** Runtime profiles — the moral equivalent of HotSpot's profiling data:
+    invocation counters, per-block execution counts (subsuming branch and
+    backedge counters) and per-callsite receiver histograms. Keys are
+    stable across IR copying and inlining: methods by id, blocks by
+    (method, block id), callsites by their {!Ir.Types.site}. *)
+
+open Ir.Types
+
+type t
+
+val create : unit -> t
+
+(** {1 Recording (used by the interpreter)} *)
+
+val record_invocation : t -> meth_id -> unit
+val record_block : t -> meth_id -> bid -> unit
+val record_receiver : t -> site -> class_id -> unit
+val record_branch : t -> site -> taken:bool -> unit
+
+(** {1 Queries (used by the inliner and cost model)} *)
+
+val invocation_count : t -> meth_id -> int
+val block_count : t -> meth_id -> bid -> int
+
+val receiver_profile : t -> site -> (class_id * float) list
+(** Receiver histogram as (class, probability), most frequent first;
+    probabilities sum to 1. Empty when the site was never executed. *)
+
+val branch_prob : t -> site -> float option
+(** Probability the branch was taken; [None] when never executed. *)
+
+val clear : t -> unit
+
+(** {1 Text serialization}
+
+    Deterministic line-based format (see the implementation header). Ids
+    are only meaningful against the same prepared program. *)
+
+exception Bad_profile of string
+
+val to_text : t -> string
+
+val of_text : string -> t
+(** @raise Bad_profile on malformed input. *)

@@ -1,0 +1,45 @@
+(** Runtime values of the SelVM. Objects and arrays are mutable; reference
+    equality is physical equality. *)
+
+open Ir.Types
+
+type value =
+  | Vint of int
+  | Vbool of bool
+  | Vunit
+  | Vstr of string
+  | Vnull
+  | Vobj of obj
+  | Varr of arr
+
+and obj = { o_cls : class_id; fields : value array }
+and arr = { ety : ty; elems : value array }
+
+exception Trap of string
+(** Runtime errors: null dereference, out-of-bounds access, division by
+    zero, abstract dispatch, stack/step exhaustion. *)
+
+val trap : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** @raise Trap always. *)
+
+val default_value : ty -> value
+(** 0 / false / "" / unit / null — the value of uninitialized fields and
+    array elements. *)
+
+val alloc_obj : program -> class_id -> value
+val alloc_array : ty -> int -> value
+(** @raise Trap on a negative length. *)
+
+val as_int : value -> int
+(** @raise Trap when the value is not of the expected kind (likewise for
+    the other projections). *)
+
+val as_bool : value -> bool
+val as_str : value -> string
+val as_obj : value -> obj
+val as_arr : value -> arr
+
+val value_eq : value -> value -> bool
+(** Structural for primitives, physical for objects and arrays. *)
+
+val to_string : value -> string

@@ -1,0 +1,47 @@
+(* Small statistics helpers used by the benchmark harness to report
+   mean/stddev in the same style as the paper's evaluation. *)
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let n = float_of_int (List.length xs) in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+      sqrt (ss /. (n -. 1.0))
+
+let geomean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.geomean: empty"
+  | _ ->
+      let logs = List.map (fun x ->
+        if x <= 0.0 then invalid_arg "Stats.geomean: non-positive value"
+        else log x) xs
+      in
+      exp (mean logs)
+
+let min_max xs =
+  match xs with
+  | [] -> invalid_arg "Stats.min_max: empty"
+  | x :: rest ->
+      List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) rest
+
+(* The paper: "we computed the average of the last 40% (but at most 20)
+   repetitions" — steady-state window selection. *)
+let steady_state_window xs =
+  let n = List.length xs in
+  if n = 0 then invalid_arg "Stats.steady_state_window: empty";
+  let k = min 20 (max 1 (n * 40 / 100)) in
+  let rec drop i = function
+    | rest when i = 0 -> rest
+    | [] -> []
+    | _ :: tl -> drop (i - 1) tl
+  in
+  drop (n - k) xs
+
+let steady_state_mean xs = mean (steady_state_window xs)

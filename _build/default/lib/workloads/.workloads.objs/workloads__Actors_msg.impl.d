@@ -1,0 +1,1 @@
+lib/workloads/actors_msg.ml: Defs Prelude

@@ -1,0 +1,1 @@
+lib/workloads/apparat_bc.ml: Defs Prelude

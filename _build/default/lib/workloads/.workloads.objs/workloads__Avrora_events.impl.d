@@ -1,0 +1,1 @@
+lib/workloads/avrora_events.ml: Defs Prelude

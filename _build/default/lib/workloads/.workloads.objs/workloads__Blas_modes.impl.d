@@ -1,0 +1,1 @@
+lib/workloads/blas_modes.ml: Defs Prelude

@@ -1,0 +1,1 @@
+lib/workloads/dec_tree.ml: Defs Prelude

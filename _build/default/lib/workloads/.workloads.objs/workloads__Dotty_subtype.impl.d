@@ -1,0 +1,1 @@
+lib/workloads/dotty_subtype.ml: Defs Prelude

@@ -1,0 +1,1 @@
+lib/workloads/factorie_gm.ml: Defs Prelude

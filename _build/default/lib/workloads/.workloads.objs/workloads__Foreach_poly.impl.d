@@ -1,0 +1,1 @@
+lib/workloads/foreach_poly.ml: Defs Prelude

@@ -1,0 +1,1 @@
+lib/workloads/gauss_mix.ml: Defs Prelude

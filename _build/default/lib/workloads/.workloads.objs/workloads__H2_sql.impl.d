@@ -1,0 +1,1 @@
+lib/workloads/h2_sql.ml: Defs Prelude

@@ -1,0 +1,1 @@
+lib/workloads/jython_loop.ml: Defs Prelude

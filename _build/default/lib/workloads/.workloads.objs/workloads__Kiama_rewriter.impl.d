@@ -1,0 +1,1 @@
+lib/workloads/kiama_rewriter.ml: Defs Prelude

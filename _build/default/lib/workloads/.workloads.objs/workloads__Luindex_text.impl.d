@@ -1,0 +1,1 @@
+lib/workloads/luindex_text.ml: Defs Prelude

@@ -1,0 +1,1 @@
+lib/workloads/lusearch_q.ml: Defs Prelude

@@ -1,0 +1,1 @@
+lib/workloads/naive_bayes.ml: Defs Prelude

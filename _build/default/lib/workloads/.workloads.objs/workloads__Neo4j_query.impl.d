@@ -1,0 +1,1 @@
+lib/workloads/neo4j_query.ml: Defs Prelude

@@ -1,0 +1,1 @@
+lib/workloads/pmd_rules.ml: Defs Prelude

@@ -1,0 +1,1 @@
+lib/workloads/scalac_visitor.ml: Defs Prelude

@@ -1,0 +1,1 @@
+lib/workloads/scalap_decode.ml: Defs Prelude

@@ -1,0 +1,1 @@
+lib/workloads/scalariform_fmt.ml: Defs Prelude

@@ -1,0 +1,1 @@
+lib/workloads/specs_test.ml: Defs Prelude

@@ -1,0 +1,1 @@
+lib/workloads/stm_bench.ml: Defs Prelude

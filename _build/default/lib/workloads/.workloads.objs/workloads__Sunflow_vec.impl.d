@@ -1,0 +1,1 @@
+lib/workloads/sunflow_vec.ml: Defs Prelude

@@ -1,0 +1,1 @@
+lib/workloads/synth.ml: Buffer Defs Frontend List Printf Runtime String Support

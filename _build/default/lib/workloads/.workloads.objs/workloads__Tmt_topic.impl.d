@@ -1,0 +1,1 @@
+lib/workloads/tmt_topic.ml: Defs Prelude

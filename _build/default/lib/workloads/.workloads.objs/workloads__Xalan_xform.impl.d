@@ -1,0 +1,1 @@
+lib/workloads/xalan_xform.ml: Defs Prelude

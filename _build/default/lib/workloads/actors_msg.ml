@@ -1,0 +1,77 @@
+(* The actors shape (Scala actors benchmark): mailbox-style message
+   processing where each actor's behavior is a handler closure and
+   messages are dispatched through a small class hierarchy. Closure-heavy
+   control flow with a hot, shared dispatch loop. *)
+
+let workload : Defs.t =
+  {
+    name = "actors-msg";
+    description = "mailbox message dispatch through handler closures";
+    flavor = Scala;
+    iters = 60;
+    expected = "244772\n";
+    source =
+      Prelude.collections
+      ^ {|
+class Message(kind: Int, payload: Int, sender: Int) {}
+
+class Mailbox(slots: Array[Message], head: Int, tail: Int) {
+  def post(m: Message): Bool = {
+    val next = (this.tail + 1) % slots.length;
+    if (next == this.head) { false }
+    else {
+      slots[this.tail] = m;
+      this.tail = next;
+      true
+    }
+  }
+  def drain(handler: Message => Int): Int = {
+    var acc = 0;
+    while (this.head != this.tail) {
+      acc = acc + handler(slots[this.head]);
+      this.head = (this.head + 1) % slots.length;
+    }
+    acc
+  }
+}
+
+class Actor(id: Int, state: Int) {
+  def behavior(): Message => Int = {
+    (m: Message) => {
+      if (m.kind == 0) { this.state = this.state + m.payload; this.state }
+      else {
+        if (m.kind == 1) { this.state = max(this.state - m.payload, 0); this.state }
+        else { this.state * 2 % 8191 }
+      }
+    }
+  }
+}
+
+def bench(): Int = {
+  val g = rng(777);
+  val actors = new Array[Actor](8);
+  var i = 0;
+  while (i < actors.length) { actors[i] = new Actor(i, g.below(100)); i = i + 1; }
+  val mbox = new Mailbox(new Array[Message](64), 0, 0);
+  var check = 0;
+  var round = 0;
+  while (round < 25) {
+    var k = 0;
+    while (k < 20) {
+      mbox.post(new Message(g.below(3), g.below(50), g.below(actors.length)));
+      k = k + 1;
+    }
+    var a = 0;
+    while (a < actors.length) {
+      check = (check + mbox.drain(actors[a].behavior())) % 1000000007;
+      a = a + 1;
+    }
+    /* refill so every actor's drain sees work */
+    round = round + 1;
+  }
+  check
+}
+
+def main(): Unit = println(bench())
+|};
+  }

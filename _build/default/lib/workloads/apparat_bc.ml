@@ -1,0 +1,109 @@
+(* The apparat shape (Scala DaCapo: an ActionScript bytecode optimization
+   framework): passes over int-coded instruction arrays, each pass an
+   object with a rewrite method, chained through an abstract Pass type.
+   The paper reports ≈1.7x over C2 on apparat. *)
+
+let workload : Defs.t =
+  {
+    name = "apparat-bc";
+    description = "peephole passes over int-coded bytecode arrays";
+    flavor = Scala;
+    iters = 50;
+    expected = "507857788\n";
+    source =
+      Prelude.collections
+      ^ {|
+/* opcode encoding: op*256 + operand */
+abstract class Pass {
+  def rewrite(code: Array[Int], n: Int): Int   /* returns new length */
+}
+
+/* push k; push 0; add  ->  push k */
+class FoldAddZero() extends Pass {
+  def rewrite(code: Array[Int], n: Int): Int = {
+    var r = 0;
+    var w = 0;
+    while (r < n) {
+      val fits = r + 2 < n;
+      val isPattern =
+        if (fits) { code[r] / 256 == 1 & code[r + 1] == 256 & code[r + 2] == 512 }
+        else { false };
+      if (isPattern) { code[w] = code[r]; w = w + 1; r = r + 3 }
+      else { code[w] = code[r]; w = w + 1; r = r + 1 };
+    }
+    w
+  }
+}
+/* mul by power-of-two constant -> shift */
+class StrengthPass() extends Pass {
+  def rewrite(code: Array[Int], n: Int): Int = {
+    var i = 0;
+    while (i + 1 < n) {
+      val isMul = code[i + 1] == 768;  /* mul */
+      val k = code[i] % 256;
+      if (isMul & code[i] / 256 == 1 & (k == 2 | k == 4 | k == 8)) {
+        val sh = if (k == 2) { 1 } else { if (k == 4) { 2 } else { 3 } };
+        code[i] = 256 + sh;
+        code[i + 1] = 1024;            /* shl */
+      };
+      i = i + 1;
+    }
+    n
+  }
+}
+/* dead store elimination: store x; store x -> store x */
+class DeadStorePass() extends Pass {
+  def rewrite(code: Array[Int], n: Int): Int = {
+    var r = 0;
+    var w = 0;
+    while (r < n) {
+      val dead =
+        if (r + 1 < n) { code[r] / 256 == 5 & code[r + 1] == code[r] }
+        else { false };
+      if (!dead) { code[w] = code[r]; w = w + 1 };
+      r = r + 1;
+    }
+    w
+  }
+}
+
+def runPipeline(passes: Array[Pass], code: Array[Int], n0: Int): Int = {
+  var n = n0;
+  var p = 0;
+  while (p < passes.length) { n = passes[p].rewrite(code, n); p = p + 1; }
+  n
+}
+
+def checksum(code: Array[Int], n: Int): Int = {
+  var i = 0;
+  var h = 7;
+  while (i < n) { h = (h * 31 + code[i]) % 1000000007; i = i + 1; }
+  h
+}
+
+def bench(): Int = {
+  val g = rng(7777);
+  val passes = new Array[Pass](3);
+  passes[0] = new FoldAddZero();
+  passes[1] = new StrengthPass();
+  passes[2] = new DeadStorePass();
+  var check = 0;
+  var meth = 0;
+  while (meth < 6) {
+    val code = new Array[Int](80);
+    var i = 0;
+    while (i < code.length) {
+      val op = g.below(6);
+      code[i] = op * 256 + g.below(16);
+      i = i + 1;
+    }
+    val n = runPipeline(passes, code, code.length);
+    check = (check + checksum(code, n)) % 1000000007;
+    meth = meth + 1;
+  }
+  check
+}
+
+def main(): Unit = println(bench())
+|};
+  }

@@ -1,0 +1,62 @@
+(* The avrora shape (microcontroller simulation): a cyclic scheduler
+   stepping heterogeneous device models, each step a small state-machine
+   update. Virtual dispatch over a stable set of device classes; mostly
+   cheap bodies, so call overhead dominates. *)
+
+let workload : Defs.t =
+  {
+    name = "avrora-events";
+    description = "event-driven device simulation with small step methods";
+    flavor = Java;
+    iters = 60;
+    expected = "1201\n";
+    source =
+      Prelude.collections
+      ^ {|
+abstract class Device {
+  def step(clock: Int): Int    /* returns signal contribution */
+}
+class Timer(period: Int, phase: Int) extends Device {
+  def step(clock: Int): Int = {
+    if ((clock + phase) % period == 0) { 1 } else { 0 }
+  }
+}
+class Uart(divisor: Int, buffered: Int) extends Device {
+  def step(clock: Int): Int = {
+    if (clock % divisor == 0 & this.buffered > 0) {
+      this.buffered = this.buffered - 1;
+      2
+    } else { 0 }
+  }
+}
+class Adc(noise: Rng) extends Device {
+  def step(clock: Int): Int = noise.below(3)
+}
+
+def bench(): Int = {
+  val devices = new Array[Device](9);
+  devices[0] = new Timer(3, 0);
+  devices[1] = new Timer(7, 2);
+  devices[2] = new Timer(13, 5);
+  devices[3] = new Uart(5, 500);
+  devices[4] = new Uart(11, 300);
+  devices[5] = new Adc(rng(1));
+  devices[6] = new Timer(17, 1);
+  devices[7] = new Uart(3, 800);
+  devices[8] = new Adc(rng(2));
+  var signal = 0;
+  var clock = 0;
+  while (clock < 300) {
+    var d = 0;
+    while (d < devices.length) {
+      signal = signal + devices[d].step(clock);
+      d = d + 1;
+    }
+    clock = clock + 1;
+  }
+  signal
+}
+
+def main(): Unit = println(bench())
+|};
+  }

@@ -1,0 +1,103 @@
+(* A mode-dispatched numeric kernel, the canonical deep-inlining-trials
+   case (optimization prediction back to Ball'79, and the paper's gauss-mix
+   59% claim): each pipeline stage calls a large shared kernel with a
+   *constant* mode argument that selects one of many branches.
+
+   - With deep trials, specializing the kernel at each callsite folds the
+     mode tests, prunes the other branches, and the residual body is small
+     enough to join the stage's cluster: everything inlines, no dispatch
+     remains.
+   - Without deep trials the kernel looks like one big method with a
+     context-polluted profile (every mode is hot globally); its
+     benefit-to-size ratio stays below the threshold, so stages keep paying
+     the call overhead plus the mode-test cascade on every element. *)
+
+let workload : Defs.t =
+  {
+    name = "blas-modes";
+    description = "pipeline stages over a shared mode-dispatched kernel";
+    flavor = Numeric;
+    iters = 60;
+    expected = "581975\n";
+    source =
+      Prelude.collections
+      ^ {|
+/* one big kernel, eight modes; every branch is real work */
+def kernel(mode: Int, a: Array[Int], b: Array[Int], i: Int, k: Int): Int = {
+  if (mode == 0) {
+    /* axpy */
+    val r = a[i] * k / 1024 + b[i];
+    b[i] = r;
+    r
+  } else { if (mode == 1) {
+    /* scale and clamp */
+    val s = a[i] * k / 1024;
+    val c = min(max(s, 0 - 4096), 4096);
+    b[i] = c;
+    c
+  } else { if (mode == 2) {
+    /* squared difference */
+    val d = a[i] - b[i];
+    val q = d * d / 1024;
+    b[i] = q;
+    q
+  } else { if (mode == 3) {
+    /* shifted blend */
+    val hi = a[i] >> 3;
+    val lo = b[i] & 1023;
+    val r = (hi << 2) | (lo >> 1);
+    b[i] = r;
+    r
+  } else { if (mode == 4) {
+    /* running average */
+    val r = (a[i] + b[i]) / 2 + k;
+    b[i] = r;
+    r
+  } else { if (mode == 5) {
+    /* threshold count */
+    val t = if (a[i] > k) { 1 } else { 0 };
+    b[i] = b[i] + t;
+    t
+  } else { if (mode == 6) {
+    /* 3-point stencil (clamped edges) */
+    val left = a[max(i - 1, 0)];
+    val right = a[min(i + 1, a.length - 1)];
+    val r = (left + 2 * a[i] + right) / 4;
+    b[i] = r;
+    r
+  } else {
+    /* modular mix */
+    val r = (a[i] * 31 + b[i] * 17 + k) % 8191;
+    b[i] = r;
+    r
+  } } } } } } }
+}
+
+/* each stage uses ONE mode over the whole vector */
+def stage(mode: Int, a: Array[Int], b: Array[Int], k: Int): Int = {
+  var i = 0;
+  var acc = 0;
+  while (i < a.length) { acc = acc + kernel(mode, a, b, i, k); i = i + 1; }
+  acc % 1000000007
+}
+
+def bench(): Int = {
+  val g = rng(4242);
+  val n = 48;
+  val a = new Array[Int](n);
+  val b = new Array[Int](n);
+  var i = 0;
+  while (i < n) { a[i] = g.below(4096); b[i] = g.below(4096); i = i + 1; }
+  var check = 0;
+  check = (check + stage(0, a, b, 512)) % 1000000007;
+  check = (check + stage(2, a, b, 100)) % 1000000007;
+  check = (check + stage(3, a, b, 7)) % 1000000007;
+  check = (check + stage(5, a, b, 2048)) % 1000000007;
+  check = (check + stage(6, a, b, 0)) % 1000000007;
+  check = (check + stage(7, a, b, 99)) % 1000000007;
+  check
+}
+
+def main(): Unit = println(bench())
+|};
+  }

@@ -1,0 +1,56 @@
+(* The dec-tree shape (Spark MLlib decision tree): recursive descent over a
+   binary tree of Split/Leaf nodes for many rows. The hot path is a short
+   virtual-call chain per level — profitable to inline a couple of levels
+   deep, and a case where the paper's fixed thresholds do reasonably well
+   (dec-tree was one of the few fixed-beats-adaptive benchmarks). *)
+
+let workload : Defs.t =
+  {
+    name = "dec-tree";
+    description = "decision-tree evaluation over generated feature rows";
+    flavor = Numeric;
+    iters = 60;
+    expected = "1261\n";
+    source =
+      Prelude.collections
+      ^ {|
+abstract class Node {
+  def classify(row: Array[Int]): Int
+  def depth(): Int
+}
+class Leaf(label: Int) extends Node {
+  def classify(row: Array[Int]): Int = label
+  def depth(): Int = 1
+}
+class Split(feature: Int, threshold: Int, lo: Node, hi: Node) extends Node {
+  def classify(row: Array[Int]): Int = {
+    if (row[feature] < threshold) { lo.classify(row) } else { hi.classify(row) }
+  }
+  def depth(): Int = 1 + max(lo.depth(), hi.depth())
+}
+
+def buildTree(levels: Int, g: Rng): Node = {
+  if (levels == 0) { new Leaf(g.below(16)) }
+  else {
+    new Split(g.below(8), g.below(1024), buildTree(levels - 1, g), buildTree(levels - 1, g))
+  }
+}
+
+def bench(): Int = {
+  val g = rng(1234);
+  val tree = buildTree(6, g);
+  val row = new Array[Int](8);
+  var check = tree.depth();
+  var r = 0;
+  while (r < 150) {
+    var f = 0;
+    while (f < 8) { row[f] = g.below(1024); f = f + 1; }
+    check = check + tree.classify(row);
+    r = r + 1;
+  }
+  check
+}
+
+def main(): Unit = println(bench())
+|};
+  }

@@ -1,0 +1,23 @@
+(* Workload descriptor. Each workload is a self-contained Sel program with
+   a [bench(): Int] entry returning a checksum (run repeatedly by the
+   harness) and a [main(): Unit] printing that checksum once (used by the
+   differential tests). *)
+
+type flavor =
+  | Java     (* plain, mostly monomorphic code: paper's DaCapo-like shape *)
+  | Scala    (* abstraction-heavy, polymorphic: Scala-DaCapo-like shape *)
+  | Numeric  (* kernels behind abstract interfaces: Spark-MLlib-like shape *)
+
+type t = {
+  name : string;
+  description : string;
+  flavor : flavor;
+  source : string;
+  iters : int;         (* default repetitions for steady-state measurement *)
+  expected : string;   (* expected main() output *)
+}
+
+let flavor_to_string = function
+  | Java -> "java"
+  | Scala -> "scala"
+  | Numeric -> "numeric"

@@ -1,0 +1,85 @@
+(* The dotty shape (a compiler's type checker): nominal subtype queries
+   over an encoded class hierarchy, with memoization and virtual dispatch
+   over type-representation classes (named / applied / intersection). The
+   paper reports ≈2.5% on dotty — a modest-gain workload. *)
+
+let workload : Defs.t =
+  {
+    name = "dotty-subtype";
+    description = "nominal subtype checking over encoded type representations";
+    flavor = Scala;
+    iters = 50;
+    expected = "61\n";
+    source =
+      Prelude.collections
+      ^ {|
+class Hierarchy(parents: Array[Int]) {
+  def isSub(a: Int, b: Int): Bool = {
+    var cur = a;
+    var found = cur == b;
+    while (!found & parents[cur] != cur) {
+      cur = parents[cur];
+      found = cur == b;
+    }
+    found
+  }
+}
+
+abstract class TypeRep {
+  def conforms(h: Hierarchy, other: TypeRep): Bool
+  def classId(): Int
+}
+class NamedType(id: Int) extends TypeRep {
+  def conforms(h: Hierarchy, other: TypeRep): Bool = h.isSub(id, other.classId())
+  def classId(): Int = id
+}
+class AppliedType(base: Int, arg: TypeRep) extends TypeRep {
+  /* invariant type argument: base must conform and args must be mutual */
+  def conforms(h: Hierarchy, other: TypeRep): Bool = {
+    h.isSub(base, other.classId()) & arg.conforms(h, arg)
+  }
+  def classId(): Int = base
+}
+class AndType(l: TypeRep, r: TypeRep) extends TypeRep {
+  def conforms(h: Hierarchy, other: TypeRep): Bool =
+    l.conforms(h, other) | r.conforms(h, other)
+  def classId(): Int = l.classId()
+}
+
+def buildHierarchy(n: Int, g: Rng): Hierarchy = {
+  val parents = new Array[Int](n);
+  var i = 1;
+  parents[0] = 0;
+  while (i < n) { parents[i] = g.below(i); i = i + 1; }
+  new Hierarchy(parents)
+}
+
+def bench(): Int = {
+  val g = rng(60035);
+  val n = 48;
+  val h = buildHierarchy(n, g);
+  val reps = new Array[TypeRep](24);
+  var i = 0;
+  while (i < reps.length) {
+    val k = i % 4;
+    if (k < 2) { reps[i] = new NamedType(g.below(n)) }
+    else { if (k == 2) { reps[i] = new AppliedType(g.below(n), new NamedType(g.below(n))) }
+    else { reps[i] = new AndType(new NamedType(g.below(n)), new NamedType(g.below(n))) } };
+    i = i + 1;
+  }
+  var check = 0;
+  var a = 0;
+  while (a < reps.length) {
+    var b = 0;
+    while (b < reps.length) {
+      if (reps[a].conforms(h, reps[b])) { check = check + 1 };
+      b = b + 1;
+    }
+    a = a + 1;
+  }
+  check
+}
+
+def main(): Unit = println(bench())
+|};
+  }

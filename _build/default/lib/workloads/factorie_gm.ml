@@ -1,0 +1,78 @@
+(* The factorie shape (probabilistic graphical models in Scala): scoring a
+   configuration sums over heterogeneous factor objects — a megamorphic
+   [score] callsite with more receiver types than the typeswitch budget
+   (paper: 3 targets max), so the inliner must pick the hot targets and
+   leave a virtual fallback. The paper reports its largest speedups on
+   factorie (≈2.9x over C2). *)
+
+let workload : Defs.t =
+  {
+    name = "factorie-gm";
+    description = "factor-graph scoring with megamorphic factor dispatch";
+    flavor = Scala;
+    iters = 60;
+    expected = "6704\n";
+    source =
+      Prelude.collections
+      ^ {|
+abstract class Factor {
+  def score(assign: Array[Int]): Int
+}
+class UnaryFactor(v: Int, weight: Int) extends Factor {
+  def score(assign: Array[Int]): Int = weight * assign[v]
+}
+class PairFactor(a: Int, b: Int, weight: Int) extends Factor {
+  def score(assign: Array[Int]): Int = {
+    if (assign[a] == assign[b]) { weight } else { 0 - weight }
+  }
+}
+class BiasFactor(weight: Int) extends Factor {
+  def score(assign: Array[Int]): Int = weight
+}
+class TripleFactor(a: Int, b: Int, c: Int, weight: Int) extends Factor {
+  def score(assign: Array[Int]): Int = weight * (assign[a] + assign[b] + assign[c]) / 3
+}
+
+def totalScore(factors: Array[Factor], assign: Array[Int]): Int = {
+  var acc = 0;
+  var i = 0;
+  while (i < factors.length) { acc = acc + factors[i].score(assign); i = i + 1; }
+  acc
+}
+
+def bench(): Int = {
+  val g = rng(2718);
+  val vars = 16;
+  val assign = new Array[Int](vars);
+  val factors = new Array[Factor](40);
+  var i = 0;
+  while (i < factors.length) {
+    val k = i % 10;
+    /* skew: unary and pair factors dominate, triples and bias are rare */
+    if (k < 5) { factors[i] = new UnaryFactor(g.below(vars), g.below(64)) }
+    else { if (k < 8) { factors[i] = new PairFactor(g.below(vars), g.below(vars), g.below(64)) }
+    else { if (k < 9) { factors[i] = new TripleFactor(g.below(vars), g.below(vars), g.below(vars), g.below(64)) }
+    else { factors[i] = new BiasFactor(g.below(16)) } } };
+    i = i + 1;
+  }
+  var check = 0;
+  var sweepIdx = 0;
+  while (sweepIdx < 8) {
+    /* Gibbs-flavored sweep: flip each variable if it improves the score */
+    var v = 0;
+    while (v < vars) {
+      val before = totalScore(factors, assign);
+      assign[v] = 1 - assign[v];
+      val after = totalScore(factors, assign);
+      if (after < before) { assign[v] = 1 - assign[v] };
+      v = v + 1;
+    }
+    check = (check + totalScore(factors, assign)) % 1000000007;
+    sweepIdx = sweepIdx + 1;
+  }
+  check
+}
+
+def main(): Unit = println(bench())
+|};
+  }

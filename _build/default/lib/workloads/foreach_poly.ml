@@ -1,0 +1,42 @@
+(* The paper's Figure 1 shape: generic collection traversal where every hot
+   operation ([length]/[get]/[apply]) is a polymorphic call. The payoff of
+   cluster inlining is that [foreach] is only worth inlining together with
+   its callees — exactly the motivating example of the paper. *)
+
+let workload : Defs.t =
+  {
+    name = "foreach-poly";
+    description = "polymorphic collection traversal with lambdas (paper Fig. 1 shape)";
+    flavor = Scala;
+    iters = 60;
+    expected = "258067\n";
+    source =
+      Prelude.collections
+      ^ {|
+def sumWith(s: IntSeq, f: Int => Int): Int = {
+  val acc = box(0);
+  s.foreach((x: Int) => { acc.v = acc.v + f(x) });
+  acc.v
+}
+
+def bench(): Int = {
+  val xs = fillSeq(120, (i: Int) => i * 3);
+  val ys = new RangeSeq(80);
+  val zs = new StridedSeq(
+    { val a = new Array[Int](120); var i = 0; while (i < 120) { a[i] = i + 1; i = i + 1; }; a },
+    3);
+  var check = 0;
+  check = check + sumWith(xs, (x: Int) => x + 1);
+  check = check + sumWith(ys, (x: Int) => x * x);
+  check = check + sumWith(zs, (x: Int) => x * 2);
+  check = check + xs.fold(0, (a: Int, b: Int) => a + b);
+  check = check + ys.count((x: Int) => x % 3 == 0) ;
+  val doubled = fillSeq(120, (i: Int) => 0);
+  xs.mapInto(doubled, (x: Int) => x * 2);
+  check = check + doubled.fold(0, (a: Int, b: Int) => a + b);
+  check
+}
+
+def main(): Unit = println(bench())
+|};
+  }

@@ -1,0 +1,96 @@
+(* The h2 shape (DaCapo's in-memory SQL database): table scans with
+   row predicates, index probes and aggregate folds. Mostly-monomorphic
+   Java-style code with comparator indirection — the paper reports ≈5%
+   C2-relative differences on h2, a low-headroom workload. *)
+
+let workload : Defs.t =
+  {
+    name = "h2-sql";
+    description = "in-memory table scans, index probes and aggregates";
+    flavor = Java;
+    iters = 50;
+    expected = "108274\n";
+    source =
+      Prelude.collections
+      ^ {|
+/* a table of (id, dept, salary) rows in column arrays */
+class Table(ids: Array[Int], depts: Array[Int], salaries: Array[Int], size: Int) {
+  def rows(): Int = size
+  def id(r: Int): Int = ids[r]
+  def dept(r: Int): Int = depts[r]
+  def salary(r: Int): Int = salaries[r]
+  def scanWhere(p: Int => Bool, agg: (Int, Int) => Int, z: Int): Int = {
+    var r = 0;
+    var acc = z;
+    while (r < size) {
+      if (p(r)) { acc = agg(acc, r) };
+      r = r + 1;
+    }
+    acc
+  }
+}
+
+/* a sorted index over ids supporting binary search */
+class Index(keys: Array[Int], rows: Array[Int], size: Int) {
+  def lookup(key: Int): Int = {
+    var lo = 0;
+    var hi = size;
+    var found = 0 - 1;
+    while (lo < hi) {
+      val mid = (lo + hi) / 2;
+      if (keys[mid] == key) { found = rows[mid]; lo = hi }
+      else { if (keys[mid] < key) { lo = mid + 1 } else { hi = mid } }
+    }
+    found
+  }
+}
+
+def buildTable(n: Int, g: Rng): Table = {
+  val ids = new Array[Int](n);
+  val depts = new Array[Int](n);
+  val salaries = new Array[Int](n);
+  var r = 0;
+  while (r < n) {
+    ids[r] = r * 2 + 1;               /* sorted, odd */
+    depts[r] = g.below(8);
+    salaries[r] = 30000 + g.below(70000);
+    r = r + 1;
+  }
+  new Table(ids, depts, salaries, n)
+}
+
+def buildIndex(t: Table): Index = {
+  val keys = new Array[Int](t.rows());
+  val rows = new Array[Int](t.rows());
+  var r = 0;
+  while (r < t.rows()) { keys[r] = t.id(r); rows[r] = r; r = r + 1; }
+  new Index(keys, rows, t.rows())
+}
+
+def bench(): Int = {
+  val g = rng(1003);
+  val t = buildTable(120, g);
+  val idx = buildIndex(t);
+  var check = 0;
+  /* Q1: sum of salaries in dept 3 */
+  check = check + t.scanWhere((r: Int) => t.dept(r) == 3,
+                              (acc: Int, r: Int) => acc + t.salary(r), 0) % 1000003;
+  /* Q2: count of salaries above 60k */
+  check = check + t.scanWhere((r: Int) => t.salary(r) > 60000,
+                              (acc: Int, r: Int) => acc + 1, 0);
+  /* Q3: max salary in an id range */
+  check = check + t.scanWhere((r: Int) => t.id(r) >= 21 & t.id(r) < 121,
+                              (acc: Int, r: Int) => max(acc, t.salary(r)), 0) % 1000003;
+  /* Q4: point lookups through the index */
+  var k = 0;
+  while (k < 60) {
+    val row = idx.lookup(k * 4 + 1);
+    if (row >= 0) { check = check + t.dept(row) };
+    k = k + 1;
+  }
+  check
+}
+
+def main(): Unit = println(bench())
+|};
+  }

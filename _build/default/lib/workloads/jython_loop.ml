@@ -1,0 +1,63 @@
+(* An interpreter-dispatch workload in the spirit of jython: a small
+   expression-tree interpreter whose [eval] is a hot polymorphic call with
+   many receiver classes (megamorphic at the root, monomorphic per node
+   type). The paper reports C2-competitive gains here only with enough
+   budget — a "Java-like" workload. *)
+
+let workload : Defs.t =
+  {
+    name = "jython-loop";
+    description = "expression-tree interpreter with megamorphic eval dispatch";
+    flavor = Java;
+    iters = 60;
+    expected = "149166\n";
+    source =
+      Prelude.collections
+      ^ {|
+abstract class Expr {
+  def eval(env: Array[Int]): Int
+}
+class Lit(v: Int) extends Expr {
+  def eval(env: Array[Int]): Int = v
+}
+class Var(idx: Int) extends Expr {
+  def eval(env: Array[Int]): Int = env[idx]
+}
+class Add(l: Expr, r: Expr) extends Expr {
+  def eval(env: Array[Int]): Int = l.eval(env) + r.eval(env)
+}
+class Mul(l: Expr, r: Expr) extends Expr {
+  def eval(env: Array[Int]): Int = l.eval(env) * r.eval(env)
+}
+class Ifpos(c: Expr, t: Expr, e: Expr) extends Expr {
+  def eval(env: Array[Int]): Int = {
+    if (c.eval(env) > 0) { t.eval(env) } else { e.eval(env) }
+  }
+}
+
+/* while (x > 0) { acc = acc + x*x + y; x = x - 1 } encoded as a tree */
+def buildBody(): Expr = {
+  val x = new Var(0);
+  val y = new Var(1);
+  new Add(new Add(new Mul(x, x), y), new Var(2))
+}
+
+def bench(): Int = {
+  val body = buildBody();
+  val guard = new Ifpos(new Var(0), buildBody(), new Lit(0));
+  val env = new Array[Int](3);
+  env[1] = 7;
+  var acc = 0;
+  var x = 60;
+  while (x > 0) {
+    env[0] = x;
+    env[2] = acc % 13;
+    acc = acc + body.eval(env) + guard.eval(env);
+    x = x - 1;
+  }
+  acc
+}
+
+def main(): Unit = println(bench())
+|};
+  }

@@ -1,0 +1,88 @@
+(* The kiama shape (strategy-based term rewriting in Scala): rewrite rules
+   are closures combined by strategy combinators; applying a strategy walks
+   a term tree calling rule lambdas at every node. Lambda-dense Scala code
+   where the paper reports ≈1.45x over C2. *)
+
+let workload : Defs.t =
+  {
+    name = "kiama-rewriter";
+    description = "strategy-combinator term rewriting with rule lambdas";
+    flavor = Scala;
+    iters = 50;
+    expected = "17060\n";
+    source =
+      Prelude.collections
+      ^ {|
+/* terms: Op(code, l, r) | Atom(v). encoded with a class hierarchy */
+abstract class Term {
+  def isAtom(): Bool
+  def value(): Int
+  def left(): Term
+  def right(): Term
+  def code(): Int
+}
+class Atom(v: Int) extends Term {
+  def isAtom(): Bool = true
+  def value(): Int = v
+  def left(): Term = this
+  def right(): Term = this
+  def code(): Int = 0 - 1
+}
+class Op(c: Int, l: Term, r: Term) extends Term {
+  def isAtom(): Bool = false
+  def value(): Int = 0
+  def left(): Term = l
+  def right(): Term = r
+  def code(): Int = c
+}
+
+/* a rule maps a term to a replacement, or returns the same term */
+def applyRule(rule: Term => Term, t: Term): Term = rule(t)
+
+/* bottom-up application of a rule over the whole term */
+def everywhere(rule: Term => Term, t: Term): Term = {
+  if (t.isAtom()) { applyRule(rule, t) }
+  else {
+    applyRule(rule, new Op(t.code(), everywhere(rule, t.left()), everywhere(rule, t.right())))
+  }
+}
+
+def termSum(t: Term): Int = {
+  if (t.isAtom()) { t.value() }
+  else { t.code() + termSum(t.left()) + termSum(t.right()) }
+}
+
+def buildTerm(depth: Int, g: Rng): Term = {
+  if (depth == 0) { new Atom(g.below(64)) }
+  else { new Op(g.below(3), buildTerm(depth - 1, g), buildTerm(depth - 1, g)) }
+}
+
+def bench(): Int = {
+  val g = rng(8086);
+  var t = buildTerm(7, g);
+  /* constant folding rule: Op(0, Atom a, Atom b) -> Atom(a+b) */
+  val fold = (x: Term) => {
+    if (!x.isAtom() & x.code() == 0 & x.left().isAtom() & x.right().isAtom()) {
+      new Atom(x.left().value() + x.right().value())
+    } else { x }
+  };
+  /* strength rule: Op(2, a, Atom 1) -> a */
+  val strength = (x: Term) => {
+    if (!x.isAtom() & x.code() == 2 & x.right().isAtom()) {
+      if (x.right().value() == 1) { x.left() } else { x }
+    } else { x }
+  };
+  var check = 0;
+  var pass = 0;
+  while (pass < 4) {
+    t = everywhere(fold, t);
+    t = everywhere(strength, t);
+    check = (check + termSum(t)) % 1000000007;
+    pass = pass + 1;
+  }
+  check
+}
+
+def main(): Unit = println(bench())
+|};
+  }

@@ -1,0 +1,88 @@
+(* The lusearch shape (DaCapo: Lucene query search): inverted-index
+   lookups and sorted posting-list intersection/union — tight array-merge
+   loops with small monomorphic helpers. Call-overhead-bound Java code;
+   the paper reports C2 *winning* lusearch, so this is a low-headroom
+   (or negative) workload for the incremental inliner. *)
+
+let workload : Defs.t =
+  {
+    name = "lusearch-q";
+    description = "posting-list intersection and union over an inverted index";
+    flavor = Java;
+    iters = 50;
+    expected = "2880\n";
+    source =
+      Prelude.collections
+      ^ {|
+/* a term's posting list: sorted doc ids */
+class Postings(docs: Array[Int], size: Int) {
+  def len(): Int = size
+  def doc(i: Int): Int = docs[i]
+}
+
+def intersectCount(a: Postings, b: Postings): Int = {
+  var i = 0;
+  var j = 0;
+  var hits = 0;
+  while (i < a.len() & j < b.len()) {
+    val da = a.doc(i);
+    val db = b.doc(j);
+    if (da == db) { hits = hits + 1; i = i + 1; j = j + 1 }
+    else { if (da < db) { i = i + 1 } else { j = j + 1 } };
+  }
+  hits
+}
+
+def unionCount(a: Postings, b: Postings): Int = {
+  var i = 0;
+  var j = 0;
+  var n = 0;
+  while (i < a.len() | j < b.len()) {
+    val da = if (i < a.len()) { a.doc(i) } else { 1073741824 };
+    val db = if (j < b.len()) { b.doc(j) } else { 1073741824 };
+    if (da == db) { i = i + 1; j = j + 1 }
+    else { if (da < db) { i = i + 1 } else { j = j + 1 } };
+    n = n + 1;
+  }
+  n
+}
+
+def makePostings(seed: Int, density: Int, universe: Int): Postings = {
+  val g = rng(seed);
+  val docs = new Array[Int](universe);
+  var d = 0;
+  var count = 0;
+  while (d < universe) {
+    if (g.below(density) == 0) { docs[count] = d; count = count + 1 };
+    d = d + 1;
+  }
+  new Postings(docs, count)
+}
+
+def bench(): Int = {
+  val terms = new Array[Postings](6);
+  terms[0] = makePostings(11, 2, 150);
+  terms[1] = makePostings(22, 3, 150);
+  terms[2] = makePostings(33, 4, 150);
+  terms[3] = makePostings(44, 2, 150);
+  terms[4] = makePostings(55, 5, 150);
+  terms[5] = makePostings(66, 3, 150);
+  var check = 0;
+  var qa = 0;
+  while (qa < terms.length) {
+    var qb = 0;
+    while (qb < terms.length) {
+      if (qa != qb) {
+        check = check + intersectCount(terms[qa], terms[qb]);
+        check = check + unionCount(terms[qa], terms[qb]);
+      };
+      qb = qb + 1;
+    }
+    qa = qa + 1;
+  }
+  check
+}
+
+def main(): Unit = println(bench())
+|};
+  }

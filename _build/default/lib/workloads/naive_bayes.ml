@@ -1,0 +1,69 @@
+(* The naive-bayes shape (Spark MLlib multinomial naive Bayes): per-class
+   per-feature log-likelihood accumulation written with fold/foreach over
+   the shared collections layer (paper: ≈1.8x over C2). *)
+
+let workload : Defs.t =
+  {
+    name = "naive-bayes";
+    description = "per-class feature accumulation with collection folds";
+    flavor = Numeric;
+    iters = 60;
+    expected = "1429447\n";
+    source =
+      Prelude.collections
+      ^ {|
+/* log2-ish fixed-point approximation: floor(log2(x)) * 1024 + remainder */
+def logApprox(x: Int): Int = {
+  var v = max(x, 1);
+  var l = 0;
+  while (v > 1) { v = v >> 1; l = l + 1; }
+  l * 1024 + (max(x, 1) - (1 << l))
+}
+
+def scoreClass(counts: IntSeq, total: Int, doc: IntSeq): Int = {
+  val acc = box(0);
+  var i = 0;
+  while (i < doc.length()) {
+    val f = doc.get(i);
+    acc.v = acc.v + logApprox((counts.get(f) + 1) * 4096 / (total + counts.length()));
+    i = i + 1;
+  }
+  acc.v
+}
+
+def bench(): Int = {
+  val g = rng(271828);
+  val vocab = 48;
+  val classes = 4;
+  /* training counts per class */
+  val counts = new Array[IntSeq](classes);
+  val totals = new Array[Int](classes);
+  var c = 0;
+  while (c < classes) {
+    val seed = c;
+    counts[c] = fillSeq(vocab, (i: Int) => (i * (seed + 3)) % 37);
+    totals[c] = counts[c].fold(0, (a: Int, b: Int) => a + b);
+    c = c + 1;
+  }
+  var check = 0;
+  var d = 0;
+  while (d < 20) {
+    val doc = fillSeq(12, (i: Int) => g.below(vocab));
+    /* argmax over class scores */
+    var bestClass = 0;
+    var bestScore = 0 - 1073741824;
+    c = 0;
+    while (c < classes) {
+      val s = scoreClass(counts[c], totals[c], doc);
+      if (s > bestScore) { bestScore = s; bestClass = c };
+      c = c + 1;
+    }
+    check = (check + bestClass + bestScore) % 1000000007;
+    d = d + 1;
+  }
+  check
+}
+
+def main(): Unit = println(bench())
+|};
+  }

@@ -1,0 +1,85 @@
+(* The pmd shape (DaCapo: a source-code rule checker): MANY small rule
+   classes applied at every node of a tree — a callsite with more receiver
+   types than the typeswitch budget (the paper caps speculation at 3
+   targets), so the inliner must pick the hot few and eat a megamorphic
+   fallback. pmd is the one benchmark where the paper's inliner loses to
+   its greedy baseline, making this the designated hard case. *)
+
+let workload : Defs.t =
+  {
+    name = "pmd-rules";
+    description = "six-way megamorphic rule checking over an AST";
+    flavor = Scala;
+    iters = 50;
+    expected = "820\n";
+    source =
+      Prelude.collections
+      ^ {|
+abstract class Rule {
+  def check(kind: Int, depth: Int, size: Int): Int  /* violations found */
+}
+class DeepNesting() extends Rule {
+  def check(kind: Int, depth: Int, size: Int): Int = if (depth > 5) { 1 } else { 0 }
+}
+class LongMethod() extends Rule {
+  def check(kind: Int, depth: Int, size: Int): Int = if (size > 40) { 1 } else { 0 }
+}
+class EmptyBlock() extends Rule {
+  def check(kind: Int, depth: Int, size: Int): Int =
+    if (kind == 2 & size == 0) { 1 } else { 0 }
+}
+class MagicNumber() extends Rule {
+  def check(kind: Int, depth: Int, size: Int): Int =
+    if (kind == 3 & size % 7 == 0) { 1 } else { 0 }
+}
+class TooManyKids() extends Rule {
+  def check(kind: Int, depth: Int, size: Int): Int = if (size > 60) { 1 } else { 0 }
+}
+class BadName() extends Rule {
+  def check(kind: Int, depth: Int, size: Int): Int =
+    if ((kind ^ size) % 11 == 0) { 1 } else { 0 }
+}
+
+class AstNode(kind: Int, size: Int, l: AstNode, r: AstNode) {
+  def walk(rules: Array[Rule], depth: Int): Int = {
+    var v = 0;
+    var i = 0;
+    while (i < rules.length) {
+      v = v + rules[i].check(this.kind, depth, this.size);
+      i = i + 1;
+    }
+    if (this.l != null) { v = v + this.l.walk(rules, depth + 1) };
+    if (this.r != null) { v = v + this.r.walk(rules, depth + 1) };
+    v
+  }
+}
+
+def buildAst(depth: Int, g: Rng): AstNode = {
+  if (depth == 0) { new AstNode(g.below(5), g.below(80), null, null) }
+  else {
+    new AstNode(g.below(5), g.below(80), buildAst(depth - 1, g), buildAst(depth - 1, g))
+  }
+}
+
+def bench(): Int = {
+  val g = rng(31415);
+  val ast = buildAst(6, g);
+  val rules = new Array[Rule](6);
+  rules[0] = new DeepNesting();
+  rules[1] = new LongMethod();
+  rules[2] = new EmptyBlock();
+  rules[3] = new MagicNumber();
+  rules[4] = new TooManyKids();
+  rules[5] = new BadName();
+  var check = 0;
+  var pass = 0;
+  while (pass < 5) {
+    check = (check + ast.walk(rules, 0)) % 1000000007;
+    pass = pass + 1;
+  }
+  check
+}
+
+def main(): Unit = println(bench())
+|};
+  }

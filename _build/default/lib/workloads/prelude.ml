@@ -1,0 +1,78 @@
+(* Shared Sel library code prepended to workloads: a small Scala-like
+   collections layer whose generality is exactly what makes inlining hard —
+   every traversal goes through polymorphic [length]/[get]/[apply] calls,
+   as in the paper's Figure 1. *)
+
+let collections =
+  {|
+abstract class IntSeq {
+  def get(i: Int): Int
+  def length(): Int
+  def set(i: Int, v: Int): Unit
+  def foreach(f: Int => Unit): Unit = {
+    var i = 0;
+    while (i < this.length()) { f(this.get(i)); i = i + 1; }
+  }
+  def fold(z: Int, f: (Int, Int) => Int): Int = {
+    var acc = z;
+    var i = 0;
+    while (i < this.length()) { acc = f(acc, this.get(i)); i = i + 1; }
+    acc
+  }
+  def mapInto(out: IntSeq, f: Int => Int): Unit = {
+    var i = 0;
+    while (i < this.length()) { out.set(i, f(this.get(i))); i = i + 1; }
+  }
+  def count(p: Int => Bool): Int = {
+    var n = 0;
+    var i = 0;
+    while (i < this.length()) { if (p(this.get(i))) { n = n + 1 }; i = i + 1; }
+    n
+  }
+}
+
+class ArraySeq(data: Array[Int]) extends IntSeq {
+  def get(i: Int): Int = data[i]
+  def length(): Int = data.length
+  def set(i: Int, v: Int): Unit = data[i] = v
+}
+
+class RangeSeq(n: Int) extends IntSeq {
+  def get(i: Int): Int = i
+  def length(): Int = n
+  def set(i: Int, v: Int): Unit = {}
+}
+
+class StridedSeq(data: Array[Int], stride: Int) extends IntSeq {
+  def get(i: Int): Int = data[i * stride]
+  def length(): Int = data.length / stride
+  def set(i: Int, v: Int): Unit = data[i * stride] = v
+}
+
+/* Constructor parameters become (mutable) fields. */
+class IntBox(v: Int) {}
+
+def box(v: Int): IntBox = new IntBox(v)
+
+def fillSeq(n: Int, f: Int => Int): IntSeq = {
+  val a = new Array[Int](n);
+  var i = 0;
+  while (i < n) { a[i] = f(i); i = i + 1; }
+  new ArraySeq(a)
+}
+
+/* A deterministic xorshift-style PRNG. */
+class Rng(state: Int) {
+  def next(): Int = {
+    var x = this.state;
+    x = x ^ (x << 13);
+    x = x ^ (x >> 17);
+    x = x ^ (x << 5);
+    this.state = x;
+    if (x < 0) { 0 - x } else { x }
+  }
+  def below(n: Int): Int = this.next() % n
+}
+
+def rng(seed: Int): Rng = new Rng(seed + 2463534242)
+|}

@@ -1,0 +1,7 @@
+(** Shared Sel library code prepended to workloads. *)
+
+val collections : string
+(** A small Scala-like collections layer (IntSeq with foreach/fold/
+    mapInto/count over ArraySeq/RangeSeq/StridedSeq), a one-field box
+    class, and a deterministic xorshift PRNG — the generic, polymorphic
+    traversal code whose inlining the paper's Figure 1 motivates. *)

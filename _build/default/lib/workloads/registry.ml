@@ -1,0 +1,48 @@
+(* The workload registry: every benchmark program the harness and the test
+   suite iterate over. See DESIGN.md for the mapping from each workload to
+   the paper benchmark whose *shape* it reproduces. *)
+
+let all : Defs.t list =
+  [
+    Foreach_poly.workload;
+    Actors_msg.workload;
+    Scalac_visitor.workload;
+    Kiama_rewriter.workload;
+    Stm_bench.workload;
+    Factorie_gm.workload;
+    Dotty_subtype.workload;
+    Neo4j_query.workload;
+    Jython_loop.workload;
+    Luindex_text.workload;
+    Sunflow_vec.workload;
+    Avrora_events.workload;
+    Dec_tree.workload;
+    Gauss_mix.workload;
+    Naive_bayes.workload;
+    Blas_modes.workload;
+    H2_sql.workload;
+    Apparat_bc.workload;
+    Specs_test.workload;
+    Lusearch_q.workload;
+    Xalan_xform.workload;
+    Pmd_rules.workload;
+    Tmt_topic.workload;
+    Scalap_decode.workload;
+    Scalariform_fmt.workload;
+  ]
+
+let find (name : string) : Defs.t option =
+  List.find_opt (fun (w : Defs.t) -> w.name = name) all
+
+let names () = List.map (fun (w : Defs.t) -> w.name) all
+
+(* Compiles a workload to a fresh IR program (each engine wants its own
+   program value: profiles and code caches are engine-local, but prepared
+   bodies are shared within one program). *)
+let compile (w : Defs.t) : Ir.Types.program =
+  match Frontend.Pipeline.compile w.source with
+  | Ok prog -> prog
+  | Error e ->
+      invalid_arg
+        (Printf.sprintf "workload %s does not compile: %s" w.name
+           (Frontend.Pipeline.error_to_string e))

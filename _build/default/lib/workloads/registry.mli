@@ -1,0 +1,13 @@
+(** The workload registry: every benchmark program the harness and the
+    test suite iterate over (DESIGN.md maps each to the paper benchmark
+    whose shape it reproduces). *)
+
+val all : Defs.t list
+val find : string -> Defs.t option
+val names : unit -> string list
+
+val compile : Defs.t -> Ir.Types.program
+(** A fresh program per call — engines own their profiles and code caches
+    but share prepared bodies within one program value.
+    @raise Invalid_argument if the workload source does not compile (a
+    bug; the test suite compiles all of them). *)

@@ -1,0 +1,83 @@
+(* The scalac/pmd shape: visitor-pattern traversal of an AST — double
+   dispatch (accept -> visit) makes every step two virtual calls, and
+   different visitors share the same accept callsites (type-profile
+   pollution). Clustering must inline accept and visit together to win. *)
+
+let workload : Defs.t =
+  {
+    name = "scalac-visitor";
+    description = "double-dispatch visitor traversal over a generated AST";
+    flavor = Scala;
+    iters = 60;
+    expected = "38784\n";
+    source =
+      Prelude.collections
+      ^ {|
+abstract class Tree {
+  def accept(v: Visitor): Int
+}
+abstract class Visitor {
+  def visitNum(n: Num): Int
+  def visitBin(b: Bin): Int
+  def visitLet(l: Let): Int
+}
+class Num(value: Int) extends Tree {
+  def accept(v: Visitor): Int = v.visitNum(this)
+}
+class Bin(op: Int, l: Tree, r: Tree) extends Tree {
+  def accept(v: Visitor): Int = v.visitBin(this)
+}
+class Let(idx: Int, bound: Tree, body: Tree) extends Tree {
+  def accept(v: Visitor): Int = v.visitLet(this)
+}
+
+class SumVisitor() extends Visitor {
+  def visitNum(n: Num): Int = n.value
+  def visitBin(b: Bin): Int = b.l.accept(this) + b.r.accept(this) + b.op
+  def visitLet(l: Let): Int = l.bound.accept(this) + l.body.accept(this)
+}
+class DepthVisitor() extends Visitor {
+  def visitNum(n: Num): Int = 1
+  def visitBin(b: Bin): Int = 1 + max(b.l.accept(this), b.r.accept(this))
+  def visitLet(l: Let): Int = 1 + max(l.bound.accept(this), l.body.accept(this))
+}
+class CountVisitor(kind: Int) extends Visitor {
+  def visitNum(n: Num): Int = if (kind == 0) { 1 } else { 0 }
+  def visitBin(b: Bin): Int = {
+    val here = if (kind == 1) { 1 } else { 0 };
+    here + b.l.accept(this) + b.r.accept(this)
+  }
+  def visitLet(l: Let): Int = {
+    val here = if (kind == 2) { 1 } else { 0 };
+    here + l.bound.accept(this) + l.body.accept(this)
+  }
+}
+
+def buildAst(depth: Int, g: Rng): Tree = {
+  if (depth == 0) { new Num(g.below(100)) }
+  else {
+    val k = g.below(4);
+    if (k < 3) { new Bin(g.below(3), buildAst(depth - 1, g), buildAst(depth - 1, g)) }
+    else { new Let(g.below(8), buildAst(depth - 1, g), buildAst(depth - 1, g)) }
+  }
+}
+
+def bench(): Int = {
+  val g = rng(5150);
+  val ast = buildAst(7, g);
+  val sum = new SumVisitor();
+  val depthV = new DepthVisitor();
+  var check = 0;
+  var pass = 0;
+  while (pass < 6) {
+    check = (check + ast.accept(sum)) % 1000000007;
+    check = check + ast.accept(depthV);
+    check = check + ast.accept(new CountVisitor(pass % 3));
+    pass = pass + 1;
+  }
+  check
+}
+
+def main(): Unit = println(bench())
+|};
+  }

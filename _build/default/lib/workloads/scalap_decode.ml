@@ -1,0 +1,83 @@
+(* The scalap shape (Scala DaCapo: classfile signature decoding): a
+   byte-stream reader with per-tag decode dispatch and varint decoding —
+   small stateful reader methods called very frequently. The paper reports
+   ≈2.5x over the greedy inliner on scalap. *)
+
+let workload : Defs.t =
+  {
+    name = "scalap-decode";
+    description = "tagged byte-stream decoding through a stateful reader";
+    flavor = Scala;
+    iters = 50;
+    expected = "40668\n";
+    source =
+      Prelude.collections
+      ^ {|
+class Reader(data: Array[Int], pos: Int) {
+  def eof(): Bool = this.pos >= data.length
+  def byte(): Int = {
+    /* reading past the end yields padding zeros, like a real decoder's
+       guard page */
+    if (this.eof()) { 0 }
+    else {
+      val b = data[this.pos];
+      this.pos = this.pos + 1;
+      b
+    }
+  }
+  def varint(): Int = {
+    /* 7-bit groups, high bit continues */
+    var acc = 0;
+    var sh = 0;
+    var go = true;
+    while (go & !this.eof()) {
+      val b = this.byte();
+      acc = acc | ((b & 127) << sh);
+      sh = sh + 7;
+      if (b < 128) { go = false };
+    }
+    acc
+  }
+}
+
+abstract class Entry {
+  def weight(): Int
+}
+class TermEntry(id: Int) extends Entry {
+  def weight(): Int = id % 97
+}
+class TypeEntry(id: Int, arity: Int) extends Entry {
+  def weight(): Int = id % 89 + arity * 3
+}
+class RefEntry(target: Int) extends Entry {
+  def weight(): Int = target % 83 * 2
+}
+
+def decodeOne(r: Reader): Entry = {
+  val tag = r.byte() % 3;
+  if (tag == 0) { new TermEntry(r.varint()) }
+  else { if (tag == 1) { new TypeEntry(r.varint(), r.byte() % 8) }
+  else { new RefEntry(r.varint()) } }
+}
+
+def bench(): Int = {
+  val g = rng(271);
+  val data = new Array[Int](400);
+  var i = 0;
+  while (i < data.length) { data[i] = g.below(256); i = i + 1; }
+  var check = 0;
+  var pass = 0;
+  while (pass < 6) {
+    val r = new Reader(data, 0);
+    while (!r.eof()) {
+      val e = decodeOne(r);
+      check = (check + e.weight()) % 1000000007;
+    }
+    pass = pass + 1;
+  }
+  check
+}
+
+def main(): Unit = println(bench())
+|};
+  }

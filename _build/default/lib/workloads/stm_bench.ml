@@ -1,0 +1,76 @@
+(* The stmbench7/ScalaSTM shape: reads and writes of an object graph routed
+   through a transactional-reference abstraction — every access is a
+   virtual call through a Ref wrapper, so inlining the access layer is the
+   whole game (the paper reports ≈3x over the greedy inliner here). *)
+
+let workload : Defs.t =
+  {
+    name = "stm-bench";
+    description = "object-graph updates through a transactional Ref abstraction";
+    flavor = Scala;
+    iters = 60;
+    expected = "400686\n";
+    source =
+      Prelude.collections
+      ^ {|
+abstract class Ref {
+  def get(tx: Tx): Int
+  def set(tx: Tx, v: Int): Unit
+}
+class Tx(log: Array[Int]) {
+  def record(id: Int): Unit = log[id % log.length] = log[id % log.length] + 1
+  def reads(): Int = log[0]
+}
+class PlainRef(id: Int, value: Int) extends Ref {
+  def get(tx: Tx): Int = { tx.record(id); value }
+  def set(tx: Tx, v: Int): Unit = { tx.record(id); this.value = v }
+}
+class VersionedRef(id: Int, value: Int, version: Int) extends Ref {
+  def get(tx: Tx): Int = { tx.record(id); value }
+  def set(tx: Tx, v: Int): Unit = {
+    tx.record(id);
+    this.value = v;
+    this.version = this.version + 1;
+  }
+}
+
+class Account(balance: Ref, reserved: Ref) {
+  def transferIn(tx: Tx, amount: Int): Unit =
+    balance.set(tx, balance.get(tx) + amount)
+  def reserve(tx: Tx, amount: Int): Bool = {
+    if (balance.get(tx) >= amount) {
+      balance.set(tx, balance.get(tx) - amount);
+      reserved.set(tx, reserved.get(tx) + amount);
+      true
+    } else { false }
+  }
+  def total(tx: Tx): Int = balance.get(tx) + reserved.get(tx)
+}
+
+def bench(): Int = {
+  val g = rng(31337);
+  val tx = new Tx(new Array[Int](16));
+  val accounts = new Array[Account](12);
+  var i = 0;
+  while (i < accounts.length) {
+    accounts[i] = new Account(
+      new VersionedRef(i * 2, 1000 + g.below(1000), 0),
+      new PlainRef(i * 2 + 1, 0));
+    i = i + 1;
+  }
+  var check = 0;
+  var op = 0;
+  while (op < 120) {
+    val a = accounts[g.below(accounts.length)];
+    val b = accounts[g.below(accounts.length)];
+    val amount = 1 + g.below(50);
+    if (a.reserve(tx, amount)) { b.transferIn(tx, amount) };
+    check = (check + a.total(tx) + b.total(tx)) % 1000000007;
+    op = op + 1;
+  }
+  check + tx.reads()
+}
+
+def main(): Unit = println(bench())
+|};
+  }

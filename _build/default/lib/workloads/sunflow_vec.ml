@@ -1,0 +1,73 @@
+(* The sunflow shape (ray tracing): tight loops of small vector-math
+   methods plus an abstract Shape.hit with a handful of implementations.
+   Mostly-monomorphic small-method inlining; gains come from deleting call
+   overhead rather than devirtualization. *)
+
+let workload : Defs.t =
+  {
+    name = "sunflow-vec";
+    description = "fixed-point ray/shape intersection with small vector methods";
+    flavor = Java;
+    iters = 60;
+    expected = "21544\n";
+    source =
+      Prelude.collections
+      ^ {|
+class Vec(x: Int, y: Int, z: Int) {
+  def dot(o: Vec): Int = (x * o.x + y * o.y + z * o.z) / 1024
+  def sub(o: Vec): Vec = new Vec(x - o.x, y - o.y, z - o.z)
+  def scale(k: Int): Vec = new Vec(x * k / 1024, y * k / 1024, z * k / 1024)
+  def norm2(): Int = this.dot(this)
+}
+
+abstract class Shape {
+  def hit(orig: Vec, dir: Vec): Int   /* distance*1024, or -1 */
+}
+class Sphere(center: Vec, r2: Int) extends Shape {
+  def hit(orig: Vec, dir: Vec): Int = {
+    val oc = center.sub(orig);
+    val b = oc.dot(dir);
+    val disc = b * b / 1024 - oc.norm2() + r2;
+    if (disc < 0) { 0 - 1 } else { b - disc / 2048 }
+  }
+}
+class Plane(normal: Vec, d: Int) extends Shape {
+  def hit(orig: Vec, dir: Vec): Int = {
+    val denom = normal.dot(dir);
+    if (abs(denom) < 8) { 0 - 1 } else { (d - normal.dot(orig)) * 1024 / denom }
+  }
+}
+
+def bench(): Int = {
+  val g = rng(99);
+  val shapes = new Array[Shape](6);
+  var i = 0;
+  while (i < 6) {
+    if (i % 2 == 0) {
+      shapes[i] = new Sphere(new Vec(g.below(2048), g.below(2048), g.below(2048)), 1024 + g.below(4096));
+    } else {
+      shapes[i] = new Plane(new Vec(1024, g.below(512), g.below(512)), g.below(4096));
+    };
+    i = i + 1;
+  }
+  var check = 0;
+  var ray = 0;
+  while (ray < 40) {
+    val orig = new Vec(g.below(1024), g.below(1024), 0);
+    val dir = new Vec(724, 724, g.below(128));
+    var s = 0;
+    var nearest = 1073741824;
+    while (s < 6) {
+      val t = shapes[s].hit(orig, dir);
+      if (t > 0 & t < nearest) { nearest = t };
+      s = s + 1;
+    }
+    check = (check + nearest) % 1000000007;
+    ray = ray + 1;
+  }
+  check
+}
+
+def main(): Unit = println(bench())
+|};
+  }

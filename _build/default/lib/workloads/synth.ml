@@ -1,0 +1,136 @@
+(* Synthetic call-graph generator: parameterized Sel programs for
+   controlled inliner studies beyond the fixed suite — call-chain depth,
+   fanout, polymorphism degree and hotness skew are all tunable, and
+   generation is deterministic in the seed.
+
+   Shape: a polymorphic Op hierarchy at the bottom (the dispatch problem),
+   a tower of layer functions above it (the budget problem: each layer
+   calls [fanout] functions of the next layer, some from inside loops),
+   and a [bench] driving the top layer over an Op array. *)
+
+type config = {
+  seed : int;
+  depth : int;          (* layers of functions above the Op dispatch *)
+  fanout : int;         (* callees per layer function *)
+  poly_degree : int;    (* concrete Op implementations *)
+  leaf_work : int;      (* loop trips inside each Op implementation *)
+  hot_fraction : float; (* fraction of layer callsites inside a loop *)
+}
+
+let default =
+  { seed = 1; depth = 3; fanout = 2; poly_degree = 3; leaf_work = 8; hot_fraction = 0.5 }
+
+let op_body (rng : Support.Rng.t) ~leaf_work ~index : string =
+  let variants =
+    [
+      Printf.sprintf
+        "var i = 0; var s = x; while (i < %d) { s = s + (s >> 3) + %d; i = i + 1; }; s"
+        leaf_work (index + 1);
+      Printf.sprintf
+        "var i = 0; var s = x + %d; while (i < %d) { s = s * 3 %% 65521; i = i + 1; }; s"
+        (index * 7) leaf_work;
+      Printf.sprintf
+        "var i = 0; var s = 0; while (i < %d) { s = s + abs(x - i * %d); i = i + 1; }; s"
+        leaf_work (index + 2);
+      Printf.sprintf
+        "var i = 0; var s = x; while (i < %d) { s = (s ^ (s << 2)) & 1048575; i = i + 1; }; s + %d"
+        leaf_work index;
+    ]
+  in
+  List.nth variants (Support.Rng.int rng (List.length variants))
+
+(* The layer functions: layer d function j calls [fanout] functions of
+   layer d+1 (or dispatches through the Op array at the last layer). *)
+let layer_fun (rng : Support.Rng.t) (cfg : config) ~d ~j : string =
+  let callee k =
+    if d + 1 < cfg.depth then
+      Printf.sprintf "l%d_%d(ops, x + %d)" (d + 1)
+        (Support.Rng.int rng (max 1 cfg.fanout))
+        k
+    else
+      Printf.sprintf "ops[%d %% ops.length].eval(x + %d)" (Support.Rng.int rng 97) k
+  in
+  let calls =
+    List.init cfg.fanout (fun k ->
+        if Support.Rng.float rng < cfg.hot_fraction then
+          Printf.sprintf
+            "var i%d = 0; while (i%d < 4) { acc = acc + %s; i%d = i%d + 1; };" k k
+            (callee k) k k
+        else Printf.sprintf "acc = acc + %s;" (callee k))
+  in
+  Printf.sprintf "def l%d_%d(ops: Array[Op], x: Int): Int = {\n  var acc = 0;\n  %s\n  acc %% 1000000007\n}"
+    d j
+    (String.concat "\n  " calls)
+
+let source_of (cfg : config) : string =
+  let rng = Support.Rng.create cfg.seed in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "abstract class Op {\n  def eval(x: Int): Int\n}\n";
+  for i = 0 to cfg.poly_degree - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "class Op%d() extends Op {\n  def eval(x: Int): Int = { %s }\n}\n" i
+         (op_body rng ~leaf_work:cfg.leaf_work ~index:i))
+  done;
+  (* layers from the bottom up so calls are to already-declared functions
+     (declaration order does not matter in Sel, but it reads better) *)
+  for d = cfg.depth - 1 downto 0 do
+    let n_funs = if d = 0 then 1 else cfg.fanout in
+    for j = 0 to n_funs - 1 do
+      Buffer.add_string buf (layer_fun rng cfg ~d ~j);
+      Buffer.add_char buf '\n'
+    done
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|def bench(): Int = {
+  val ops = new Array[Op](%d);
+  var i = 0;
+  while (i < ops.length) {
+    %s;
+    i = i + 1;
+  }
+  var check = 0;
+  var r = 0;
+  while (r < 3) { check = (check + l0_0(ops, r * 31)) %% 1000000007; r = r + 1; }
+  check
+}
+def main(): Unit = println(bench())
+|}
+       (cfg.poly_degree * 2)
+       (String.concat "\n    else "
+          (List.init cfg.poly_degree (fun i ->
+               if i = cfg.poly_degree - 1 then
+                 Printf.sprintf "{ ops[i] = new Op%d() }" i
+               else Printf.sprintf "if (i %% %d == %d) { ops[i] = new Op%d() }" cfg.poly_degree i i))));
+  Buffer.contents buf
+
+(* Generates a full workload descriptor; the expected output is computed
+   by interpreting the generated program once. *)
+let generate (cfg : config) : Defs.t =
+  let source = source_of cfg in
+  let name =
+    Printf.sprintf "synth-d%d-f%d-p%d-s%d" cfg.depth cfg.fanout cfg.poly_degree cfg.seed
+  in
+  let expected =
+    match Frontend.Pipeline.compile source with
+    | Ok prog ->
+        let vm = Runtime.Interp.create prog in
+        ignore (Runtime.Interp.run_main vm);
+        Runtime.Interp.output vm
+    | Error e ->
+        invalid_arg
+          (Printf.sprintf "Synth.generate: %s does not compile: %s\n%s" name
+             (Frontend.Pipeline.error_to_string e)
+             source)
+  in
+  {
+    Defs.name;
+    description =
+      Printf.sprintf
+        "synthetic call graph: depth %d, fanout %d, %d Op implementations, seed %d"
+        cfg.depth cfg.fanout cfg.poly_degree cfg.seed;
+    flavor = Defs.Scala;
+    source;
+    iters = 30;
+    expected;
+  }

@@ -1,0 +1,71 @@
+(* The xalan shape (DaCapo: XSLT transformation): walking a DOM-like tree
+   while building an output token stream, with per-node-type dispatch and
+   attribute filtering. The paper reports C2 winning xalan — another
+   workload where the incremental inliner should at best tie. *)
+
+let workload : Defs.t =
+  {
+    name = "xalan-xform";
+    description = "DOM-style tree transformation into an output token stream";
+    flavor = Java;
+    iters = 50;
+    expected = "258437791\n";
+    source =
+      Prelude.collections
+      ^ {|
+abstract class XNode {
+  def transform(out: Array[Int], pos: Int): Int   /* returns new pos */
+}
+class XText(value: Int) extends XNode {
+  def transform(out: Array[Int], pos: Int): Int = {
+    if (pos < out.length) { out[pos] = value };
+    pos + 1
+  }
+}
+class XElem(tag: Int, l: XNode, r: XNode) extends XNode {
+  def transform(out: Array[Int], pos: Int): Int = {
+    var p = pos;
+    if (p < out.length) { out[p] = 1000 + tag };
+    p = l.transform(out, p + 1);
+    p = r.transform(out, p);
+    if (p < out.length) { out[p] = 2000 + tag };
+    p + 1
+  }
+}
+class XFilter(keepIfEven: Bool, child: XNode) extends XNode {
+  def transform(out: Array[Int], pos: Int): Int = {
+    /* filters drop their subtree based on position parity */
+    val even = pos % 2 == 0;
+    if (even == keepIfEven) { child.transform(out, pos) } else { pos }
+  }
+}
+
+def buildDoc(depth: Int, g: Rng): XNode = {
+  if (depth == 0) { new XText(g.below(1000)) }
+  else {
+    val k = g.below(5);
+    if (k == 0) { new XFilter(g.below(2) == 0, buildDoc(depth - 1, g)) }
+    else { new XElem(g.below(32), buildDoc(depth - 1, g), buildDoc(depth - 1, g)) }
+  }
+}
+
+def bench(): Int = {
+  val g = rng(90125);
+  val doc = buildDoc(7, g);
+  val out = new Array[Int](600);
+  var check = 0;
+  var pass = 0;
+  while (pass < 8) {
+    val len = min(doc.transform(out, 0), out.length);
+    var i = 0;
+    var h = 7;
+    while (i < len) { h = (h * 31 + out[i]) % 1000000007; i = i + 1; }
+    check = (check + h) % 1000000007;
+    pass = pass + 1;
+  }
+  check
+}
+
+def main(): Unit = println(bench())
+|};
+  }

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Hashtbl Ir Jit List Opt Option Runtime Util Workloads

@@ -1,0 +1,1 @@
+test/test_inliner.ml: Alcotest Algorithm Analysis Array Calltree Expansion Float Hashtbl Inliner Ir List Opt Option Params Runtime Util Workloads

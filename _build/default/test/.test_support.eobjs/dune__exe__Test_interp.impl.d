@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Ir List Opt Printf Runtime String Util

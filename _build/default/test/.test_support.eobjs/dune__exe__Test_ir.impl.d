@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Hashtbl Inliner Ir List Opt Option Runtime Util Workloads

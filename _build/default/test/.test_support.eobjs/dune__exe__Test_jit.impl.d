@@ -1,0 +1,1 @@
+test/test_jit.ml: Alcotest Hashtbl Ir Jit List Option Runtime Util

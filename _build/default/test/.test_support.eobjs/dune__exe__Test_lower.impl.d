@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest Ir List Util

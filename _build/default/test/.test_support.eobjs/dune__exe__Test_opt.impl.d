@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Hashtbl Inliner Ir List Opt Option Printf Runtime Util Workloads

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Frontend List Printf String Util

@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Ir Jit List Opt Option Runtime Util

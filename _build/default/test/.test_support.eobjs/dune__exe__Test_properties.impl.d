@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Baselines Frontend Gen Hashtbl Inliner Ir Jit Lazy List Opt Option Printf QCheck QCheck_alcotest Runtime String Support Test Util

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest List Support Util

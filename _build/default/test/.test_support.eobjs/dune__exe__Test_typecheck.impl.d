@@ -1,0 +1,1 @@
+test/test_typecheck.ml: Alcotest Array Filename Hashtbl Ir Option String Util

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Inliner Ir Jit List Opt Option Runtime String Support Unix Util Workloads

@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Baselines Frontend Inliner Ir Jit Opt Runtime String

@@ -1,0 +1,778 @@
+(* Tests for the core contribution: the call tree, deep inlining trials,
+   the expansion phase (priorities/penalties/thresholds), the clustering
+   analysis, typeswitch materialization, the inline phase, and the whole
+   algorithm end to end. *)
+
+open Util
+open Inliner
+
+(* Builds a call tree for [root] after interpreting main once (so profiles
+   exist), exactly as the engine would. *)
+let tree_of ?(params = Params.default) (src : string) (root : string) : Calltree.t =
+  let prog = compile src in
+  Opt.Driver.prepare_program prog;
+  let vm = Runtime.Interp.create prog in
+  ignore (Runtime.Interp.run_main vm);
+  let m = Option.get (Ir.Program.find_meth prog root) in
+  Calltree.create prog vm.profiles params m
+
+let compile_with ?(params = Params.default) (src : string) (root : string) :
+    Inliner.Algorithm.result * Ir.Types.program * Runtime.Interp.vm =
+  let prog = compile src in
+  Opt.Driver.prepare_program prog;
+  let vm = Runtime.Interp.create prog in
+  ignore (Runtime.Interp.run_main vm);
+  let m = Option.get (Ir.Program.find_meth prog root) in
+  let result = Algorithm.compile prog vm.profiles params m in
+  check_verifies result.body;
+  (result, prog, vm)
+
+(* Runs [entry] with the compiled body installed and compares output with
+   the pure interpreter. *)
+let check_differential ?(params = Params.default) (src : string) (roots : string list) :
+    unit =
+  let reference = output_of ~prepare:true src in
+  let prog = compile src in
+  Opt.Driver.prepare_program prog;
+  let vm = Runtime.Interp.create prog in
+  ignore (Runtime.Interp.run_main vm);
+  let cache = Hashtbl.create 4 in
+  List.iter
+    (fun name ->
+      let m = Option.get (Ir.Program.find_meth prog name) in
+      let result = Algorithm.compile prog vm.profiles params m in
+      check_verifies result.body;
+      Hashtbl.replace cache m result.Algorithm.body)
+    roots;
+  let vm2 = Runtime.Interp.create prog in
+  vm2.code <- (fun m -> Hashtbl.find_opt cache m);
+  ignore (Runtime.Interp.run_main vm2);
+  Alcotest.(check string) "differential" reference (Runtime.Interp.output vm2)
+
+let poly_src =
+  {|abstract class A { def m(): Int }
+    class B() extends A { def m(): Int = 1 }
+    class C() extends A { def m(): Int = 2 }
+    class D() extends A { def m(): Int = 3 }
+    def call(a: A): Int = a.m()
+    def main(): Unit = {
+      val items = new Array[A](10);
+      var i = 0;
+      while (i < 10) {
+        if (i % 2 == 0) { items[i] = new B() }
+        else { if (i % 3 == 0) { items[i] = new C() } else { items[i] = new D() } };
+        i = i + 1;
+      }
+      var s = 0;
+      i = 0;
+      while (i < 10) { s = s + call(items[i]); i = i + 1; }
+      println(s)
+    }|}
+
+let calltree_tests =
+  [
+    test "root children found with frequencies" (fun () ->
+        let t =
+          tree_of
+            {|def g(): Int = 1
+              def h(): Int = 2
+              def f(): Int = { var i = 0; var s = 0; while (i < 10) { s = s + g(); i = i + 1 }; s + h() }
+              def main(): Unit = println(f())|}
+            "f"
+        in
+        Alcotest.(check int) "two children" 2 (List.length t.children);
+        let freq_of target =
+          List.find_map
+            (fun (n : Calltree.node) ->
+              match n.kind with
+              | Calltree.Cutoff (Calltree.Known m)
+                when (Ir.Program.meth t.prog m).m_name = target ->
+                  Some n.freq
+              | _ -> None)
+            t.children
+        in
+        let gf = Option.get (freq_of "g") and hf = Option.get (freq_of "h") in
+        Alcotest.(check bool) "loop call hotter" true (gf > 5.0 *. hf);
+        Alcotest.(check (float 0.01)) "h once per invocation" 1.0 hf);
+    test "subtree metrics on fresh tree" (fun () ->
+        let t =
+          tree_of "def g(): Int = 1\ndef f(): Int = g()\ndef main(): Unit = println(f())" "f"
+        in
+        Alcotest.(check int) "one cutoff" 1 (Calltree.tree_n_c t);
+        Alcotest.(check bool) "s_ir includes root" true
+          (Calltree.tree_s_ir t > Ir.Fn.size t.root_fn));
+    test "expanding a direct cutoff attaches a specialized body" (fun () ->
+        let t =
+          tree_of
+            {|def g(x: Int): Int = x * 2
+              def f(): Int = g(21)
+              def main(): Unit = println(f())|}
+            "f"
+        in
+        let n = List.hd t.children in
+        Alcotest.(check bool) "expanded" true (Calltree.expand_cutoff t n);
+        (match n.kind with
+        | Calltree.Expanded { body; _ } ->
+            check_verifies body;
+            (* constant argument folded inside the trial copy: x*2 -> 42 *)
+            Alcotest.(check int) "body fully folded" 0
+              (count_instrs body (function Ir.Types.Binop _ -> true | _ -> false))
+        | _ -> Alcotest.fail "not expanded");
+        Alcotest.(check bool) "n_opts counted" true
+          (match n.kind with
+          | Calltree.Expanded { n_opts; _ } -> n_opts > 0
+          | _ -> false));
+    test "expansion creates grandchildren cutoffs" (fun () ->
+        let t =
+          tree_of
+            {|def leaf(): Int = 1
+              def mid(): Int = leaf() + leaf()
+              def f(): Int = mid()
+              def main(): Unit = println(f())|}
+            "f"
+        in
+        let n = List.hd t.children in
+        ignore (Calltree.expand_cutoff t n);
+        Alcotest.(check int) "two grandchildren" 2 (List.length n.children);
+        Alcotest.(check int) "cutoff count" 2 (Calltree.tree_n_c t));
+    test "virtual cutoff with profile becomes poly" (fun () ->
+        let t = tree_of poly_src "call" in
+        let n = List.hd t.children in
+        (match n.kind with
+        | Calltree.Cutoff (Calltree.Unknown sel) ->
+            Alcotest.(check string) "selector" "m" sel
+        | _ -> Alcotest.fail "expected unknown cutoff");
+        ignore (Calltree.expand_cutoff t n);
+        match n.kind with
+        | Calltree.Poly _ ->
+            Alcotest.(check int) "3 targets" 3 (List.length n.children);
+            let probs = List.map (fun (c : Calltree.node) -> c.prob) n.children in
+            List.iter
+              (fun p -> Alcotest.(check bool) "prob >= 0.1" true (p >= 0.1))
+              probs
+        | _ -> Alcotest.fail "expected poly");
+    test "virtual cutoff without profile becomes generic" (fun () ->
+        let src =
+          {|abstract class A { def m(): Int }
+            class B() extends A { def m(): Int = 1 }
+            class C() extends A { def m(): Int = 2 }
+            def call(a: A): Int = a.m()
+            def main(): Unit = println(0)|}
+        in
+        let t = tree_of src "call" in
+        let n = List.hd t.children in
+        Alcotest.(check bool) "no expansion" false (Calltree.expand_cutoff t n);
+        match n.kind with
+        | Calltree.Generic _ -> ()
+        | _ -> Alcotest.fail "expected generic");
+    test "recursion beyond the hard limit becomes generic" (fun () ->
+        let src =
+          {|def f(n: Int): Int = if (n <= 0) { 0 } else { f(n - 1) + 1 }
+            def main(): Unit = println(f(30))|}
+        in
+        let t = tree_of src "f" in
+        let rec expand_deep (n : Calltree.node) depth =
+          if depth > 20 then Alcotest.fail "expansion did not hit the limit"
+          else
+            match n.kind with
+            | Calltree.Cutoff _ ->
+                ignore (Calltree.expand_cutoff t n);
+                (match n.kind with
+                | Calltree.Expanded _ ->
+                    List.iter (fun c -> expand_deep c (depth + 1)) n.children
+                | Calltree.Generic _ -> raise Exit
+                | _ -> ())
+            | _ -> ()
+        in
+        match List.iter (fun n -> expand_deep n 0) t.children with
+        | () -> Alcotest.fail "expected a generic recursion stop"
+        | exception Exit -> ());
+    test "local benefit grows with refined args" (fun () ->
+        let t =
+          tree_of
+            {|def g(x: Int): Int = x + 1
+              def h(x: Int): Int = x + 1
+              def f(y: Int): Int = g(5) + h(y)
+              def main(): Unit = println(f(1))|}
+            "f"
+        in
+        let find name =
+          List.find
+            (fun (n : Calltree.node) ->
+              match n.kind with
+              | Calltree.Cutoff (Calltree.Known m) -> (Ir.Program.meth t.prog m).m_name = name
+              | _ -> false)
+            t.children
+        in
+        let g = find "g" and h = find "h" in
+        Alcotest.(check bool) "const arg = more benefit" true
+          (Calltree.local_benefit t g > Calltree.local_benefit t h));
+    test "refresh marks deleted callsites" (fun () ->
+        let t =
+          tree_of
+            {|def g(): Int = 5
+              def f(c: Bool): Int = if (true) { 1 } else { g() }
+              def main(): Unit = println(f(true))|}
+            "f"
+        in
+        (* prepared body already pruned the branch, so g was never a child;
+           instead delete manually: simulate an optimization killing a call *)
+        let t2 =
+          tree_of
+            {|def g(): Int = 5
+              def f(): Int = g()
+              def main(): Unit = println(f())|}
+            "f"
+        in
+        ignore t;
+        let n = List.hd t2.children in
+        Ir.Fn.delete_instr t2.root_fn n.call_vid;
+        Calltree.refresh t2;
+        match n.kind with
+        | Calltree.Deleted -> ()
+        | _ -> Alcotest.fail "expected deleted");
+  ]
+
+let analysis_tests =
+  [
+    test "tuple algebra: merge adds, ratio divides" (fun () ->
+        let r = Analysis.ratio (Analysis.merge (2.0, 4.0) (1.0, 2.0)) in
+        Alcotest.(check (float 1e-9)) "(2+1)/(4+2)" 0.5 r);
+    test "clustering absorbs children that improve the ratio" (fun () ->
+        (* mid alone is worthless (it just forwards); leaf is where the
+           value is — they must end up in one cluster *)
+        let t =
+          tree_of
+            {|def leaf(x: Int): Int = x * 2 + 1
+              def mid(x: Int): Int = leaf(x)
+              def f(): Int = { var i = 0; var s = 0; while (i < 50) { s = s + mid(i); i = i + 1 }; s }
+              def main(): Unit = println(f())|}
+            "f"
+        in
+        Expansion.run t |> ignore;
+        Analysis.run t;
+        let mid = List.hd t.children in
+        (match mid.kind with
+        | Calltree.Expanded _ -> ()
+        | _ -> Alcotest.fail "mid should be expanded");
+        match mid.children with
+        | [ leaf ] ->
+            Alcotest.(check bool) "leaf in mid's cluster" true leaf.in_parent_cluster;
+            Alcotest.(check bool) "front empty" true (mid.front = [])
+        | _ -> Alcotest.fail "expected one grandchild");
+    test "1-by-1 policy never merges" (fun () ->
+        let t =
+          tree_of
+            ~params:(Params.without_clustering Params.default)
+            {|def leaf(x: Int): Int = x * 2 + 1
+              def mid(x: Int): Int = leaf(x)
+              def f(): Int = { var i = 0; var s = 0; while (i < 50) { s = s + mid(i); i = i + 1 }; s }
+              def main(): Unit = println(f())|}
+            "f"
+        in
+        Expansion.run t |> ignore;
+        Analysis.run t;
+        let mid = List.hd t.children in
+        match mid.children with
+        | [ leaf ] -> Alcotest.(check bool) "not merged" false leaf.in_parent_cluster
+        | _ -> Alcotest.fail "expected one grandchild");
+    test "generic children stay out of the front" (fun () ->
+        let t = tree_of poly_src "main" in
+        Expansion.run t |> ignore;
+        Analysis.run t;
+        let rec check_node (n : Calltree.node) =
+          List.iter
+            (fun (m : Calltree.node) ->
+              match m.kind with
+              | Calltree.Generic _ | Calltree.Deleted | Calltree.Cutoff (Calltree.Unknown _)
+                ->
+                  Alcotest.(check bool) "not inlinable in front" false
+                    (List.exists (fun (f : Calltree.node) -> f.nid = m.nid) n.front)
+              | _ -> ())
+            n.children;
+          List.iter check_node n.children
+        in
+        List.iter check_node t.children);
+  ]
+
+let expansion_tests =
+  [
+    test "expansion prefers the hotter subtree" (fun () ->
+        let t =
+          tree_of
+            {|def hot(x: Int): Int = x + 1
+              def cold(x: Int): Int = x * 3
+              def f(): Int = {
+                var i = 0;
+                var s = 0;
+                while (i < 100) { s = s + hot(i); i = i + 1; }
+                s + cold(5)
+              }
+              def main(): Unit = println(f())|}
+            "f"
+        in
+        let expanded = Expansion.run t in
+        Alcotest.(check bool) "expanded something" true (expanded > 0);
+        let hot_expanded =
+          List.exists
+            (fun (n : Calltree.node) ->
+              match n.kind with
+              | Calltree.Expanded _ -> n.freq > 10.0
+              | _ -> false)
+            t.children
+        in
+        Alcotest.(check bool) "hot call expanded" true hot_expanded);
+    test "fixed policy stops at the T_e budget" (fun () ->
+        let src =
+          {|def a(): Int = 1 + 2 + 3
+            def b(): Int = a() + a()
+            def c(): Int = b() + b()
+            def f(): Int = c() + c()
+            def main(): Unit = println(f())|}
+        in
+        let t = tree_of ~params:(Params.with_fixed ~te:1 ~ti:1000 Params.default) src "f" in
+        let expanded = Expansion.run t in
+        Alcotest.(check int) "budget exhausted immediately" 0 expanded);
+    test "recursion penalty suppresses endless self-expansion" (fun () ->
+        let src =
+          {|def f(n: Int): Int = if (n <= 0) { 0 } else { f(n - 1) + 1 }
+            def main(): Unit = println(f(30))|}
+        in
+        let t = tree_of src "f" in
+        let expanded = Expansion.run t in
+        (* must terminate and not blow the per-round cap *)
+        Alcotest.(check bool) "bounded" true
+          (expanded <= Params.default.max_expansions_per_round));
+    test "priority of an expanded node is the max over children" (fun () ->
+        let t =
+          tree_of
+            {|def leaf(): Int = 42
+              def mid(): Int = leaf()
+              def f(): Int = { var i = 0; var s = 0; while (i < 30) { s = s + mid(); i = i + 1 }; s }
+              def main(): Unit = println(f())|}
+            "f"
+        in
+        let mid = List.hd t.children in
+        ignore (Calltree.expand_cutoff t mid);
+        let leaf = List.hd mid.children in
+        let pi_mid = Expansion.intrinsic_priority t mid in
+        let pi_leaf = Expansion.intrinsic_priority t leaf in
+        Alcotest.(check (float 1e-9)) "max rule" pi_leaf pi_mid);
+  ]
+
+let typeswitch_tests =
+  [
+    test "materialized typeswitch preserves behaviour" (fun () ->
+        check_differential poly_src [ "call"; "main" ]);
+    test "typeswitch orders specific classes first" (fun () ->
+        let src =
+          {|class B() { def m(): Int = 1 }
+            class C() extends B { def m(): Int = 2 }
+            def call(b: B): Int = b.m()
+            def main(): Unit = {
+              var i = 0;
+              var s = 0;
+              while (i < 20) {
+                s = s + call(new B()) + call(new C());
+                i = i + 1;
+              }
+              println(s)
+            }|}
+        in
+        check_differential src [ "call" ]);
+    test "megamorphic fallback stays virtual and correct" (fun () ->
+        let src =
+          {|abstract class A { def m(): Int }
+            class B1() extends A { def m(): Int = 1 }
+            class B2() extends A { def m(): Int = 2 }
+            class B3() extends A { def m(): Int = 3 }
+            class B4() extends A { def m(): Int = 4 }
+            class B5() extends A { def m(): Int = 5 }
+            def call(a: A): Int = a.m()
+            def mk(i: Int): A = {
+              if (i % 5 == 0) { new B1() } else {
+              if (i % 5 == 1) { new B2() } else {
+              if (i % 5 == 2) { new B3() } else {
+              if (i % 5 == 3) { new B4() } else { new B5() } } } }
+            }
+            def main(): Unit = {
+              var i = 0;
+              var s = 0;
+              while (i < 50) { s = s + call(mk(i)); i = i + 1 }
+              println(s)
+            }|}
+        in
+        check_differential src [ "call"; "main" ]);
+  ]
+
+let algorithm_tests =
+  [
+    test "end-to-end: compiled code is faster and correct" (fun () ->
+        let src =
+          {|def add1(x: Int): Int = x + 1
+            def f(): Int = { var i = 0; var s = 0; while (i < 100) { s = add1(s); i = i + 1 }; s }
+            def main(): Unit = println(f())|}
+        in
+        let result, prog, vm = compile_with src "f" in
+        Alcotest.(check bool) "inlined" true (result.stats.inlined > 0);
+        Alcotest.(check int) "no calls left" 0 (count_calls result.body);
+        (* run both and compare cycle counts *)
+        let m = Option.get (Ir.Program.find_meth prog "f") in
+        let c0 = vm.cycles in
+        ignore (Runtime.Interp.run_meth vm "f" [ Runtime.Values.Vunit ]);
+        let interp_cycles = vm.cycles - c0 in
+        let vm2 = Runtime.Interp.create prog in
+        vm2.code <- (fun m' -> if m' = m then Some result.body else None);
+        ignore (Runtime.Interp.run_meth vm2 "f" [ Runtime.Values.Vunit ]);
+        Alcotest.(check bool) "faster" true (vm2.cycles < interp_cycles));
+    test "cluster inlining beats partial inlining on foreach shape" (fun () ->
+        check_differential
+          (Workloads.Registry.find "foreach-poly" |> Option.get).source
+          [ "bench" ]);
+    test "termination on recursive root" (fun () ->
+        let src =
+          {|def f(n: Int): Int = if (n <= 1) { 1 } else { n * f(n - 1) }
+            def main(): Unit = println(f(10))|}
+        in
+        let result, _, _ = compile_with src "f" in
+        Alcotest.(check bool) "bounded size" true
+          (result.stats.final_size < Params.default.root_size_cap);
+        check_differential src [ "f" ]);
+    test "root size cap is respected" (fun () ->
+        let params = { Params.default with root_size_cap = 60 } in
+        let src =
+          {|def big(x: Int): Int = x + x * 2 + x * 3 + x * 4 + x * 5 + x * 6 + x * 7
+            def f(): Int = { var i = 0; var s = 0; while (i < 40) { s = s + big(i); i = i + 1 }; s }
+            def main(): Unit = println(f())|}
+        in
+        let result, _, _ = compile_with ~params src "f" in
+        (* one round may overshoot slightly, but it must stop growing *)
+        Alcotest.(check bool) "stopped near cap" true (result.stats.final_size < 400));
+    test "deleted callsites survive rounds (no crash, correct code)" (fun () ->
+        check_differential
+          {|def g(c: Bool): Int = if (c) { 1 } else { 2 }
+            def f(): Int = { var i = 0; var s = 0; while (i < 60) { s = s + g(i % 2 == 0); i = i + 1 }; s }
+            def main(): Unit = println(f())|}
+          [ "f" ]);
+    test "all workloads compile correctly under the incremental inliner" (fun () ->
+        List.iter
+          (fun (w : Workloads.Defs.t) ->
+            let prog = Workloads.Registry.compile w in
+            Opt.Driver.prepare_program prog;
+            let vm = Runtime.Interp.create prog in
+            ignore (Runtime.Interp.run_main vm);
+            Alcotest.(check string) (w.name ^ " interpreted") w.expected
+              (Runtime.Interp.output vm);
+            (* compile every method that ran hot enough, then re-run *)
+            let cache = Hashtbl.create 16 in
+            Ir.Program.iter_meths
+              (fun (m : Ir.Types.meth) ->
+                if
+                  m.body <> None
+                  && Runtime.Profile.invocation_count vm.profiles m.m_id >= 2
+                then begin
+                  let result = Algorithm.compile prog vm.profiles Params.default m.m_id in
+                  (match Ir.Verify.check result.body with
+                  | () -> ()
+                  | exception Ir.Verify.Ill_formed msg ->
+                      Alcotest.failf "%s/%s: %s" w.name m.m_name msg);
+                  Hashtbl.replace cache m.m_id result.Algorithm.body
+                end)
+              prog;
+            let vm2 = Runtime.Interp.create prog in
+            vm2.code <- (fun m -> Hashtbl.find_opt cache m);
+            ignore (Runtime.Interp.run_main vm2);
+            Alcotest.(check string) (w.name ^ " compiled") w.expected
+              (Runtime.Interp.output vm2))
+          Workloads.Registry.all);
+  ]
+
+let params_tests =
+  [
+    test "ablation constructors flip only their toggle" (fun () ->
+        let p = Params.default in
+        Alcotest.(check bool) "clustering off" false
+          (Params.without_clustering p).clustering;
+        Alcotest.(check bool) "deep off" false (Params.without_deep_trials p).deep_trials;
+        match (Params.with_fixed ~te:100 ~ti:200 p).threshold_policy with
+        | Params.Fixed { te = 100; ti = 200 } -> ()
+        | _ -> Alcotest.fail "fixed policy");
+  ]
+
+let math_tests =
+  [
+    test "recursion penalty ψ_r is zero before depth 2" (fun () ->
+        let src =
+          {|def f(n: Int): Int = if (n <= 0) { 0 } else { f(n - 1) + 1 }
+            def main(): Unit = println(f(20))|}
+        in
+        let t = tree_of src "f" in
+        (* the self-recursive callsite at root level: d=1, penalty 0 *)
+        let n1 = List.hd t.children in
+        Alcotest.(check int) "d=1" 1 (Calltree.rec_depth n1);
+        Alcotest.(check (float 1e-9)) "ψ_r(d=1)=0" 0.0 (Expansion.psi_r n1);
+        ignore (Calltree.expand_cutoff t n1);
+        let n2 = List.hd n1.children in
+        Alcotest.(check int) "d=2" 2 (Calltree.rec_depth n2);
+        (* ψ_r(d=2) = max(1,f) * (2^2 - 2) = 2·max(1,f) > 0 *)
+        Alcotest.(check bool) "ψ_r(d=2)>0" true (Expansion.psi_r n2 > 0.0);
+        ignore (Calltree.expand_cutoff t n2);
+        let n3 = List.hd n2.children in
+        Alcotest.(check bool) "ψ_r grows with depth" true
+          (Expansion.psi_r n3 > Expansion.psi_r n2));
+    test "exploration penalty ψ grows with subtree size" (fun () ->
+        let src =
+          {|def big(x: Int): Int = x + x * 2 + x * 3 + x * 4 + x * 5 + x * 6 + x * 7 + x * 8 + x / 3 + x / 5
+            def tiny(x: Int): Int = x
+            def f(): Int = big(1) + tiny(2)
+            def main(): Unit = println(f())|}
+        in
+        let t = tree_of src "f" in
+        let find name =
+          List.find
+            (fun (n : Calltree.node) ->
+              match n.kind with
+              | Calltree.Cutoff (Calltree.Known m) -> (Ir.Program.meth t.prog m).m_name = name
+              | _ -> false)
+            t.children
+        in
+        Alcotest.(check bool) "ψ(big) > ψ(tiny)" true
+          (Expansion.psi t (find "big") > Expansion.psi t (find "tiny")));
+    test "ψ is relieved when few cutoffs remain" (fun () ->
+        (* the b1·max(0, b2 − N_c²) term: with N_c=1 the relief is larger
+           than with many cutoffs, all else equal; verify via the formula's
+           components on a freshly created tree *)
+        let src =
+          "def g(): Int = 1\ndef f(): Int = g()\ndef main(): Unit = println(f())"
+        in
+        let t = tree_of src "f" in
+        let n = List.hd t.children in
+        let p = t.params in
+        let expected =
+          (p.p1 *. float_of_int (Calltree.s_ir t n))
+          +. (p.p2 *. float_of_int (Calltree.s_b t n))
+          -. (p.b1 *. Float.max 0.0 (p.b2 -. 1.0))
+        in
+        Alcotest.(check (float 1e-9)) "formula" expected (Expansion.psi t n));
+    test "adaptive expansion threshold tightens with tree size" (fun () ->
+        let src =
+          "def g(): Int = 1\ndef f(): Int = g()\ndef main(): Unit = println(f())"
+        in
+        let t = tree_of src "f" in
+        let n = List.hd t.children in
+        Alcotest.(check bool) "passes when small" true (Expansion.may_expand t n);
+        (* same node under a tree pretending to be huge: shrink r1 *)
+        let t' = { t with params = { t.params with r1 = -10000.0 } } in
+        Alcotest.(check bool) "fails when the tree is 'huge'" false
+          (Expansion.may_expand t' n));
+    test "poly node size models the typeswitch" (fun () ->
+        let t = tree_of poly_src "call" in
+        let n = List.hd t.children in
+        ignore (Calltree.expand_cutoff t n);
+        Alcotest.(check int) "2 per target" (2 * List.length n.children)
+          (Calltree.node_size t n));
+    test "poly children frequencies split by probability" (fun () ->
+        let t = tree_of poly_src "call" in
+        let n = List.hd t.children in
+        let parent_freq = n.freq in
+        ignore (Calltree.expand_cutoff t n);
+        List.iter
+          (fun (c : Calltree.node) ->
+            Alcotest.(check (float 1e-6)) "freq = parent × prob" (parent_freq *. c.prob)
+              c.freq)
+          n.children;
+        let total_prob = List.fold_left (fun a (c : Calltree.node) -> a +. c.prob) 0.0 n.children in
+        Alcotest.(check bool) "probs ≤ 1" true (total_prob <= 1.0 +. 1e-9));
+    test "fully merged cluster benefit telescopes to the root's B_L" (fun () ->
+        (* documents the Listing-6 semantics: when every descendant merges,
+           interior benefits cancel and the cluster's benefit is the top
+           callsite's local benefit minus the (empty) front *)
+        let src =
+          {|def leaf(x: Int): Int = x + 1
+            def mid(x: Int): Int = leaf(x)
+            def f(): Int = { var i = 0; var s = 0; while (i < 40) { s = s + mid(i); i = i + 1 }; s }
+            def main(): Unit = println(f())|}
+        in
+        let t = tree_of src "f" in
+        ignore (Expansion.run t);
+        Analysis.run t;
+        let mid = List.hd t.children in
+        (match mid.front with
+        | [] ->
+            Alcotest.(check (float 1e-6)) "telescoped"
+              (Calltree.local_benefit t mid)
+              (fst mid.tuple)
+        | _ -> Alcotest.fail "expected an empty front"));
+    test "spec signature detects constants and refined types" (fun () ->
+        let src =
+          {|abstract class A { def m(): Int }
+            class B() extends A { def m(): Int = 1 }
+            class C() extends A { def m(): Int = 2 }
+            def g(a: A, k: Int): Int = a.m() + k
+            def f(): Int = g(new B(), 7)
+            def main(): Unit = println(f())|}
+        in
+        let t = tree_of src "f" in
+        (* pick the call to g (the constructor call comes first in block
+           order) *)
+        let n =
+          List.find
+            (fun (n : Calltree.node) ->
+              match n.kind with
+              | Calltree.Cutoff (Calltree.Known m) ->
+                  (Ir.Program.meth t.prog m).m_name = "g"
+              | _ -> false)
+            t.children
+        in
+        (match n.kind with
+        | Calltree.Cutoff (Calltree.Known m) ->
+            let declared = (Ir.Program.meth t.prog m).m_param_tys in
+            let sg =
+              Calltree.spec_signature t ~owner:n.owner ~call_vid:n.call_vid ~recv_cls:None
+                ~declared
+            in
+            (* params: dummy unit (const), a (refined to B), k (const 7) *)
+            (match sg.(0) with
+            | Some Ir.Types.Cunit, _ -> ()
+            | _ -> Alcotest.fail "unit receiver constant");
+            (match sg.(1) with
+            | _, Some (Ir.Types.Tobj _) -> ()
+            | _ -> Alcotest.fail "receiver type refined");
+            (match sg.(2) with
+            | Some (Ir.Types.Cint 7), _ -> ()
+            | _ -> Alcotest.fail "constant argument")
+        | _ -> Alcotest.fail "expected a known cutoff"));
+    test "signature_improves: gain yes, loss no, change-without-gain no" (fun () ->
+        let prog =
+          compile
+            {|abstract class A {} class B() extends A {}
+              def main(): Unit = {}|}
+        in
+        let cls name =
+          let r = ref (-1) in
+          Ir.Program.iter_classes
+            (fun (c : Ir.Types.cls) -> if c.c_name = name then r := c.c_id)
+            prog;
+          !r
+        in
+        let a = Ir.Types.Tobj (cls "A") and b = Ir.Types.Tobj (cls "B") in
+        let sig_ l = Array.of_list l in
+        Alcotest.(check bool) "type refinement improves" true
+          (Calltree.signature_improves prog
+             ~old_sig:(sig_ [ (None, Some a) ])
+             ~new_sig:(sig_ [ (None, Some b) ]));
+        Alcotest.(check bool) "type loss does not" false
+          (Calltree.signature_improves prog
+             ~old_sig:(sig_ [ (None, Some b) ])
+             ~new_sig:(sig_ [ (None, Some a) ]));
+        Alcotest.(check bool) "new constant improves" true
+          (Calltree.signature_improves prog
+             ~old_sig:(sig_ [ (None, None) ])
+             ~new_sig:(sig_ [ (Some (Ir.Types.Cint 1), None) ]));
+        Alcotest.(check bool) "constant flip alone does not" false
+          (Calltree.signature_improves prog
+             ~old_sig:(sig_ [ (Some (Ir.Types.Cint 1), None) ])
+             ~new_sig:(sig_ [ (Some (Ir.Types.Cint 2), None) ]));
+        Alcotest.(check bool) "identical does not" false
+          (Calltree.signature_improves prog
+             ~old_sig:(sig_ [ (None, Some b) ])
+             ~new_sig:(sig_ [ (None, Some b) ])));
+  ]
+
+let cache_tests =
+  [
+    test "results are identical with and without the trial cache" (fun () ->
+        List.iter
+          (fun wname ->
+            let w = Option.get (Workloads.Registry.find wname) in
+            let prog = Workloads.Registry.compile w in
+            Opt.Driver.prepare_program prog;
+            let vm = Runtime.Interp.create prog in
+            ignore (Runtime.Interp.run_main vm);
+            let cache = Inliner.Trial_cache.create () in
+            Ir.Program.iter_meths
+              (fun (m : Ir.Types.meth) ->
+                if
+                  m.body <> None
+                  && Runtime.Profile.invocation_count vm.profiles m.m_id >= 2
+                then begin
+                  let plain = Algorithm.compile prog vm.profiles Params.default m.m_id in
+                  let cached =
+                    Algorithm.compile ~trial_cache:cache prog vm.profiles Params.default
+                      m.m_id
+                  in
+                  Alcotest.(check string)
+                    (wname ^ "/" ^ m.m_name)
+                    (Ir.Printer.fn_to_string plain.body)
+                    (Ir.Printer.fn_to_string cached.body)
+                end)
+              prog)
+          [ "foreach-poly"; "blas-modes" ]);
+    test "repeated compilations hit the cache" (fun () ->
+        let w = Option.get (Workloads.Registry.find "blas-modes") in
+        let prog = Workloads.Registry.compile w in
+        Opt.Driver.prepare_program prog;
+        let vm = Runtime.Interp.create prog in
+        ignore (Runtime.Interp.run_main vm);
+        let cache = Inliner.Trial_cache.create () in
+        let m = Option.get (Ir.Program.find_meth prog "bench") in
+        ignore (Algorithm.compile ~trial_cache:cache prog vm.profiles Params.default m);
+        let hits1, _, _ = Inliner.Trial_cache.stats cache in
+        ignore (Algorithm.compile ~trial_cache:cache prog vm.profiles Params.default m);
+        let hits2, _, entries = Inliner.Trial_cache.stats cache in
+        Alcotest.(check bool) "second compile hits" true (hits2 > hits1);
+        Alcotest.(check bool) "entries populated" true (entries > 0));
+    test "a cache refuses to span programs" (fun () ->
+        let src = "def g(): Int = 1\ndef f(): Int = g()\ndef main(): Unit = println(f())" in
+        let setup () =
+          let prog = compile src in
+          Opt.Driver.prepare_program prog;
+          let vm = Runtime.Interp.create prog in
+          ignore (Runtime.Interp.run_main vm);
+          (prog, vm)
+        in
+        let prog1, vm1 = setup () in
+        let prog2, vm2 = setup () in
+        let cache = Inliner.Trial_cache.create () in
+        let m1 = Option.get (Ir.Program.find_meth prog1 "f") in
+        let m2 = Option.get (Ir.Program.find_meth prog2 "f") in
+        ignore (Algorithm.compile ~trial_cache:cache prog1 vm1.profiles Params.default m1);
+        match Algorithm.compile ~trial_cache:cache prog2 vm2.profiles Params.default m2 with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument msg ->
+            Alcotest.(check bool) "message" true
+              (contains_substring ~needle:"span programs" msg));
+    test "cache templates are isolated from later mutation" (fun () ->
+        let src =
+          {|def g(x: Int): Int = x * 2 + 1
+            def f(): Int = { var i = 0; var s = 0; while (i < 30) { s = s + g(i); i = i + 1 }; s }
+            def main(): Unit = println(f())|}
+        in
+        let prog = compile src in
+        Opt.Driver.prepare_program prog;
+        let vm = Runtime.Interp.create prog in
+        ignore (Runtime.Interp.run_main vm);
+        let cache = Inliner.Trial_cache.create () in
+        let m = Option.get (Ir.Program.find_meth prog "f") in
+        (* compile twice: the first splices the specialized copy into the
+           root (mutating it through the splice); the second must see a
+           pristine template *)
+        let r1 = Algorithm.compile ~trial_cache:cache prog vm.profiles Params.default m in
+        let r2 = Algorithm.compile ~trial_cache:cache prog vm.profiles Params.default m in
+        Alcotest.(check string) "identical"
+          (Ir.Printer.fn_to_string r1.body)
+          (Ir.Printer.fn_to_string r2.body));
+  ]
+
+let () =
+  Alcotest.run "inliner"
+    [
+      ("cache", cache_tests);
+      ("calltree", calltree_tests);
+      ("analysis", analysis_tests);
+      ("expansion", expansion_tests);
+      ("typeswitch", typeswitch_tests);
+      ("algorithm", algorithm_tests);
+      ("params", params_tests);
+      ("math", math_tests);
+    ]

@@ -1,0 +1,269 @@
+(* Tests for the tiered engine: hotness-triggered compilation, code-cache
+   installation, the compile-cycle meter, and the benchmark harness. *)
+
+open Util
+
+let counting_compiler (counter : int ref) : Jit.Engine.compiler =
+ fun prog _profiles m ->
+  incr counter;
+  match (Ir.Program.meth prog m).body with
+  | Some fn -> Ir.Fn.copy fn
+  | None -> Alcotest.fail "compiling a method without a body"
+
+let hot_src =
+  {|def work(n: Int): Int = { var i = 0; var s = 0; while (i < n) { s = s + i; i = i + 1 }; s }
+    def bench(): Int = work(20)
+    def main(): Unit = println(bench())|}
+
+let engine_tests =
+  [
+    test "methods compile when crossing the hotness threshold" (fun () ->
+        let counter = ref 0 in
+        let e = engine ~hotness:5 hot_src (Some (counting_compiler counter)) "count" in
+        for _ = 1 to 4 do
+          ignore (Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ])
+        done;
+        Alcotest.(check int) "nothing compiled below threshold" 0 !counter;
+        ignore (Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ]);
+        Alcotest.(check int) "bench and work compiled at threshold" 2 !counter);
+    test "each method compiles exactly once" (fun () ->
+        let counter = ref 0 in
+        let e = engine ~hotness:3 hot_src (Some (counting_compiler counter)) "once" in
+        for _ = 1 to 50 do
+          ignore (Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ])
+        done;
+        Alcotest.(check int) "bench + work" 2 !counter);
+    test "installed code is actually used" (fun () ->
+        (* install a stub that returns a constant and observe the change *)
+        let prog = compile hot_src in
+        let e =
+          Jit.Engine.create prog
+            {
+              name = "stub";
+              compiler =
+                Some
+                  (fun _ _ _ ->
+                    let open Ir.Types in
+                    let fn = Ir.Fn.create ~fname:"stub" ~param_tys:[| Tunit |] ~rty:Tint in
+                    let b = Ir.Fn.add_block fn in
+                    fn.entry <- b;
+                    let c = Ir.Fn.append fn b (Const (Cint 777)) in
+                    Ir.Fn.set_term fn b (Return c);
+                    fn);
+              hotness_threshold = 3;
+              compile_cost_per_node = 1;
+              verify = true;
+            }
+        in
+        let last = ref Runtime.Values.Vunit in
+        for _ = 1 to 5 do
+          last := Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ]
+        done;
+        Alcotest.(check int) "stub result" 777 (Runtime.Values.as_int !last));
+    test "interpreter config never compiles" (fun () ->
+        let e = engine hot_src None "interp" in
+        for _ = 1 to 50 do
+          ignore (Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ])
+        done;
+        Alcotest.(check int) "no code" 0 (Jit.Engine.installed_methods e));
+    test "compile cycles metered per installed node" (fun () ->
+        let e = engine ~hotness:2 hot_src (Some (incremental ())) "meter" in
+        for _ = 1 to 10 do
+          ignore (Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ])
+        done;
+        Alcotest.(check bool) "compile cycles > 0" true (e.compile_cycles > 0);
+        Alcotest.(check int) "cycles = 50 * size" (50 * Jit.Engine.installed_code_size e)
+          e.compile_cycles);
+    test "code size accounts installed bodies" (fun () ->
+        let e = engine ~hotness:2 hot_src (Some (incremental ())) "size" in
+        for _ = 1 to 10 do
+          ignore (Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ])
+        done;
+        Alcotest.(check bool) "some code" true (Jit.Engine.installed_code_size e > 0);
+        match Jit.Engine.compiled_body e "bench" with
+        | Some fn -> check_verifies fn
+        | None -> Alcotest.fail "bench not in cache");
+  ]
+
+let harness_tests =
+  [
+    test "harness iterations speed up after compilation" (fun () ->
+        let e = engine ~hotness:5 hot_src (Some (incremental ())) "warm" in
+        let run = Jit.Harness.run_benchmark ~iters:30 e ~entry:"bench" ~label:"warm" in
+        let first = (List.hd run.iterations).cycles in
+        Alcotest.(check bool) "peak below first" true (run.peak_cycles < float_of_int first);
+        Alcotest.(check int) "30 iterations" 30 (List.length run.iterations));
+    test "harness peak uses the steady-state window" (fun () ->
+        let e = engine hot_src None "flat" in
+        let run = Jit.Harness.run_benchmark ~iters:10 e ~entry:"bench" ~label:"flat" in
+        (* interpreter-only: every iteration costs the same *)
+        Alcotest.(check (float 0.5)) "stddev 0" 0.0 run.peak_stddev);
+    test "harness records code growth" (fun () ->
+        let e = engine ~hotness:3 hot_src (Some (incremental ())) "growth" in
+        let run = Jit.Harness.run_benchmark ~iters:10 e ~entry:"bench" ~label:"g" in
+        let first = List.hd run.iterations in
+        let last = List.nth run.iterations 9 in
+        Alcotest.(check bool) "methods appear" true
+          (last.compiled_methods > first.compiled_methods || first.compiled_methods > 0));
+  ]
+
+(* Phase shift: the receiver distribution at a shared callsite changes
+   after the method compiles — the paper's Section II "noisy estimates /
+   phase shifts" difficulty. With speculation management on, the stale
+   typeswitch is invalidated and the method recompiles against the new
+   profile. *)
+let phase_shift_src =
+  {|abstract class A { def m(): Int }
+    class B() extends A { def m(): Int = 1 }
+    class C() extends A { def m(): Int = 2 }
+    def call(a: A): Int = a.m() + a.m() + a.m()
+    def main(): Unit = println(call(new B()) + call(new C()))|}
+
+(* [call] is driven directly with receivers built from the host side, so
+   its own compiled code (and its typeswitch speculation) stays live —
+   no caller ever inlines it. *)
+let spec_engine ?spec_miss_threshold () =
+  let prog = compile phase_shift_src in
+  let e =
+    Jit.Engine.create ?spec_miss_threshold prog
+      {
+        name = "spec";
+        compiler = Some (incremental ());
+        hotness_threshold = 4;
+        compile_cost_per_node = 50;
+        verify = true;
+      }
+  in
+  let mk name =
+    let cls =
+      let r = ref (-1) in
+      Ir.Program.iter_classes
+        (fun (c : Ir.Types.cls) -> if c.c_name = name then r := c.c_id)
+        prog;
+      !r
+    in
+    Runtime.Values.alloc_obj prog cls
+  in
+  (e, mk "B", mk "C")
+
+let drive e receiver n =
+  let last = ref 0 in
+  for _ = 1 to n do
+    last :=
+      Runtime.Values.as_int
+        (Jit.Engine.run_meth e "call" [ Runtime.Values.Vunit; receiver ])
+  done;
+  !last
+
+let speculation_tests =
+  [
+    test "phase shift invalidates and recompiles" (fun () ->
+        let e, b, c = spec_engine ~spec_miss_threshold:50 () in
+        (* phase 1: train the speculation on B receivers *)
+        Alcotest.(check int) "phase 1 result" 3 (drive e b 30);
+        Alcotest.(check int) "no invalidations yet" 0 (List.length e.invalidations);
+        (* phase 2: only C receivers — every dispatch misses the typeswitch *)
+        Alcotest.(check int) "phase 2 result" 6 (drive e c 60);
+        Alcotest.(check bool) "call invalidated" true (List.length e.invalidations >= 1);
+        let call_m = Option.get (Ir.Program.find_meth e.vm.prog "call") in
+        Alcotest.(check bool) "call recompiled" true (Hashtbl.mem e.code_cache call_m);
+        Alcotest.(check int) "still correct" 6 (drive e c 1));
+    test "recompilation improves post-shift performance" (fun () ->
+        let measure ?spec_miss_threshold () =
+          let e, b, c = spec_engine ?spec_miss_threshold () in
+          ignore (drive e b 30);
+          ignore (drive e c 60);
+          let c0 = e.vm.cycles in
+          ignore (drive e c 20);
+          e.vm.cycles - c0
+        in
+        let with_inval = measure ~spec_miss_threshold:50 () in
+        let without = measure () in
+        if with_inval >= without then
+          Alcotest.failf "recompilation did not help: %d vs %d" with_inval without);
+    test "invalidations are bounded by max_recompiles" (fun () ->
+        let e, b, c = spec_engine ~spec_miss_threshold:20 () in
+        ignore (drive e b 10);
+        (* alternate phases to provoke repeated misses *)
+        for _ = 1 to 40 do
+          ignore (drive e c 3);
+          ignore (drive e b 3)
+        done;
+        Alcotest.(check bool) "bounded" true (List.length e.invalidations <= 2));
+    test "disabled by default" (fun () ->
+        let e, b, c = spec_engine () in
+        ignore (drive e b 30);
+        ignore (drive e c 100);
+        Alcotest.(check int) "no invalidations" 0 (List.length e.invalidations));
+  ]
+
+let async_tests =
+  [
+    test "async compilation delays installation by the compile latency" (fun () ->
+        let prog = compile hot_src in
+        let e =
+          Jit.Engine.create ~async_compile:true prog
+            { name = "async"; compiler = Some (incremental ()); hotness_threshold = 3;
+              compile_cost_per_node = 1000 (* long latency *); verify = true }
+        in
+        (* cross the threshold: code is produced but pending *)
+        for _ = 1 to 3 do
+          ignore (Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ])
+        done;
+        Alcotest.(check bool) "pending" true (Hashtbl.length e.pending > 0);
+        Alcotest.(check int) "nothing installed yet" 0 (Jit.Engine.installed_methods e);
+        (* keep running: the simulated latency elapses and code installs *)
+        for _ = 1 to 200 do
+          ignore (Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ])
+        done;
+        Alcotest.(check bool) "installed eventually" true
+          (Jit.Engine.installed_methods e > 0));
+    test "async and sync converge to the same steady state" (fun () ->
+        let peak async =
+          let prog = compile hot_src in
+          let e =
+            Jit.Engine.create ~async_compile:async prog
+              { name = "x"; compiler = Some (incremental ()); hotness_threshold = 3;
+                compile_cost_per_node = 50; verify = false }
+          in
+          let run = Jit.Harness.run_benchmark ~iters:60 e ~entry:"bench" ~label:"x" in
+          run.peak_cycles
+        in
+        Alcotest.(check (float 0.5)) "same peak" (peak false) (peak true));
+    test "async warmup is slower than sync warmup" (fun () ->
+        let cycles_first_k async =
+          let prog = compile hot_src in
+          let e =
+            Jit.Engine.create ~async_compile:async prog
+              { name = "x"; compiler = Some (incremental ()); hotness_threshold = 3;
+                compile_cost_per_node = 500; verify = false }
+          in
+          let run = Jit.Harness.run_benchmark ~iters:25 e ~entry:"bench" ~label:"x" in
+          List.fold_left (fun acc (it : Jit.Harness.iteration) -> acc + it.cycles) 0
+            run.iterations
+        in
+        Alcotest.(check bool) "async pays warmup" true
+          (cycles_first_k true >= cycles_first_k false));
+    test "pending code still profiles (interpreted meanwhile)" (fun () ->
+        let prog = compile hot_src in
+        let e =
+          Jit.Engine.create ~async_compile:true prog
+            { name = "async"; compiler = Some (incremental ()); hotness_threshold = 3;
+              compile_cost_per_node = 100000; verify = false }
+        in
+        for _ = 1 to 10 do
+          ignore (Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ])
+        done;
+        let m = Option.get (Ir.Program.find_meth prog "bench") in
+        Alcotest.(check bool) "profile keeps growing" true
+          (Runtime.Profile.invocation_count e.vm.profiles m >= 10));
+  ]
+
+let () =
+  Alcotest.run "jit"
+    [
+      ("engine", engine_tests);
+      ("harness", harness_tests);
+      ("speculation", speculation_tests);
+      ("async", async_tests);
+    ]

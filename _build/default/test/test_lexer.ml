@@ -1,0 +1,84 @@
+(* Unit tests for the Sel lexer. *)
+
+open Util
+open Frontend.Lexer
+
+let toks src = List.map (fun t -> t.t) (tokenize src)
+
+let tok = Alcotest.testable (fun ppf t -> Fmt.string ppf (token_to_string t)) ( = )
+
+let tests =
+  [
+    test "empty input yields EOF" (fun () ->
+        Alcotest.(check (list tok)) "eof" [ EOF ] (toks ""));
+    test "integers" (fun () ->
+        Alcotest.(check (list tok)) "ints" [ INT 0; INT 42; INT 1234567; EOF ]
+          (toks "0 42 1234567"));
+    test "identifiers and keywords" (fun () ->
+        Alcotest.(check (list tok))
+          "mix"
+          [ KW "class"; IDENT "Foo"; KW "def"; IDENT "bar"; KW "this"; EOF ]
+          (toks "class Foo def bar this"));
+    test "identifier with digits, underscore, dollar" (fun () ->
+        Alcotest.(check (list tok)) "id" [ IDENT "a_b2$c"; EOF ] (toks "a_b2$c"));
+    test "two-char operators win over one-char" (fun () ->
+        Alcotest.(check (list tok))
+          "ops"
+          [ PUNCT "=>"; PUNCT "=="; PUNCT "!="; PUNCT "<="; PUNCT ">="; PUNCT "<<";
+            PUNCT ">>"; PUNCT "&&"; PUNCT "||"; EOF ]
+          (toks "=> == != <= >= << >> && ||"));
+    test "adjacent = = is two tokens" (fun () ->
+        Alcotest.(check (list tok)) "eq" [ PUNCT "="; PUNCT "="; EOF ] (toks "= ="));
+    test "punctuation" (fun () ->
+        Alcotest.(check (list tok))
+          "punct"
+          [ PUNCT "("; PUNCT ")"; PUNCT "{"; PUNCT "}"; PUNCT "["; PUNCT "]";
+            PUNCT ","; PUNCT ";"; PUNCT ":"; PUNCT "."; EOF ]
+          (toks "(){}[],;:."));
+    test "string literal" (fun () ->
+        Alcotest.(check (list tok)) "str" [ STRING "hello"; EOF ] (toks "\"hello\""));
+    test "string escapes" (fun () ->
+        Alcotest.(check (list tok))
+          "esc" [ STRING "a\nb\tc\\d\"e"; EOF ]
+          (toks {|"a\nb\tc\\d\"e"|}));
+    test "line comment skipped" (fun () ->
+        Alcotest.(check (list tok)) "comment" [ INT 1; INT 2; EOF ]
+          (toks "1 // comment here\n2"));
+    test "block comment skipped" (fun () ->
+        Alcotest.(check (list tok)) "comment" [ INT 1; INT 2; EOF ] (toks "1 /* x */ 2"));
+    test "nested block comments" (fun () ->
+        Alcotest.(check (list tok)) "nested" [ INT 1; INT 2; EOF ]
+          (toks "1 /* a /* b */ c */ 2"));
+    test "unterminated string is an error" (fun () ->
+        match tokenize "\"abc" with
+        | _ -> Alcotest.fail "expected Lex_error"
+        | exception Lex_error (msg, _) ->
+            Alcotest.(check bool) "message" true
+              (String.length msg > 0));
+    test "unterminated block comment is an error" (fun () ->
+        match tokenize "/* abc" with
+        | _ -> Alcotest.fail "expected Lex_error"
+        | exception Lex_error _ -> ());
+    test "invalid escape is an error" (fun () ->
+        match tokenize {|"\q"|} with
+        | _ -> Alcotest.fail "expected Lex_error"
+        | exception Lex_error _ -> ());
+    test "unexpected character is an error" (fun () ->
+        match tokenize "#" with
+        | _ -> Alcotest.fail "expected Lex_error"
+        | exception Lex_error _ -> ());
+    test "positions track lines and columns" (fun () ->
+        let ts = tokenize "a\n  b" in
+        match ts with
+        | [ a; b; _eof ] ->
+            Alcotest.(check int) "a line" 1 a.pos.line;
+            Alcotest.(check int) "a col" 1 a.pos.col;
+            Alcotest.(check int) "b line" 2 b.pos.line;
+            Alcotest.(check int) "b col" 3 b.pos.col
+        | _ -> Alcotest.fail "token count");
+    test "keywords are not identifiers" (fun () ->
+        Alcotest.(check (list tok)) "kw" [ KW "while"; IDENT "whilex"; EOF ]
+          (toks "while whilex"));
+  ]
+
+let () = Alcotest.run "lexer" [ ("lexer", tests) ]

@@ -1,0 +1,169 @@
+(* Tests for SSA lowering: the produced IR verifies, has the expected
+   shape (phis at joins and loop headers, site keys assigned), and
+   evaluates correctly (behavioural checks live mostly in test_interp; a
+   few here pin lowering-specific semantics like short-circuiting). *)
+
+open Util
+open Ir.Types
+
+let fn_of src name =
+  let prog = compile src in
+  body_of prog name
+
+let has_phi fn = count_instrs fn Ir.Instr.is_phi > 0
+
+let tests =
+  [
+    test "every lowered method verifies" (fun () ->
+        let prog =
+          compile
+            {|abstract class A { def m(x: Int): Int }
+              class B() extends A { def m(x: Int): Int = x + 1 }
+              def f(a: A, n: Int): Int = {
+                var acc = 0;
+                var i = 0;
+                while (i < n) { acc = acc + a.m(i); i = i + 1; }
+                if (acc > 100) { acc - 100 } else { acc }
+              }
+              def main(): Unit = println(f(new B(), 10))|}
+        in
+        match Ir.Verify.check_program prog with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+    test "straight-line code has no phis" (fun () ->
+        let fn = fn_of "def f(a: Int): Int = a + 2 * a\ndef main(): Unit = {}" "f" in
+        Alcotest.(check bool) "no phi" false (has_phi fn));
+    test "loop variable becomes a phi" (fun () ->
+        let fn =
+          fn_of
+            "def f(n: Int): Int = { var i = 0; while (i < n) { i = i + 1 }; i }\ndef main(): Unit = {}"
+            "f"
+        in
+        Alcotest.(check bool) "phi" true (has_phi fn));
+    test "if-else value becomes a phi" (fun () ->
+        let fn =
+          fn_of "def f(c: Bool): Int = if (c) { 1 } else { 2 }\ndef main(): Unit = {}" "f"
+        in
+        Alcotest.(check bool) "phi" true (has_phi fn));
+    test "variable not modified in branch needs no phi" (fun () ->
+        let fn =
+          fn_of
+            "def f(c: Bool, x: Int): Int = { if (c) { println(1) }; x }\ndef main(): Unit = {}"
+            "f"
+        in
+        Alcotest.(check bool) "no phi" false (has_phi fn));
+    test "call sites get distinct site keys" (fun () ->
+        let src = "def g(): Int = 1\ndef f(): Int = g() + g() + g()\ndef main(): Unit = {}" in
+        let fn = fn_of src "f" in
+        let sites = ref [] in
+        Ir.Fn.iter_instrs
+          (fun i ->
+            match i.kind with
+            | Call { site; _ } -> sites := site.sidx :: !sites
+            | _ -> ())
+          fn;
+        Alcotest.(check int) "3 calls" 3 (List.length !sites);
+        Alcotest.(check int) "distinct" 3 (List.length (List.sort_uniq compare !sites)));
+    test "short-circuit && skips rhs" (fun () ->
+        (* rhs would trap on division by zero if evaluated *)
+        let out =
+          output_of
+            {|def main(): Unit = {
+                val x = 0;
+                if (x > 0 && 10 / x > 1) { println("yes") } else { println("no") }
+              }|}
+        in
+        Alcotest.(check string) "out" "no\n" out);
+    test "short-circuit || skips rhs" (fun () ->
+        let out =
+          output_of
+            {|def main(): Unit = {
+                val x = 0;
+                if (x == 0 || 10 / x > 1) { println("yes") } else { println("no") }
+              }|}
+        in
+        Alcotest.(check string) "out" "yes\n" out);
+    test "nested loops verify and run" (fun () ->
+        let n =
+          run_int
+            {|def f(): Int = {
+                var acc = 0;
+                var i = 0;
+                while (i < 5) {
+                  var j = 0;
+                  while (j < 4) { acc = acc + i * j; j = j + 1; }
+                  i = i + 1;
+                }
+                acc
+              }
+              def main(): Unit = println(f())|}
+            "f"
+        in
+        Alcotest.(check int) "result" 60 n);
+    test "while condition with && lowers correctly" (fun () ->
+        let n =
+          run_int
+            {|def f(): Int = {
+                var i = 0;
+                var go = true;
+                while (go && i < 10) { i = i + 1; if (i == 7) { go = false } }
+                i
+              }
+              def main(): Unit = println(f())|}
+            "f"
+        in
+        Alcotest.(check int) "result" 7 n);
+    test "block value is last expression" (fun () ->
+        Alcotest.(check int) "value" 5
+          (run_int "def f(): Int = { 1; 2; 5 }\ndef main(): Unit = {}" "f"));
+    test "empty block is unit" (fun () ->
+        ignore (compile "def f(): Unit = {}\ndef main(): Unit = f()"));
+    test "constructor initializes parent before own fields" (fun () ->
+        let out =
+          output_of
+            {|class A(x: Int) { def gx(): Int = x }
+              class B(y: Int) extends A(y + 1) { def gy(): Int = y }
+              def main(): Unit = {
+                val b = new B(10);
+                println(b.gx());
+                println(b.gy());
+              }|}
+        in
+        Alcotest.(check string) "out" "11\n10\n" out);
+    test "shadowing in nested scopes" (fun () ->
+        let n =
+          run_int
+            {|def f(): Int = {
+                val x = 1;
+                val y = { val x = 2; x + 10 };
+                x + y
+              }
+              def main(): Unit = println(f())|}
+            "f"
+        in
+        Alcotest.(check int) "result" 13 n);
+    test "scopes close: inner let does not leak" (fun () ->
+        ignore
+          (compile_err
+             "def f(): Int = { if (true) { val z = 1; z }; z }\ndef main(): Unit = {}"));
+    test "params land in slots 0..n" (fun () ->
+        let fn = fn_of "def f(a: Int, b: Int): Int = a + b\ndef main(): Unit = {}" "f" in
+        let params = ref [] in
+        Ir.Fn.iter_instrs
+          (fun i -> match i.kind with Param k -> params := k :: !params | _ -> ())
+          fn;
+        Alcotest.(check (list int)) "params" [ 0; 1; 2 ] (List.sort compare !params));
+    test "unit-returning method returns a unit constant" (fun () ->
+        let fn = fn_of "def f(): Unit = { println(1) }\ndef main(): Unit = {}" "f" in
+        let ok = ref false in
+        Ir.Fn.iter_blocks
+          (fun blk ->
+            match blk.term with
+            | Return v -> (
+                match Ir.Fn.kind fn v with Const Cunit -> ok := true | _ -> ())
+            | _ -> ())
+          fn;
+        Alcotest.(check bool) "returns unit" true !ok);
+  ]
+
+let () = Alcotest.run "lower" [ ("lower", tests) ]

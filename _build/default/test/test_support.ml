@@ -1,0 +1,144 @@
+(* Unit tests for the support library: Vec, Rng, Stats. *)
+
+open Util
+
+let vec_tests =
+  [
+    test "push/get/length" (fun () ->
+        let v = Support.Vec.create ~dummy:0 in
+        Alcotest.(check int) "empty" 0 (Support.Vec.length v);
+        Support.Vec.push v 10;
+        Support.Vec.push v 20;
+        Alcotest.(check int) "len" 2 (Support.Vec.length v);
+        Alcotest.(check int) "get0" 10 (Support.Vec.get v 0);
+        Alcotest.(check int) "get1" 20 (Support.Vec.get v 1));
+    test "set" (fun () ->
+        let v = Support.Vec.of_list ~dummy:0 [ 1; 2; 3 ] in
+        Support.Vec.set v 1 99;
+        Alcotest.(check (list int)) "list" [ 1; 99; 3 ] (Support.Vec.to_list v));
+    test "growth beyond initial capacity" (fun () ->
+        let v = Support.Vec.create ~dummy:(-1) in
+        for i = 0 to 99 do
+          Support.Vec.push v i
+        done;
+        Alcotest.(check int) "len" 100 (Support.Vec.length v);
+        Alcotest.(check int) "last" 99 (Support.Vec.get v 99);
+        Alcotest.(check int) "first" 0 (Support.Vec.get v 0));
+    test "pop" (fun () ->
+        let v = Support.Vec.of_list ~dummy:0 [ 1; 2 ] in
+        Alcotest.(check int) "pop" 2 (Support.Vec.pop v);
+        Alcotest.(check int) "len" 1 (Support.Vec.length v));
+    test "out-of-bounds get raises" (fun () ->
+        let v = Support.Vec.of_list ~dummy:0 [ 1 ] in
+        Alcotest.check_raises "get 1" (Invalid_argument "Vec.get: index out of bounds")
+          (fun () -> ignore (Support.Vec.get v 1)));
+    test "pop empty raises" (fun () ->
+        let v = Support.Vec.create ~dummy:0 in
+        Alcotest.check_raises "pop" (Invalid_argument "Vec.pop: empty") (fun () ->
+            ignore (Support.Vec.pop v)));
+    test "iteri order" (fun () ->
+        let v = Support.Vec.of_list ~dummy:0 [ 5; 6; 7 ] in
+        let acc = ref [] in
+        Support.Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+        Alcotest.(check (list (pair int int)))
+          "pairs" [ (0, 5); (1, 6); (2, 7) ] (List.rev !acc));
+    test "fold_left" (fun () ->
+        let v = Support.Vec.of_list ~dummy:0 [ 1; 2; 3; 4 ] in
+        Alcotest.(check int) "sum" 10 (Support.Vec.fold_left ( + ) 0 v));
+    test "exists" (fun () ->
+        let v = Support.Vec.of_list ~dummy:0 [ 1; 2; 3 ] in
+        Alcotest.(check bool) "has 2" true (Support.Vec.exists (( = ) 2) v);
+        Alcotest.(check bool) "no 9" false (Support.Vec.exists (( = ) 9) v));
+    test "copy is independent" (fun () ->
+        let v = Support.Vec.of_list ~dummy:0 [ 1; 2 ] in
+        let w = Support.Vec.copy v in
+        Support.Vec.set w 0 42;
+        Alcotest.(check int) "original intact" 1 (Support.Vec.get v 0));
+    test "clear" (fun () ->
+        let v = Support.Vec.of_list ~dummy:0 [ 1; 2 ] in
+        Support.Vec.clear v;
+        Alcotest.(check bool) "empty" true (Support.Vec.is_empty v));
+  ]
+
+let rng_tests =
+  [
+    test "deterministic for equal seeds" (fun () ->
+        let a = Support.Rng.create 42 and b = Support.Rng.create 42 in
+        for _ = 1 to 10 do
+          Alcotest.(check int) "same" (Support.Rng.int a 1000) (Support.Rng.int b 1000)
+        done);
+    test "different seeds differ" (fun () ->
+        let a = Support.Rng.create 1 and b = Support.Rng.create 2 in
+        let xs = List.init 8 (fun _ -> Support.Rng.int a 1_000_000) in
+        let ys = List.init 8 (fun _ -> Support.Rng.int b 1_000_000) in
+        Alcotest.(check bool) "sequences differ" true (xs <> ys));
+    test "int respects bound" (fun () ->
+        let g = Support.Rng.create 7 in
+        for _ = 1 to 1000 do
+          let x = Support.Rng.int g 17 in
+          if x < 0 || x >= 17 then Alcotest.failf "out of range: %d" x
+        done);
+    test "int rejects non-positive bound" (fun () ->
+        let g = Support.Rng.create 7 in
+        Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+          (fun () -> ignore (Support.Rng.int g 0)));
+    test "float in [0,1)" (fun () ->
+        let g = Support.Rng.create 13 in
+        for _ = 1 to 1000 do
+          let x = Support.Rng.float g in
+          if x < 0.0 || x >= 1.0 then Alcotest.failf "out of range: %f" x
+        done);
+    test "pick from singleton" (fun () ->
+        let g = Support.Rng.create 3 in
+        Alcotest.(check int) "only" 5 (Support.Rng.pick g [ 5 ]));
+    test "shuffle preserves elements" (fun () ->
+        let g = Support.Rng.create 11 in
+        let xs = [ 1; 2; 3; 4; 5; 6 ] in
+        Alcotest.(check (list int))
+          "sorted" xs
+          (List.sort compare (Support.Rng.shuffle g xs)));
+    test "copy forks the stream" (fun () ->
+        let a = Support.Rng.create 9 in
+        ignore (Support.Rng.int a 10);
+        let b = Support.Rng.copy a in
+        Alcotest.(check int) "same next" (Support.Rng.int a 1000) (Support.Rng.int b 1000));
+  ]
+
+let stats_tests =
+  [
+    test "mean" (fun () ->
+        Alcotest.(check (float 1e-9)) "mean" 2.0 (Support.Stats.mean [ 1.0; 2.0; 3.0 ]));
+    test "stddev of constant series is 0" (fun () ->
+        Alcotest.(check (float 1e-9)) "std" 0.0 (Support.Stats.stddev [ 5.0; 5.0; 5.0 ]));
+    test "stddev simple" (fun () ->
+        (* sample stddev of [2,4] = sqrt(2) *)
+        Alcotest.(check (float 1e-9)) "std" (sqrt 2.0) (Support.Stats.stddev [ 2.0; 4.0 ]));
+    test "geomean" (fun () ->
+        Alcotest.(check (float 1e-9)) "geo" 2.0 (Support.Stats.geomean [ 1.0; 4.0 ]));
+    test "geomean rejects non-positive" (fun () ->
+        Alcotest.check_raises "neg" (Invalid_argument "Stats.geomean: non-positive value")
+          (fun () -> ignore (Support.Stats.geomean [ 1.0; -1.0 ])));
+    test "min_max" (fun () ->
+        let lo, hi = Support.Stats.min_max [ 3.0; 1.0; 2.0 ] in
+        Alcotest.(check (float 0.0)) "lo" 1.0 lo;
+        Alcotest.(check (float 0.0)) "hi" 3.0 hi);
+    test "steady-state window takes last 40%" (fun () ->
+        let xs = List.init 10 float_of_int in
+        Alcotest.(check (list (float 0.0)))
+          "window" [ 6.0; 7.0; 8.0; 9.0 ]
+          (Support.Stats.steady_state_window xs));
+    test "steady-state window caps at 20" (fun () ->
+        let xs = List.init 100 float_of_int in
+        Alcotest.(check int) "len" 20
+          (List.length (Support.Stats.steady_state_window xs)));
+    test "steady-state of single sample" (fun () ->
+        Alcotest.(check (list (float 0.0))) "one" [ 7.0 ]
+          (Support.Stats.steady_state_window [ 7.0 ]));
+    test "mean of empty raises" (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty") (fun () ->
+            ignore (Support.Stats.mean [])));
+  ]
+
+let () =
+  Alcotest.run "support"
+    [ ("vec", vec_tests); ("rng", rng_tests); ("stats", stats_tests) ]

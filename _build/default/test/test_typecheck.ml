@@ -1,0 +1,263 @@
+(* Unit tests for the type checker: acceptance, rejection with the right
+   kind of error, class-table construction, and lambda lifting. *)
+
+open Util
+
+let accepts what src = test what (fun () -> ignore (compile src))
+
+let rejects what needle src =
+  test what (fun () ->
+      let msg = compile_err src in
+      if not (contains_substring ~needle msg) then
+        Alcotest.failf "error %S does not mention %S" msg needle)
+
+let tests_accept =
+  [
+    accepts "minimal main" "def main(): Unit = {}";
+    accepts "lambda stored in array and invoked"
+      {|def main(): Unit = {
+          val fs = new Array[Int => Int](2);
+          fs[0] = (x: Int) => x + 1;
+          fs[1] = (x: Int) => x * 2;
+          println(fs[0](10) + fs[1](10));
+        }|};
+    accepts "lambda returned from a method and composed"
+      {|class Adder(k: Int) { def fn(): Int => Int = (x: Int) => x + k }
+        def compose(f: Int => Int, g: Int => Int): Int => Int = (x: Int) => f(g(x))
+        def main(): Unit = println(compose(new Adder(1).fn(), new Adder(2).fn())(10))|};
+    accepts "lambda created inside a constructor body context"
+      {|class C(seed: Int) {
+          def make(): Int => Int = (x: Int) => x + seed
+        }
+        def main(): Unit = println(new C(5).make()(1))|};
+    accepts "three-level inheritance dispatch"
+      {|class A() { def m(): Int = 1 }
+        class B() extends A { def m(): Int = 2 }
+        class C() extends B {}
+        def main(): Unit = println(new C().m())|};
+    accepts "method on expression result chain"
+      {|class W(v: Int) { def next(): W = new W(v + 1) def get(): Int = v }
+        def main(): Unit = println(new W(0).next().next().next().get())|};
+    accepts "two-argument lambda via multi-arg function type"
+      {|def apply2(f: (Int, Int) => Int): Int = f(3, 4)
+        def main(): Unit = println(apply2((a: Int, b: Int) => a * b))|};
+    accepts "zero-argument lambda"
+      {|def force(f: () => Int): Int = f()
+        def main(): Unit = println(force(() => 42))|};
+    accepts "abstract method used inside abstract class's concrete method"
+      {|abstract class A { def m(): Int def twice(): Int = m() + m() }
+        class B() extends A { def m(): Int = 3 }
+        def main(): Unit = println(new B().twice())|};
+    accepts "null comparison in condition"
+      {|class N(next: N) { def hasNext(): Bool = next != null }
+        def main(): Unit = println(new N(null).hasNext())|};
+    accepts "arithmetic"
+      "def f(): Int = 1 + 2 * 3 / 4 % 5 - (6 << 1) + (7 >> 2)\ndef main(): Unit = println(f())";
+    accepts "bool ops" "def f(a: Bool, b: Bool): Bool = a && b || !a ^ b\ndef main(): Unit = {}";
+    accepts "class with methods"
+      "class P(x: Int, y: Int) { def sum(): Int = x + y }\ndef main(): Unit = println(new P(1,2).sum())";
+    accepts "inheritance and override"
+      {|abstract class A { def m(): Int }
+        class B() extends A { def m(): Int = 1 }
+        def main(): Unit = println(new B().m())|};
+    accepts "parent ctor args"
+      {|class A(x: Int) { def getx(): Int = x }
+        class B(y: Int) extends A(y * 2) {}
+        def main(): Unit = println(new B(21).getx())|};
+    accepts "field declared with var"
+      {|class C() { var f: Int def bump(): Int = { this.f = this.f + 1; f } }
+        def main(): Unit = println(new C().bump())|};
+    accepts "lambda and apply"
+      "def main(): Unit = { val f = (x: Int) => x + 1; println(f(41)) }";
+    accepts "lambda capturing val"
+      "def main(): Unit = { val k = 10; val f = (x: Int) => x + k; println(f(1)) }";
+    accepts "lambda capturing this field"
+      {|class C(base: Int) { def adder(): Int => Int = (x: Int) => x + base }
+        def main(): Unit = println(new C(5).adder()(2))|};
+    accepts "nested lambda capture"
+      {|def main(): Unit = {
+          val a = 1;
+          val f = (x: Int) => { val g = (y: Int) => x + y + a; g(2) };
+          println(f(3))
+        }|};
+    accepts "null assigned to object type"
+      "class C() {}\ndef main(): Unit = { var c: C = null; c = new C(); }";
+    accepts "if joins related classes"
+      {|abstract class A {} class B() extends A {} class C() extends A {}
+        def pick(f: Bool): A = if (f) { new B() } else { new C() }
+        def main(): Unit = {}|};
+    accepts "arrays of objects"
+      "class C() {}\ndef main(): Unit = { val a = new Array[C](3); a[0] = new C(); }";
+    accepts "string operations"
+      {|def main(): Unit = { val s = "ab"; println(s.length + strget(s, 0)); println(streq(s, "ab")) }|};
+    accepts "reference equality on objects"
+      "class C() {}\ndef main(): Unit = { val c = new C(); println(c == c) }";
+    accepts "recursion" "def fib(n: Int): Int = if (n < 2) { n } else { fib(n-1) + fib(n-2) }\ndef main(): Unit = println(fib(10))";
+    accepts "method call without receiver inside class"
+      {|class C() { def a(): Int = 1 def b(): Int = a() + 1 }
+        def main(): Unit = println(new C().b())|};
+    accepts "intrinsics" "def main(): Unit = { println(abs(0-3) + min(1,2) + max(1,2)) }";
+  ]
+
+let tests_reject =
+  [
+    rejects "unbound variable" "unbound variable" "def main(): Unit = println(x)";
+    rejects "lambda arity mismatch at apply" "argument"
+      "def main(): Unit = { val f = (x: Int) => x; println(f(1, 2)) }";
+    rejects "lambda wrong signature for expected type" "expected"
+      {|def use(f: Int => Int): Int = f(1)
+        def main(): Unit = println(use((x: Bool) => 1))|};
+    rejects "array element type mismatch" "expected"
+      "def main(): Unit = { val a = new Array[Int](1); a[0] = true; }";
+    rejects "assigning array to scalar" "expected"
+      "def main(): Unit = { var x = 1; x = new Array[Int](1); }";
+    rejects "unknown selector through parent type" "no method"
+      {|abstract class A {} class B() extends A { def only(): Int = 1 }
+        def f(a: A): Int = a.only()
+        def main(): Unit = {}|};
+    rejects "ctor arity" "argument"
+      "class C(x: Int) {}\ndef main(): Unit = { val c = new C(); }";
+    rejects "parent ctor arity" "argument"
+      "class A(x: Int) {}\nclass B() extends A {}\ndef main(): Unit = {}";
+    rejects "while produces unit, not int" "expected"
+      "def f(): Int = while (false) {}\ndef main(): Unit = {}";
+    rejects "indexing a non-array" "indexed"
+      "def main(): Unit = { val x = 1; println(x[0]) }";
+    rejects "unknown parent class" "unknown parent"
+      "class B() extends Nope {}\ndef main(): Unit = {}";
+    rejects "unknown function" "unknown function" "def main(): Unit = foo()";
+    rejects "unknown class" "unknown class" "def main(): Unit = { val c = new Nope(); }";
+    rejects "unknown type" "unknown type" "def f(x: Nope): Unit = {}\ndef main(): Unit = {}";
+    rejects "arity mismatch" "argument" "def f(a: Int): Int = a\ndef main(): Unit = println(f())";
+    rejects "type mismatch in call" "expected"
+      "def f(a: Int): Int = a\ndef main(): Unit = println(f(true))";
+    rejects "assign to val" "not assignable" "def main(): Unit = { val x = 1; x = 2; }";
+    rejects "condition must be bool" "expected" "def main(): Unit = { if (1) {} }";
+    rejects "while condition must be bool" "expected" "def main(): Unit = { while (1) {} }";
+    rejects "no main" "main" "def f(): Int = 1";
+    rejects "main with params" "main" "def main(x: Int): Unit = {}";
+    rejects "instantiate abstract" "abstract"
+      "abstract class A {}\ndef main(): Unit = { val a = new A(); }";
+    rejects "missing abstract impl" "does not implement"
+      {|abstract class A { def m(): Int }
+        class B() extends A {}
+        def main(): Unit = {}|};
+    rejects "incompatible override" "incompatible"
+      {|class A() { def m(): Int = 1 }
+        class B() extends A { def m(): Bool = true }
+        def main(): Unit = {}|};
+    rejects "duplicate class" "duplicate" "class C() {}\nclass C() {}\ndef main(): Unit = {}";
+    rejects "duplicate function" "duplicate" "def f(): Int = 1\ndef f(): Int = 2\ndef main(): Unit = {}";
+    rejects "inheritance cycle" "cycle"
+      "class A() extends B {}\nclass B() extends A {}\ndef main(): Unit = {}";
+    rejects "field shadowing parent" "shadows"
+      "class A(x: Int) {}\nclass B(x: Int) extends A(x) {}\ndef main(): Unit = {}";
+    rejects "mutable capture" "capture"
+      "def main(): Unit = { var x = 1; val f = (y: Int) => x + y; println(f(1)) }";
+    rejects "this outside class" "outside" "def main(): Unit = { val t = this; }";
+    rejects "null needs annotation" "annotation" "def main(): Unit = { val x = null; }";
+    rejects "cannot compare int with bool" "compare" "def main(): Unit = { println(1 == true) }";
+    rejects "calling a non-function value" "cannot be called"
+      "def main(): Unit = { val x = 1; println(x(2)) }";
+    rejects "unrelated assignment" "expected"
+      {|class A() {} class B() {}
+        def main(): Unit = { var a: A = new A(); a = new B(); }|};
+    rejects "print of object" "cannot print"
+      "class C() {}\ndef main(): Unit = println(new C())";
+    rejects "field on int" "has no field" "def main(): Unit = { val x = 1; println(x.f) }";
+    rejects "method on null literal type" "has no method"
+      "def main(): Unit = { println(null.m()) }";
+    rejects "builtin shadowing" "shadows" "class Int() {}\ndef main(): Unit = {}";
+    rejects "intrinsic shadowing" "shadows" "def print(x: Int): Unit = {}\ndef main(): Unit = {}";
+  ]
+
+(* structural checks on the produced class/method tables *)
+let table_tests =
+  [
+    test "lambda lifted to a class with apply" (fun () ->
+        let prog =
+          compile "def main(): Unit = { val f = (x: Int) => x * 2; println(f(21)) }"
+        in
+        let lambda_classes = ref 0 in
+        Ir.Program.iter_classes
+          (fun (c : Ir.Types.cls) ->
+            if String.length c.c_name >= 6 && String.sub c.c_name 0 6 = "Lambda" then
+              incr lambda_classes)
+          prog;
+        Alcotest.(check int) "one lambda class" 1 !lambda_classes;
+        Alcotest.(check bool) "apply exists" true
+          (Hashtbl.fold
+             (fun name _ acc -> acc || Filename.check_suffix name ".apply")
+             prog.meth_by_name false));
+    test "capture becomes a field" (fun () ->
+        let prog =
+          compile
+            "def main(): Unit = { val k = 7; val f = (x: Int) => x + k; println(f(1)) }"
+        in
+        let found = ref false in
+        Ir.Program.iter_classes
+          (fun (c : Ir.Types.cls) ->
+            if Array.exists (fun (n, _) -> n = "k") c.layout then found := true)
+          prog;
+        Alcotest.(check bool) "field k" true !found);
+    test "vtable resolves overrides to the subclass" (fun () ->
+        let prog =
+          compile
+            {|class A() { def m(): Int = 1 }
+              class B() extends A { def m(): Int = 2 }
+              def main(): Unit = println(new B().m())|}
+        in
+        let a = Option.get (Hashtbl.find_opt prog.meth_by_name "A.m") in
+        let b = Option.get (Hashtbl.find_opt prog.meth_by_name "B.m") in
+        let cls_b =
+          let r = ref (-1) in
+          Ir.Program.iter_classes
+            (fun (c : Ir.Types.cls) -> if c.c_name = "B" then r := c.c_id)
+            prog;
+          !r
+        in
+        Alcotest.(check (option int)) "resolve on B" (Some b)
+          (Ir.Program.resolve prog cls_b "m");
+        Alcotest.(check bool) "distinct" true (a <> b));
+    test "field slots are stable down the hierarchy" (fun () ->
+        let prog =
+          compile
+            {|class A(x: Int) {}
+              class B(y: Int) extends A(y) {}
+              def main(): Unit = {}|}
+        in
+        let cls name =
+          let r = ref (-1) in
+          Ir.Program.iter_classes
+            (fun (c : Ir.Types.cls) -> if c.c_name = name then r := c.c_id)
+            prog;
+          !r
+        in
+        Alcotest.(check (option int)) "x in A" (Some 0)
+          (Ir.Program.field_slot prog (cls "A") "x");
+        Alcotest.(check (option int)) "x in B" (Some 0)
+          (Ir.Program.field_slot prog (cls "B") "x");
+        Alcotest.(check (option int)) "y in B" (Some 1)
+          (Ir.Program.field_slot prog (cls "B") "y"));
+    test "unique concrete subtype found" (fun () ->
+        let prog =
+          compile
+            {|abstract class M { def m(): Int }
+              class D() extends M { def m(): Int = 1 }
+              def main(): Unit = println(new D().m())|}
+        in
+        let m_cls =
+          let r = ref (-1) in
+          Ir.Program.iter_classes
+            (fun (c : Ir.Types.cls) -> if c.c_name = "M" then r := c.c_id)
+            prog;
+          !r
+        in
+        match Ir.Program.unique_concrete_subtype prog m_cls with
+        | Some d -> Alcotest.(check string) "D" "D" (Ir.Program.cls prog d).c_name
+        | None -> Alcotest.fail "expected unique concrete subtype");
+  ]
+
+let () =
+  Alcotest.run "typecheck"
+    [ ("accepts", tests_accept); ("rejects", tests_reject); ("tables", table_tests) ]

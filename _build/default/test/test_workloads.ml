@@ -1,0 +1,181 @@
+(* Workload-suite tests: every benchmark program compiles, produces its
+   pinned output under the interpreter, and produces the *same* output
+   under every JIT configuration (differential testing across inliners).
+   Also sanity-checks the performance ordering the evaluation relies on. *)
+
+open Util
+
+let configs () =
+  [
+    ("interp", None);
+    ("greedy", Some greedy);
+    ("c2like", Some c2like);
+    ("incremental", Some (incremental ()));
+    ("incr-fixed", Some (incremental ~params:(Inliner.Params.with_fixed ~te:300 ~ti:600 Inliner.Params.default) ()));
+    ("incr-1by1", Some (incremental ~params:(Inliner.Params.without_clustering Inliner.Params.default) ()));
+    ("incr-shallow", Some (incremental ~params:(Inliner.Params.without_deep_trials Inliner.Params.default) ()));
+  ]
+
+let run_with (w : Workloads.Defs.t) (name, compiler) =
+  let prog = Workloads.Registry.compile w in
+  let e =
+    Jit.Engine.create prog
+      { name; compiler; hotness_threshold = 5; compile_cost_per_node = 50; verify = true }
+  in
+  let run = Jit.Harness.run_benchmark ~iters:15 e ~entry:"bench" ~label:name in
+  (e, run)
+
+let per_workload (w : Workloads.Defs.t) =
+  [
+    test (w.name ^ " compiles") (fun () -> ignore (Workloads.Registry.compile w));
+    test (w.name ^ " interpreted output matches pinned") (fun () ->
+        let prog = Workloads.Registry.compile w in
+        let vm = Runtime.Interp.create prog in
+        ignore (Runtime.Interp.run_main vm);
+        Alcotest.(check string) "output" w.expected (Runtime.Interp.output vm));
+    test (w.name ^ " identical bench results under all configs") (fun () ->
+        let results =
+          List.map
+            (fun cfg ->
+              let prog = Workloads.Registry.compile w in
+              let e =
+                Jit.Engine.create prog
+                  { name = fst cfg; compiler = snd cfg; hotness_threshold = 3;
+                    compile_cost_per_node = 50; verify = true }
+              in
+              let v1 = Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ] in
+              for _ = 1 to 8 do
+                ignore (Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ])
+              done;
+              let v2 = Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ] in
+              (fst cfg, Runtime.Values.as_int v1, Runtime.Values.as_int v2))
+            (configs ())
+        in
+        match results with
+        | (_, ref1, ref2) :: rest ->
+            List.iter
+              (fun (name, v1, v2) ->
+                Alcotest.(check int) (name ^ " first iter") ref1 v1;
+                Alcotest.(check int) (name ^ " after compilation") ref2 v2)
+              rest
+        | [] -> assert false);
+  ]
+
+let suite_tests =
+  [
+    test "registry names are unique" (fun () ->
+        let names = Workloads.Registry.names () in
+        Alcotest.(check int) "unique" (List.length names)
+          (List.length (List.sort_uniq compare names)));
+    test "registry find" (fun () ->
+        Alcotest.(check bool) "found" true (Workloads.Registry.find "gauss-mix" <> None);
+        Alcotest.(check bool) "absent" true (Workloads.Registry.find "nope" = None));
+    test "suite covers all three flavors" (fun () ->
+        let flavors =
+          List.sort_uniq compare
+            (List.map (fun (w : Workloads.Defs.t) -> w.flavor) Workloads.Registry.all)
+        in
+        Alcotest.(check int) "3 flavors" 3 (List.length flavors));
+    test "compiled peak beats interpreter on every workload" (fun () ->
+        List.iter
+          (fun (w : Workloads.Defs.t) ->
+            let _, interp_run = run_with w ("interp", None) in
+            let _, incr_run = run_with w ("incremental", Some (incremental ())) in
+            if incr_run.peak_cycles >= interp_run.peak_cycles then
+              Alcotest.failf "%s: compiled (%f) not faster than interpreted (%f)" w.name
+                incr_run.peak_cycles interp_run.peak_cycles)
+          Workloads.Registry.all);
+    test "incremental inliner beats greedy on scala-flavor workloads" (fun () ->
+        (* the paper's headline claim, checked in aggregate: geometric mean
+           speedup over the greedy baseline on abstraction-heavy code *)
+        let ratios =
+          List.filter_map
+            (fun (w : Workloads.Defs.t) ->
+              if w.flavor = Workloads.Defs.Scala then begin
+                let _, g = run_with w ("greedy", Some greedy) in
+                let _, i = run_with w ("incremental", Some (incremental ())) in
+                Some (g.peak_cycles /. i.peak_cycles)
+              end
+              else None)
+            Workloads.Registry.all
+        in
+        let gm = Support.Stats.geomean ratios in
+        if gm <= 1.05 then
+          Alcotest.failf "geomean speedup over greedy only %.3f" gm);
+  ]
+
+let synth_tests =
+  [
+    test "generation is deterministic in the seed" (fun () ->
+        let a = Workloads.Synth.source_of Workloads.Synth.default in
+        let b = Workloads.Synth.source_of Workloads.Synth.default in
+        Alcotest.(check string) "same source" a b;
+        let c =
+          Workloads.Synth.source_of { Workloads.Synth.default with seed = 2 }
+        in
+        Alcotest.(check bool) "different seed differs" true (a <> c));
+    test "generated programs compile and run" (fun () ->
+        List.iter
+          (fun cfg ->
+            let w = Workloads.Synth.generate cfg in
+            let prog = Workloads.Registry.compile w in
+            let vm = Runtime.Interp.create prog in
+            ignore (Runtime.Interp.run_main vm);
+            Alcotest.(check string) w.name w.expected (Runtime.Interp.output vm))
+          [
+            Workloads.Synth.default;
+            { Workloads.Synth.default with depth = 1; fanout = 1; poly_degree = 1 };
+            { Workloads.Synth.default with depth = 5; fanout = 3; seed = 9 };
+            { Workloads.Synth.default with poly_degree = 6; hot_fraction = 1.0 };
+          ]);
+    test "deep synthetic graphs compile correctly under every inliner" (fun () ->
+        let w =
+          Workloads.Synth.generate
+            { Workloads.Synth.default with depth = 4; fanout = 2; seed = 5 }
+        in
+        List.iter
+          (fun (name, compiler) ->
+            let prog = Workloads.Registry.compile w in
+            let e =
+              Jit.Engine.create prog
+                { name; compiler; hotness_threshold = 3; compile_cost_per_node = 50;
+                  verify = true }
+            in
+            for _ = 1 to 6 do
+              ignore (Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ])
+            done;
+            ignore (Jit.Engine.run_main e);
+            Alcotest.(check bool)
+              (name ^ " output ends with expected")
+              true
+              (contains_substring ~needle:(String.trim w.expected) (Jit.Engine.output e)))
+          [
+            ("incremental", Some (incremental ()));
+            ("greedy", Some greedy);
+            ("c2like", Some c2like);
+          ]);
+    test "inliner scales on a wide synthetic graph" (fun () ->
+        (* a stress shape: must terminate quickly and respect the size cap *)
+        let w =
+          Workloads.Synth.generate
+            { Workloads.Synth.default with depth = 6; fanout = 3; poly_degree = 4; seed = 3 }
+        in
+        let prog = Workloads.Registry.compile w in
+        Opt.Driver.prepare_program prog;
+        let vm = Runtime.Interp.create prog in
+        ignore (Runtime.Interp.run_main vm);
+        let m = Option.get (Ir.Program.find_meth prog "bench") in
+        let t0 = Unix.gettimeofday () in
+        let result = Inliner.Algorithm.compile prog vm.profiles Inliner.Params.default m in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        check_verifies result.body;
+        Alcotest.(check bool) "under the cap" true
+          (result.stats.final_size <= Inliner.Params.default.root_size_cap + 2000);
+        if elapsed > 10.0 then Alcotest.failf "compilation took %.1fs" elapsed);
+  ]
+
+let () =
+  Alcotest.run "workloads"
+    (("suite", suite_tests)
+    :: ("synth", synth_tests)
+    :: List.map (fun (w : Workloads.Defs.t) -> (w.name, per_workload w)) Workloads.Registry.all)

@@ -1,0 +1,78 @@
+(* Shared helpers for the test suites. *)
+
+let compile (src : string) : Ir.Types.program =
+  match Frontend.Pipeline.compile src with
+  | Ok prog -> prog
+  | Error e -> Alcotest.failf "program does not compile: %s" (Frontend.Pipeline.error_to_string e)
+
+let compile_err (src : string) : string =
+  match Frontend.Pipeline.compile src with
+  | Ok _ -> Alcotest.fail "expected a compile error"
+  | Error e -> Frontend.Pipeline.error_to_string e
+
+(* Runs [main] in a fresh interpreter; returns (output, result). *)
+let run_main ?(prepare = false) (src : string) : string * Runtime.Values.value =
+  let prog = compile src in
+  if prepare then Opt.Driver.prepare_program prog;
+  let vm = Runtime.Interp.create prog in
+  let v = Runtime.Interp.run_main vm in
+  (Runtime.Interp.output vm, v)
+
+let output_of ?prepare src = fst (run_main ?prepare src)
+
+(* Runs a named 0-arg function and returns its Int result. *)
+let run_int ?(prepare = false) (src : string) (name : string) : int =
+  let prog = compile src in
+  if prepare then Opt.Driver.prepare_program prog;
+  let vm = Runtime.Interp.create prog in
+  match Runtime.Interp.run_meth vm name [ Runtime.Values.Vunit ] with
+  | Runtime.Values.Vint n -> n
+  | v -> Alcotest.failf "%s returned %s, not an Int" name (Runtime.Values.to_string v)
+
+let body_of (prog : Ir.Types.program) (name : string) : Ir.Types.fn =
+  match Ir.Program.find_meth prog name with
+  | Some m -> (
+      match (Ir.Program.meth prog m).body with
+      | Some fn -> fn
+      | None -> Alcotest.failf "method %s has no body" name)
+  | None -> Alcotest.failf "no method named %s" name
+
+let check_verifies (fn : Ir.Types.fn) =
+  match Ir.Verify.check fn with
+  | () -> ()
+  | exception Ir.Verify.Ill_formed msg -> Alcotest.failf "IR ill-formed: %s" msg
+
+(* Counts instructions matching a predicate. *)
+let count_instrs (fn : Ir.Types.fn) (p : Ir.Types.instr_kind -> bool) : int =
+  let n = ref 0 in
+  Ir.Fn.iter_instrs (fun i -> if p i.kind then incr n) fn;
+  !n
+
+let count_calls fn = count_instrs fn Ir.Instr.is_call
+
+let count_virtual_calls fn =
+  count_instrs fn (function
+    | Ir.Types.Call { callee = Ir.Types.Virtual _; _ } -> true
+    | _ -> false)
+
+let test name f = Alcotest.test_case name `Quick f
+
+let contains_substring ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  n = 0
+  ||
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+(* A JIT engine over [src] with the given compiler. *)
+let engine ?(hotness = 5) ?(verify = true) (src : string)
+    (compiler : Jit.Engine.compiler option) (name : string) : Jit.Engine.t =
+  let prog = compile src in
+  Jit.Engine.create prog
+    { name; compiler; hotness_threshold = hotness; compile_cost_per_node = 50; verify }
+
+let incremental ?(params = Inliner.Params.default) () : Jit.Engine.compiler =
+ fun prog profiles m -> (Inliner.Algorithm.compile prog profiles params m).body
+
+let greedy : Jit.Engine.compiler = fun p pr m -> Baselines.Greedy.compile p pr m
+let c2like : Jit.Engine.compiler = fun p pr m -> Baselines.C2like.compile p pr m
