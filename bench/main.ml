@@ -31,6 +31,7 @@ let run_named = function
   | "opts-ablation" -> Experiments.opts_ablation ()
   | "scaling" -> Experiments.scaling ()
   | "bechamel" -> Bechamel_suite.run ()
+  | "smoke" -> Smoke.run ()
   | "all" ->
       Experiments.all ();
       Bechamel_suite.run ()
@@ -39,7 +40,7 @@ let run_named = function
 let experiment =
   let doc =
     "Experiment to run: fig5, fig6, fig7, fig8, fig9, fig10, table1, warmup, \
-     opts-ablation, scaling, bechamel, or all (default)."
+     opts-ablation, scaling, bechamel, smoke, or all (default)."
   in
   Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
 

@@ -1,0 +1,107 @@
+(* Interpreter-only wall-clock smoke benchmark.
+
+   Runs every registered workload under the interpreter (no JIT compiler)
+   twice — once on the reference IR walker, once on the prepared execution
+   engine — verifies the two runs are observationally identical (output
+   and simulated cycles), and reports real steps/second for both plus the
+   speedup. Results land in BENCH_interp.json in the working directory.
+
+   This measures the harness itself, not the simulation: simulated cycles
+   are identical by construction; wall-clock throughput is the win. *)
+
+let interp_config : Jit.Engine.config =
+  {
+    name = "interp";
+    compiler = None;
+    hotness_threshold = Common.hotness_threshold;
+    compile_cost_per_node = Common.compile_cost_per_node;
+    verify = false;
+  }
+
+type backend_run = {
+  steps : int;
+  cycles : int;
+  digest : string;     (* of concatenated workload outputs *)
+  seconds : float;
+}
+
+let run_backend (backend : Runtime.Interp.backend) : backend_run =
+  let steps = ref 0 and cycles = ref 0 in
+  let outputs = Buffer.create 4096 in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (w : Workloads.Defs.t) ->
+      let prog = Workloads.Registry.compile w in
+      let engine = Jit.Engine.create prog interp_config in
+      engine.vm.backend <- backend;
+      let run =
+        Jit.Harness.run_benchmark ~iters:w.iters engine ~entry:"bench" ~label:w.name
+      in
+      steps := !steps + engine.vm.steps;
+      cycles := !cycles + engine.vm.cycles;
+      Buffer.add_string outputs run.output)
+    Workloads.Registry.all;
+  let seconds = Unix.gettimeofday () -. t0 in
+  {
+    steps = !steps;
+    cycles = !cycles;
+    digest = Digest.to_hex (Digest.string (Buffer.contents outputs));
+    seconds;
+  }
+
+let run () =
+  let nworkloads = List.length Workloads.Registry.all in
+  Common.print_header
+    (Printf.sprintf "interp smoke: %d workloads, interpreter only, wall clock"
+       nworkloads);
+  let reference = run_backend Runtime.Interp.Reference in
+  let prepared = run_backend Runtime.Interp.Prepared in
+  if reference.cycles <> prepared.cycles then
+    Fmt.failwith "backend divergence: %d reference cycles vs %d prepared"
+      reference.cycles prepared.cycles;
+  if reference.digest <> prepared.digest then
+    Fmt.failwith "backend divergence: outputs differ";
+  if reference.steps <> prepared.steps then
+    Fmt.failwith "backend divergence: %d reference steps vs %d prepared"
+      reference.steps prepared.steps;
+  let sps (r : backend_run) = float_of_int r.steps /. r.seconds in
+  let speedup = sps prepared /. sps reference in
+  Common.print_table
+    ~columns:[ "backend"; "steps"; "seconds"; "steps/sec" ]
+    ~rows:
+      (List.map
+         (fun (label, r) ->
+           [
+             label;
+             string_of_int r.steps;
+             Printf.sprintf "%.3f" r.seconds;
+             Printf.sprintf "%.3e" (sps r);
+           ])
+         [ ("reference", reference); ("prepared", prepared) ]);
+  Common.note "prepared engine speedup: %.2fx (outputs and cycles identical)"
+    speedup;
+  let backend_json (r : backend_run) =
+    Support.Json.Obj
+      [
+        ("steps", Support.Json.Int r.steps);
+        ("simulated_cycles", Support.Json.Int r.cycles);
+        ("seconds", Support.Json.Float r.seconds);
+        ("steps_per_sec", Support.Json.Float (sps r));
+      ]
+  in
+  let json =
+    Support.Json.Obj
+      [
+        ("benchmark", Support.Json.String "interp-smoke");
+        ("workloads", Support.Json.Int nworkloads);
+        ("identical_output", Support.Json.Bool true);
+        ("reference", backend_json reference);
+        ("prepared", backend_json prepared);
+        ("speedup", Support.Json.Float speedup);
+      ]
+  in
+  let oc = open_out "BENCH_interp.json" in
+  output_string oc (Support.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Common.note "wrote BENCH_interp.json"

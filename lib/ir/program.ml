@@ -23,7 +23,12 @@ let create () =
     meths = Vec.create ~dummy:dummy_meth;
     meth_by_name = Hashtbl.create 64;
     main = -1;
+    resolve_memo = Hashtbl.create 128;
   }
+
+(* Any change to the class table or a vtable can change what a selector
+   resolves to anywhere down the hierarchy. *)
+let invalidate_dispatch p = Hashtbl.reset p.resolve_memo
 
 let cls p (c : class_id) : cls =
   if c < 0 || c >= Vec.length p.classes then
@@ -51,6 +56,7 @@ let add_class p ~name ~parent ~own_fields : class_id =
   let layout = Array.append inherited (Array.of_list own_fields) in
   Vec.push p.classes
     { c_id; c_name = name; parent; layout; vtable = []; is_abstract = false };
+  invalidate_dispatch p;
   c_id
 
 let add_meth p ~name ~selector ~owner ~param_tys ~rty : meth_id =
@@ -73,17 +79,30 @@ let register_in_vtable p (m : meth_id) =
   | Some c ->
       let klass = cls p c in
       klass.vtable <-
-        (mm.selector, m) :: List.remove_assoc mm.selector klass.vtable
+        (mm.selector, m) :: List.remove_assoc mm.selector klass.vtable;
+      invalidate_dispatch p
 
 (* Walks up the hierarchy to resolve [selector] on receiver class [c]. *)
-let rec resolve p (c : class_id) (selector : string) : meth_id option =
+let rec resolve_walk p (c : class_id) (selector : string) : meth_id option =
   let klass = cls p c in
   match List.assoc_opt selector klass.vtable with
   | Some m -> Some m
   | None -> (
       match klass.parent with
-      | Some parent -> resolve p parent selector
+      | Some parent -> resolve_walk p parent selector
       | None -> None)
+
+(* Memoized dispatch: the interpreter resolves the same (receiver class,
+   selector) pair on every virtual call, so the walk is paid once per pair
+   per program epoch (see [invalidate_dispatch]). *)
+let resolve p (c : class_id) (selector : string) : meth_id option =
+  let key = (c, selector) in
+  match Hashtbl.find_opt p.resolve_memo key with
+  | Some r -> r
+  | None ->
+      let r = resolve_walk p c selector in
+      Hashtbl.replace p.resolve_memo key r;
+      r
 
 let is_subclass p ~(sub : class_id) ~(sup : class_id) : bool =
   let rec up c = c = sup || (match (cls p c).parent with Some parent -> up parent | None -> false) in

@@ -41,7 +41,14 @@ val register_in_vtable : program -> meth_id -> unit
 (** {1 Dispatch and hierarchy queries} *)
 
 val resolve : program -> class_id -> string -> meth_id option
-(** Virtual dispatch: walks up from the receiver class. *)
+(** Virtual dispatch. The hierarchy walk is memoized per (receiver class,
+    selector) pair; construction-time mutations ({!add_class},
+    {!register_in_vtable}) invalidate the memo, so results are always
+    consistent with the current class table. *)
+
+val invalidate_dispatch : program -> unit
+(** Drops all memoized dispatch results. Called internally by the
+    construction API; exposed for callers that mutate vtables directly. *)
 
 val is_subclass : program -> sub:class_id -> sup:class_id -> bool
 val subclasses : program -> class_id -> class_id list

@@ -132,4 +132,8 @@ type program = {
   meths : meth Support.Vec.t;
   meth_by_name : (string, meth_id) Hashtbl.t;
   mutable main : meth_id;
+  (* memoized virtual-dispatch results, (receiver class, selector) ->
+     implementing method; cleared whenever the class table or a vtable
+     changes so it is never stale during frontend construction *)
+  resolve_memo : (class_id * string, meth_id option) Hashtbl.t;
 }

@@ -80,6 +80,8 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
   | Some compiler ->
       let install m body size =
         Hashtbl.replace t.code_cache m body;
+        (* the tier for this method changed: drop its prepared code *)
+        Runtime.Interp.invalidate_code vm m;
         t.compilations <- { cm = m; size; at_cycles = vm.cycles } :: t.compilations
       in
       vm.on_entry <-
@@ -134,6 +136,7 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
               (* invalidate: drop the code, let the interpreter re-profile
                  the shifted receiver distribution, recompile later *)
               Hashtbl.remove t.code_cache m;
+              Runtime.Interp.invalidate_code vm m;
               Hashtbl.replace t.recompile_counts m (recompiled + 1);
               r := 0;
               Hashtbl.replace t.cooldown m

@@ -1,10 +1,27 @@
-(* The SelVM execution engine: a direct IR interpreter that doubles as the
-   "compiled code" executor.
+(* The SelVM execution engine: runs method bodies in either tier and
+   doubles as the "compiled code" executor.
 
    The same evaluator runs both tiers; the [mode] controls (a) the
    per-instruction dispatch penalty from the cost model and (b) whether
    profiles are collected — interpreted code profiles (like the HotSpot
    interpreter / C1), compiled code does not (like C2/Graal code).
+
+   Two execution backends implement identical observable semantics:
+
+   - [Prepared] (default): bodies are translated once into dense
+     [Prepared.code] objects — flat register frames, edge-resolved phis,
+     pre-decoded instructions — and cached per (method, tier). This is the
+     production path; per-step work is a handful of array reads.
+   - [Reference]: the original direct IR walker, kept as the executable
+     specification the differential suite checks the prepared engine
+     against (test/test_differential.ml).
+
+   Prepared-cache coherence: entries are keyed by method and tier and
+   remembered together with the physical [fn] they were translated from; a
+   lookup that sees a different body (the JIT installed or replaced code)
+   re-prepares. [Jit.Engine] additionally calls [invalidate_code] on every
+   install and deoptimization, which drops the stale entries eagerly and
+   bumps [code_epoch] — the version counter tests observe.
 
    Two hooks connect the VM to the JIT engine without a dependency cycle:
    [code] looks up installed compiled code for a method, and [on_entry]
@@ -15,6 +32,10 @@ open Ir.Types
 open Values
 
 type mode = Interpreted | Compiled
+
+type backend = Prepared | Reference
+
+type prepared_entry = { src : fn; pcode : Prepared.code }
 
 type vm = {
   prog : program;
@@ -31,9 +52,14 @@ type vm = {
   mutable max_steps : int;
   mutable depth : int;
   max_depth : int;
+  mutable backend : backend;
+  (* prepared-code cache, keyed by meth_id * 2 + tier *)
+  prepared_cache : (int, prepared_entry) Hashtbl.t;
+  mutable code_epoch : int;      (* bumped by every [invalidate_code] *)
 }
 
-let create ?(cost = Cost.default) ?(max_steps = 500_000_000) (prog : program) : vm =
+let create ?(cost = Cost.default) ?(max_steps = 500_000_000)
+    ?(backend = Prepared) (prog : program) : vm =
   {
     prog;
     profiles = Profile.create ();
@@ -47,11 +73,34 @@ let create ?(cost = Cost.default) ?(max_steps = 500_000_000) (prog : program) : 
     max_steps;
     depth = 0;
     max_depth = 10_000;
+    backend;
+    prepared_cache = Hashtbl.create 64;
+    code_epoch = 0;
   }
 
 let output vm = Buffer.contents vm.out
 
 let charge vm n = vm.cycles <- vm.cycles + n
+
+let cache_key (m : meth_id) (mode : mode) : int =
+  (m * 2) + match mode with Interpreted -> 0 | Compiled -> 1
+
+let invalidate_code (vm : vm) (m : meth_id) : unit =
+  Hashtbl.remove vm.prepared_cache (cache_key m Interpreted);
+  Hashtbl.remove vm.prepared_cache (cache_key m Compiled);
+  vm.code_epoch <- vm.code_epoch + 1
+
+(* Cache lookup guarded by physical identity of the source body: even if
+   an install slipped past [invalidate_code], a replaced body can never
+   execute stale prepared code. *)
+let prepared_for (vm : vm) ~(mode : mode) (m : meth_id) (fn : fn) : Prepared.code =
+  let key = cache_key m mode in
+  match Hashtbl.find_opt vm.prepared_cache key with
+  | Some e when e.src == fn -> e.pcode
+  | _ ->
+      let pcode = Prepared.prepare ~cost:vm.cost vm.prog fn in
+      Hashtbl.replace vm.prepared_cache key { src = fn; pcode };
+      pcode
 
 let eval_binop (op : binop) (a : value) (b : value) : value =
   match op with
@@ -86,16 +135,189 @@ let eval_unop (op : unop) (a : value) : value =
 let rec invoke (vm : vm) (m : meth_id) (args : value array) : value =
   vm.on_entry m;
   match vm.code m with
-  | Some cfn -> exec vm ~mode:Compiled ~meth:m cfn args
+  | Some cfn -> (
+      match vm.backend with
+      | Reference -> exec_ref vm ~mode:Compiled ~meth:m cfn args
+      | Prepared ->
+          exec_code vm ~mode:Compiled ~meth:m
+            (prepared_for vm ~mode:Compiled m cfn)
+            args)
   | None -> (
       let mm = Ir.Program.meth vm.prog m in
       match mm.body with
       | None -> trap "abstract method %s invoked" mm.m_name
-      | Some fn ->
+      | Some fn -> (
           Profile.record_invocation vm.profiles m;
-          exec vm ~mode:Interpreted ~meth:m fn args)
+          match vm.backend with
+          | Reference -> exec_ref vm ~mode:Interpreted ~meth:m fn args
+          | Prepared ->
+              exec_code vm ~mode:Interpreted ~meth:m
+                (prepared_for vm ~mode:Interpreted m fn)
+                args))
 
-and exec (vm : vm) ~(mode : mode) ~(meth : meth_id) (fn : fn) (args : value array) : value =
+and exec (vm : vm) ~(mode : mode) ~(meth : meth_id) (fn : fn) (args : value array) :
+    value =
+  match vm.backend with
+  | Reference -> exec_ref vm ~mode ~meth fn args
+  | Prepared ->
+      (* one-shot bodies (tests pinning a tier on a synthetic fn) are
+         prepared per call; cached paths go through [invoke] *)
+      exec_code vm ~mode ~meth (Prepared.prepare ~cost:vm.cost vm.prog fn) args
+
+(* ---------- prepared backend ---------- *)
+
+and exec_code (vm : vm) ~(mode : mode) ~(meth : meth_id) (code : Prepared.code)
+    (args : value array) : value =
+  vm.depth <- vm.depth + 1;
+  if vm.depth > vm.max_depth then trap "call stack overflow in %s" code.fname;
+  let dispatch =
+    match mode with
+    | Interpreted -> vm.cost.interp_dispatch
+    | Compiled -> vm.cost.compiled_dispatch
+  in
+  let profiling = mode = Interpreted in
+  let phi_cost = dispatch + vm.cost.phi in
+  let frame = Array.make code.nregs Vunit in
+  let blocks = code.blocks in
+  let rec run (bi : int) (edge : int) : value =
+    let b : Prepared.pblock = blocks.(bi) in
+    (* blocks count as steps too: an instruction-free cycle (possible after
+       aggressive DCE) must still exhaust the step budget *)
+    vm.steps <- vm.steps + 1;
+    if vm.steps > vm.max_steps then trap "step budget exceeded";
+    if profiling then Profile.record_block vm.profiles meth b.src_bid;
+    (* phis evaluate simultaneously with respect to the incoming edge *)
+    let nphis = Array.length b.phi_dests in
+    if nphis > 0 then begin
+      let srcs, prev =
+        if edge < 0 then (Array.make nphis (-1), -1)
+        else (b.phi_srcs.(edge), b.pred_bids.(edge))
+      in
+      if nphis = 1 then begin
+        vm.steps <- vm.steps + 1;
+        charge vm phi_cost;
+        let s = srcs.(0) in
+        if s < 0 then
+          trap "internal: phi v%d has no input for edge b%d" b.phi_vids.(0) prev;
+        frame.(b.phi_dests.(0)) <- frame.(s)
+      end
+      else begin
+        let tmp = Array.make nphis Vunit in
+        for i = 0 to nphis - 1 do
+          vm.steps <- vm.steps + 1;
+          charge vm phi_cost;
+          let s = srcs.(i) in
+          if s < 0 then
+            trap "internal: phi v%d has no input for edge b%d" b.phi_vids.(i) prev;
+          tmp.(i) <- frame.(s)
+        done;
+        for i = 0 to nphis - 1 do
+          frame.(b.phi_dests.(i)) <- tmp.(i)
+        done
+      end
+    end;
+    let body = b.body in
+    for i = 0 to Array.length body - 1 do
+      let pi = body.(i) in
+      vm.steps <- vm.steps + 1;
+      if vm.steps > vm.max_steps then trap "step budget exceeded";
+      charge vm (dispatch + pi.static_cost);
+      let result =
+        match pi.op with
+        | Pconst v -> v
+        | Pparam k ->
+            if k >= Array.length args then trap "internal: missing argument %d" k
+            else args.(k)
+        | Punop (op, a) -> eval_unop op frame.(a)
+        | Pbinop (op, a, b) -> eval_binop op frame.(a) frame.(b)
+        | Pcall { callee; cargs; site } ->
+            let n = Array.length cargs in
+            let vals = Array.make n Vunit in
+            for j = 0 to n - 1 do
+              vals.(j) <- frame.(cargs.(j))
+            done;
+            do_call vm ~profiling ~meth ~callee ~site vals
+        | Pnew { cls; defaults } ->
+            Vobj { o_cls = cls; fields = Array.copy defaults }
+        | Pgetfield { obj; slot; fname } -> (
+            let o = as_obj frame.(obj) in
+            if slot >= Array.length o.fields then
+              trap "internal: bad field slot for %s" fname
+            else o.fields.(slot))
+        | Psetfield { obj; slot; fname; value } ->
+            let o = as_obj frame.(obj) in
+            if slot >= Array.length o.fields then
+              trap "internal: bad field slot for %s" fname;
+            o.fields.(slot) <- frame.(value);
+            Vunit
+        | Pnewarray { ety; len } ->
+            let n = as_int frame.(len) in
+            charge vm (Cost.alloc_fields_cost vm.cost n);
+            alloc_array ety n
+        | Parrayget { arr; idx } ->
+            let a = as_arr frame.(arr) in
+            let i = as_int frame.(idx) in
+            if i < 0 || i >= Array.length a.elems then
+              trap "array index %d out of bounds" i;
+            a.elems.(i)
+        | Parrayset { arr; idx; value } ->
+            let a = as_arr frame.(arr) in
+            let i = as_int frame.(idx) in
+            if i < 0 || i >= Array.length a.elems then
+              trap "array index %d out of bounds" i;
+            a.elems.(i) <- frame.(value);
+            Vunit
+        | Parraylen a -> Vint (Array.length (as_arr frame.(a)).elems)
+        | Ptypetest { obj; cls } -> (
+            match frame.(obj) with
+            | Vobj o -> Vbool (Ir.Program.is_subclass vm.prog ~sub:o.o_cls ~sup:cls)
+            | Vnull -> Vbool false
+            | _ -> trap "typetest on a non-object")
+        | Pintrinsic (intr, ia) -> (
+            let a k = frame.(ia.(k)) in
+            match intr with
+            | Iprint_int ->
+                Buffer.add_string vm.out (string_of_int (as_int (a 0)));
+                Vunit
+            | Iprint_bool ->
+                Buffer.add_string vm.out (string_of_bool (as_bool (a 0)));
+                Vunit
+            | Iprint_str ->
+                Buffer.add_string vm.out (as_str (a 0));
+                Vunit
+            | Istr_len -> Vint (String.length (as_str (a 0)))
+            | Istr_get ->
+                let s = as_str (a 0) and i = as_int (a 1) in
+                if i < 0 || i >= String.length s then
+                  trap "string index %d out of bounds" i;
+                Vint (Char.code s.[i])
+            | Istr_eq -> Vbool (as_str (a 0) = as_str (a 1))
+            | Iabs -> Vint (abs (as_int (a 0)))
+            | Imin -> Vint (min (as_int (a 0)) (as_int (a 1)))
+            | Imax -> Vint (max (as_int (a 0)) (as_int (a 1))))
+      in
+      frame.(pi.dest) <- result
+    done;
+    charge vm b.term_cost;
+    match b.term with
+    | Preturn r -> frame.(r)
+    | Pgoto { target; edge } -> run target edge
+    | Pif { cond; site; tb; tedge; fb; fedge } ->
+        let taken = as_bool frame.(cond) in
+        if profiling then Profile.record_branch vm.profiles site ~taken;
+        if taken then run tb tedge else run fb fedge
+    | Punreachable -> trap "reached an unreachable block in %s" code.fname
+    | Pdead b' ->
+        invalid_arg (Printf.sprintf "Fn.block: dead block b%d in %s" b' code.fname)
+  in
+  let result = run code.entry (-1) in
+  vm.depth <- vm.depth - 1;
+  result
+
+(* ---------- reference backend: the direct IR walker ---------- *)
+
+and exec_ref (vm : vm) ~(mode : mode) ~(meth : meth_id) (fn : fn) (args : value array) :
+    value =
   vm.depth <- vm.depth + 1;
   if vm.depth > vm.max_depth then trap "call stack overflow in %s" fn.fname;
   let dispatch =
@@ -128,7 +350,8 @@ and exec (vm : vm) ~(mode : mode) ~(meth : meth_id) (fn : fn) (args : value arra
       | Binop (op, a, b) -> eval_binop op (get a) (get b)
       | Phi _ -> assert false (* phis are evaluated by the block driver *)
       | Call { callee; args = cargs; site; _ } ->
-          do_call vm ~profiling ~meth ~callee ~site (List.map get cargs)
+          do_call vm ~profiling ~meth ~callee ~site
+            (Array.of_list (List.map get cargs))
       | New c ->
           charge vm (Cost.alloc_fields_cost vm.cost (Array.length (Ir.Program.cls vm.prog c).layout));
           alloc_obj vm.prog c
@@ -136,7 +359,7 @@ and exec (vm : vm) ~(mode : mode) ~(meth : meth_id) (fn : fn) (args : value arra
           let o = as_obj (get obj) in
           if slot >= Array.length o.fields then trap "internal: bad field slot for %s" fname
           else o.fields.(slot))
-      | SetField { obj; slot; value; fname } ->
+      | SetField { obj; slot; fname; value } ->
           let o = as_obj (get obj) in
           if slot >= Array.length o.fields then trap "internal: bad field slot for %s" fname;
           o.fields.(slot) <- get value;
@@ -224,8 +447,7 @@ and exec (vm : vm) ~(mode : mode) ~(meth : meth_id) (fn : fn) (args : value arra
   result
 
 and do_call (vm : vm) ~profiling ~(meth : meth_id) ~(callee : callee) ~(site : site)
-    (args : value list) : value =
-  let args = Array.of_list args in
+    (args : value array) : value =
   match callee with
   | Direct m ->
       charge vm (Cost.call_overhead vm.cost ~virtual_:false ~targets:1);
@@ -237,7 +459,7 @@ and do_call (vm : vm) ~profiling ~(meth : meth_id) ~(callee : callee) ~(site : s
       (* synthetic sites are typeswitch fallbacks: reaching one in compiled
          code means the speculation missed *)
       if (not profiling) && site.sidx < 0 then vm.on_spec_miss meth site;
-      let observed = List.length (Profile.receiver_profile vm.profiles site) in
+      let observed = Profile.receiver_count vm.profiles site in
       charge vm (Cost.call_overhead vm.cost ~virtual_:true ~targets:(max observed 1));
       match Ir.Program.resolve vm.prog o.o_cls sel with
       | Some m -> invoke vm m args

@@ -1,7 +1,18 @@
-(** The SelVM execution engine: a direct IR interpreter that doubles as the
-    compiled-code executor. Interpreted frames pay the interpreter
-    dispatch penalty and collect profiles; compiled frames pay only
-    operation costs and do not profile — the classic two-tier contract.
+(** The SelVM execution engine: runs method bodies in either tier and
+    doubles as the compiled-code executor. Interpreted frames pay the
+    interpreter dispatch penalty and collect profiles; compiled frames pay
+    only operation costs and do not profile — the classic two-tier
+    contract.
+
+    Two execution backends implement identical observable semantics (see
+    docs/ARCHITECTURE.md, "Prepared code & dispatch caching"):
+
+    - [Prepared] (the default): method bodies are translated once into
+      dense {!Prepared.code} objects — flat register frames, edge-resolved
+      phis, pre-decoded instructions — and cached per (method, tier).
+    - [Reference]: the original direct IR walker, kept as the executable
+      specification that the differential suite checks the prepared engine
+      against.
 
     Two hooks connect the VM to a JIT engine without a dependency cycle:
     [code] looks up installed compiled code, [on_entry] fires at every
@@ -11,6 +22,12 @@ open Ir.Types
 open Values
 
 type mode = Interpreted | Compiled
+
+type backend = Prepared | Reference
+
+type prepared_entry = { src : fn; pcode : Prepared.code }
+(** A cache entry remembers the physical body it was translated from;
+    entries whose [src] is not the current body are ignored and replaced. *)
 
 type vm = {
   prog : program;
@@ -27,11 +44,22 @@ type vm = {
   mutable max_steps : int;
   mutable depth : int;
   max_depth : int;
+  mutable backend : backend;
+  prepared_cache : (int, prepared_entry) Hashtbl.t;
+  (** prepared code per method and tier, keyed [meth_id * 2 + tier] *)
+  mutable code_epoch : int;
+  (** bumped by every {!invalidate_code}; a cheap staleness witness *)
 }
 
-val create : ?cost:Cost.t -> ?max_steps:int -> program -> vm
+val create : ?cost:Cost.t -> ?max_steps:int -> ?backend:backend -> program -> vm
+(** [backend] defaults to [Prepared]. *)
 
 val output : vm -> string
+
+val invalidate_code : vm -> meth_id -> unit
+(** Drops any prepared code cached for the method (both tiers) and bumps
+    [code_epoch]. {!Jit.Engine} calls this whenever it installs, replaces
+    or removes compiled code for a method. *)
 
 val invoke : vm -> meth_id -> value array -> value
 (** Runs a method through the tier dispatch (compiled body if installed,
@@ -40,7 +68,9 @@ val invoke : vm -> meth_id -> value array -> value
 
 val exec : vm -> mode:mode -> meth:meth_id -> fn -> value array -> value
 (** Executes a specific body in a specific tier; used by [invoke] and by
-    tests that want to pin the tier. *)
+    tests that want to pin the tier. Under the [Prepared] backend the body
+    is translated per call (uncached) — cached execution goes through
+    [invoke]. *)
 
 val run_main : vm -> value
 (** @raise Trap if the program has no main or on runtime errors. *)

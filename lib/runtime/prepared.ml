@@ -1,0 +1,274 @@
+(* Prepared code objects: the dense, pre-decoded form the execution engine
+   actually runs (see docs/ARCHITECTURE.md, "Prepared code & dispatch
+   caching").
+
+   The direct interpreter walks the IR's persistent structures on every
+   step: a Hashtbl register file, per-execution phi/non-phi partitioning of
+   each block's instruction list, List.assoc phi-input resolution, and
+   List.nth operand access. Preparation pays all of that once per function:
+
+   - registers become one flat [value array] per frame, indexed by vid;
+   - each block's leading phis are split from its body at prepare time,
+     with phi inputs resolved per predecessor *edge* (the jump carries a
+     precomputed edge index, so phi evaluation is two array reads);
+   - instructions are decoded into flat arrays with operand registers,
+     static cycle costs, and allocation shapes (field-default templates)
+     baked in;
+   - call arguments are [int array]s, so frames are built without any
+     per-call list traversal.
+
+   Preparation changes *when* work happens, never *what* the program
+   observes: output, result, simulated cycles, step counts and recorded
+   profiles are identical to the direct interpreter (the differential
+   suite in test/test_differential.ml enforces this). The one deliberate
+   exception: internal-error paths that only ill-formed (non-verifier-
+   clean) SSA can reach — e.g. reading a never-evaluated vid — are not
+   reproduced bit-for-bit, because prepared frames have no notion of an
+   "unevaluated" register. *)
+
+open Ir.Types
+open Values
+module Vec = Support.Vec
+
+(* Pre-decoded instruction payload. Operands are register (= vid) indices
+   into the frame. *)
+type pop =
+  | Pconst of value
+  | Pparam of int
+  | Punop of unop * int
+  | Pbinop of binop * int * int
+  | Pcall of { callee : callee; cargs : int array; site : site }
+  | Pnew of { cls : class_id; defaults : value array }
+      (* [defaults] is the field-default template; allocation is an
+         [Array.copy] (elements are immutable values, sharing is safe) *)
+  | Pgetfield of { obj : int; slot : int; fname : string }
+  | Psetfield of { obj : int; slot : int; fname : string; value : int }
+  | Pnewarray of { ety : ty; len : int }
+  | Parrayget of { arr : int; idx : int }
+  | Parrayset of { arr : int; idx : int; value : int }
+  | Parraylen of int
+  | Ptypetest of { obj : int; cls : class_id }
+  | Pintrinsic of intrinsic * int array
+
+type pinstr = {
+  dest : int;          (* frame register receiving the result *)
+  static_cost : int;   (* cycles charged besides the dispatch penalty *)
+  op : pop;
+}
+
+(* Terminators carry dense block indices plus the precomputed edge index
+   into the target's per-edge phi tables. *)
+type pterm =
+  | Pgoto of { target : int; edge : int }
+  | Pif of {
+      cond : int;
+      site : site;
+      tb : int;
+      tedge : int;
+      fb : int;
+      fedge : int;
+    }
+  | Preturn of int
+  | Punreachable
+  | Pdead of bid
+      (* jump target was a deleted block: raises the same Invalid_argument
+         the direct interpreter's [Fn.block] would, at the same point *)
+
+type pblock = {
+  src_bid : bid;               (* original id, for profiles and messages *)
+  phi_dests : int array;       (* leading phis, in block order *)
+  phi_vids : int array;        (* original vids, for trap messages *)
+  phi_srcs : int array array;  (* edge -> phi -> source register, -1 = no input *)
+  pred_bids : int array;       (* edge -> predecessor block id *)
+  body : pinstr array;         (* non-phi instructions, in order *)
+  term : pterm;
+  term_cost : int;
+}
+
+type code = {
+  fname : string;
+  nregs : int;          (* frame size: the function's vid space *)
+  entry : int;          (* dense index of the entry block *)
+  blocks : pblock array;
+}
+
+let fname (c : code) = c.fname
+let num_blocks (c : code) = Array.length c.blocks
+
+(* ---------- translation ---------- *)
+
+let decode_instr ~(cost : Cost.t) (prog : program) (i : instr) : pinstr =
+  let sc = Cost.instr_cost cost i.kind in
+  let op, sc =
+    match i.kind with
+    | Const (Cint n) -> (Pconst (Vint n), sc)
+    | Const (Cbool b) -> (Pconst (Vbool b), sc)
+    | Const (Cstring s) -> (Pconst (Vstr s), sc)
+    | Const Cunit -> (Pconst Vunit, sc)
+    | Const Cnull -> (Pconst Vnull, sc)
+    | Param k -> (Pparam k, sc)
+    | Unop (op, a) -> (Punop (op, a), sc)
+    | Binop (op, a, b) -> (Pbinop (op, a, b), sc)
+    | Phi _ -> invalid_arg "Prepared.decode_instr: phi in a block body"
+    | Call { callee; args; site; _ } ->
+        (Pcall { callee; cargs = Array.of_list args; site }, sc)
+    | New c ->
+        let layout = (Ir.Program.cls prog c).layout in
+        ( Pnew
+            { cls = c; defaults = Array.map (fun (_, t) -> default_value t) layout },
+          (* the per-field allocation charge is statically known here *)
+          sc + Cost.alloc_fields_cost cost (Array.length layout) )
+    | GetField { obj; slot; fname; _ } -> (Pgetfield { obj; slot; fname }, sc)
+    | SetField { obj; slot; fname; value } ->
+        (Psetfield { obj; slot; fname; value }, sc)
+    | NewArray { ety; len } -> (Pnewarray { ety; len }, sc)
+    | ArrayGet { arr; idx; _ } -> (Parrayget { arr; idx }, sc)
+    | ArraySet { arr; idx; value } -> (Parrayset { arr; idx; value }, sc)
+    | ArrayLen a -> (Parraylen a, sc)
+    | TypeTest { obj; cls } -> (Ptypetest { obj; cls }, sc)
+    | Intrinsic (intr, args) -> (Pintrinsic (intr, Array.of_list args), sc)
+  in
+  { dest = i.id; static_cost = sc; op }
+
+let prepare ~(cost : Cost.t) (prog : program) (fn : fn) : code =
+  let nslots = Vec.length fn.blocks in
+  (* dense indices for live blocks, in id order *)
+  let index_of_bid = Array.make (max nslots 1) (-1) in
+  let live = ref [] in
+  Vec.iteri
+    (fun b s -> match s with Some _ -> live := b :: !live | None -> ())
+    fn.blocks;
+  let live = List.rev !live in
+  List.iteri (fun i b -> index_of_bid.(b) <- i) live;
+  let nlive = List.length live in
+  (* jump targets that are dead or out of range get a stub block that
+     faithfully reproduces the direct interpreter's failure (profile tick,
+     then Invalid_argument) *)
+  let stubs = ref [] in            (* (bid, dense index), appended after live *)
+  let nstubs = ref 0 in
+  let index_of_target (b : bid) : int =
+    if b >= 0 && b < nslots && index_of_bid.(b) >= 0 then index_of_bid.(b)
+    else
+      match List.assoc_opt b !stubs with
+      | Some i -> i
+      | None ->
+          let i = nlive + !nstubs in
+          incr nstubs;
+          stubs := (b, i) :: !stubs;
+          i
+  in
+  (* predecessor edges per live block, in (source id, successor slot) order *)
+  let preds = Array.make (max nlive 1) [] in
+  List.iter
+    (fun b ->
+      let blk = Ir.Fn.block fn b in
+      List.iter
+        (fun s ->
+          if s >= 0 && s < nslots && index_of_bid.(s) >= 0 then
+            preds.(index_of_bid.(s)) <- b :: preds.(index_of_bid.(s)))
+        (Ir.Fn.succs_of_term blk.term))
+    live;
+  let pred_arrays = Array.map (fun l -> Array.of_list (List.rev l)) preds in
+  let edge_of ~(target : bid) ~(src : bid) : int =
+    if not (target >= 0 && target < nslots && index_of_bid.(target) >= 0) then 0
+    else
+      let ps = pred_arrays.(index_of_bid.(target)) in
+      let rec find i =
+        if i >= Array.length ps then 0 (* unreachable: src is a predecessor *)
+        else if ps.(i) = src then i
+        else find (i + 1)
+      in
+      find 0
+  in
+  let decode_block (b : bid) : pblock =
+    let blk = Ir.Fn.block fn b in
+    (* leading phis, exactly as the direct interpreter's block driver sees
+       them (a phi after a non-phi is skipped entirely there, so it is
+       dropped here too) *)
+    let rec split_phis acc = function
+      | v :: rest -> (
+          match Ir.Fn.kind fn v with
+          | Phi { inputs; _ } -> split_phis ((v, inputs) :: acc) rest
+          | _ -> (List.rev acc, v :: rest))
+      | [] -> (List.rev acc, [])
+    in
+    let phis, rest = split_phis [] blk.instrs in
+    let non_phis = List.filter (fun v -> not (Ir.Instr.is_phi (Ir.Fn.kind fn v))) rest in
+    let my_preds =
+      if index_of_bid.(b) >= 0 then pred_arrays.(index_of_bid.(b)) else [||]
+    in
+    let nphis = List.length phis in
+    let phi_dests = Array.make nphis 0 in
+    let phi_vids = Array.make nphis 0 in
+    List.iteri
+      (fun i (v, _) ->
+        phi_dests.(i) <- v;
+        phi_vids.(i) <- v)
+      phis;
+    let phi_srcs =
+      Array.map
+        (fun p ->
+          let row = Array.make nphis (-1) in
+          List.iteri
+            (fun i (_, inputs) ->
+              match List.assoc_opt p inputs with
+              | Some pv -> row.(i) <- pv
+              | None -> ())
+            phis;
+          row)
+        my_preds
+    in
+    let term, term_cost =
+      match blk.term with
+      | Goto b' ->
+          ( Pgoto { target = index_of_target b'; edge = edge_of ~target:b' ~src:b },
+            Cost.term_cost cost blk.term )
+      | If { cond; site; tb; fb } ->
+          ( Pif
+              {
+                cond;
+                site;
+                tb = index_of_target tb;
+                tedge = edge_of ~target:tb ~src:b;
+                fb = index_of_target fb;
+                fedge = edge_of ~target:fb ~src:b;
+              },
+            Cost.term_cost cost blk.term )
+      | Return v -> (Preturn v, Cost.term_cost cost blk.term)
+      | Unreachable -> (Punreachable, Cost.term_cost cost blk.term)
+    in
+    {
+      src_bid = b;
+      phi_dests;
+      phi_vids;
+      phi_srcs;
+      pred_bids = my_preds;
+      body =
+        Array.of_list
+          (List.map (fun v -> decode_instr ~cost prog (Ir.Fn.instr fn v)) non_phis);
+      term;
+      term_cost;
+    }
+  in
+  let live_blocks = List.map decode_block live in
+  (* may itself allocate a stub, so resolve before materializing stubs *)
+  let entry = index_of_target fn.entry in
+  let stub_block (b : bid) : pblock =
+    {
+      src_bid = b;
+      phi_dests = [||];
+      phi_vids = [||];
+      phi_srcs = [||];
+      pred_bids = [||];
+      body = [||];
+      term = Pdead b;
+      term_cost = 0;
+    }
+  in
+  let stub_blocks = List.rev_map (fun (b, _) -> stub_block b) !stubs in
+  {
+    fname = fn.fname;
+    nregs = max (Vec.length fn.instrs) 1;
+    entry;
+    blocks = Array.of_list (live_blocks @ stub_blocks);
+  }

@@ -1,0 +1,84 @@
+(** Prepared code objects: a function body pre-decoded, once, into the
+    dense array form the execution engine runs — flat [value array]
+    register frames indexed by vid, each block's leading phis pre-split
+    from its body with inputs resolved per predecessor edge, instructions
+    decoded with operand registers and static cycle costs baked in, and
+    call arguments as arrays.
+
+    Preparation is observably transparent: output, result, simulated
+    cycles, step counts and recorded profiles are identical to direct IR
+    interpretation on verifier-clean SSA (enforced by the differential
+    suite). Internal-error paths that only ill-formed IR can reach (use of
+    a never-evaluated vid) are not reproduced bit-for-bit.
+
+    Prepared code snapshots the function *and* the class layouts its [New]
+    instructions allocate, against a fixed cost table. It must be dropped
+    when the underlying body is replaced — {!Interp} keys its cache by
+    physical identity of the source [fn] and {!Jit.Engine} invalidates on
+    every install, so stale code is unreachable. *)
+
+open Ir.Types
+open Values
+
+type pop =
+  | Pconst of value
+  | Pparam of int
+  | Punop of unop * int
+  | Pbinop of binop * int * int
+  | Pcall of { callee : callee; cargs : int array; site : site }
+  | Pnew of { cls : class_id; defaults : value array }
+  | Pgetfield of { obj : int; slot : int; fname : string }
+  | Psetfield of { obj : int; slot : int; fname : string; value : int }
+  | Pnewarray of { ety : ty; len : int }
+  | Parrayget of { arr : int; idx : int }
+  | Parrayset of { arr : int; idx : int; value : int }
+  | Parraylen of int
+  | Ptypetest of { obj : int; cls : class_id }
+  | Pintrinsic of intrinsic * int array
+
+type pinstr = {
+  dest : int;          (** frame register receiving the result *)
+  static_cost : int;   (** cycles charged besides the dispatch penalty *)
+  op : pop;
+}
+
+type pterm =
+  | Pgoto of { target : int; edge : int }
+  | Pif of {
+      cond : int;
+      site : site;
+      tb : int;
+      tedge : int;
+      fb : int;
+      fedge : int;
+    }
+  | Preturn of int
+  | Punreachable
+  | Pdead of bid
+      (** the jump target was a deleted block; executing this raises the
+          same [Invalid_argument] direct interpretation would *)
+
+type pblock = {
+  src_bid : bid;
+  phi_dests : int array;
+  phi_vids : int array;
+  phi_srcs : int array array;  (** edge -> phi -> source register, -1 = none *)
+  pred_bids : int array;
+  body : pinstr array;
+  term : pterm;
+  term_cost : int;
+}
+
+type code = {
+  fname : string;
+  nregs : int;
+  entry : int;
+  blocks : pblock array;
+}
+
+val fname : code -> string
+val num_blocks : code -> int
+
+val prepare : cost:Cost.t -> program -> fn -> code
+(** Translates one function. Costs are baked against [cost]; class field
+    layouts referenced by [New] are snapshotted from the program. *)

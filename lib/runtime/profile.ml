@@ -63,6 +63,14 @@ let invocation_count t m =
 let block_count t m b =
   match Hashtbl.find_opt t.blocks (m, b) with Some r -> !r | None -> 0
 
+(* Number of distinct receiver classes observed at a site: O(1), used by
+   the interpreter's virtual-call overhead accounting on every call (the
+   full histogram would be rebuilt and sorted per query). *)
+let receiver_count t (site : site) : int =
+  match Hashtbl.find_opt t.receivers (site.sm, site.sidx) with
+  | None -> 0
+  | Some h -> Hashtbl.length h
+
 (* Receiver histogram as (class, probability), most frequent first. *)
 let receiver_profile t (site : site) : (class_id * float) list =
   match Hashtbl.find_opt t.receivers (site.sm, site.sidx) with

@@ -22,6 +22,11 @@ val record_branch : t -> site -> taken:bool -> unit
 val invocation_count : t -> meth_id -> int
 val block_count : t -> meth_id -> bid -> int
 
+val receiver_count : t -> site -> int
+(** Number of distinct receiver classes observed at a site, in O(1) —
+    equal to [List.length (receiver_profile t site)] whenever the site has
+    been executed. The interpreter uses this on every virtual call. *)
+
 val receiver_profile : t -> site -> (class_id * float) list
 (** Receiver histogram as (class, probability), most frequent first;
     probabilities sum to 1. Empty when the site was never executed. *)

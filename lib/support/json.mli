@@ -1,0 +1,14 @@
+(** A minimal JSON emitter for benchmark result files. Emission only. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Single-line rendering; strings are escaped, non-finite floats become
+    [null]. *)

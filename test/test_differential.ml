@@ -1,0 +1,415 @@
+(* Differential tests for the prepared execution engine: the [Prepared]
+   backend must be observationally identical to the [Reference] IR walker
+   — same output, same results, same simulated cycles, same step counts,
+   same recorded profiles — on every registered workload, on random
+   programs, across the tiered engine (where compiled-code installation
+   exercises prepared-cache invalidation), and on trapping programs.
+
+   The reference backend is the seed interpreter kept verbatim; these
+   tests are the proof that preparation changed *when* work happens, not
+   *what* the program observes. *)
+
+open Util
+
+(* Everything one execution observes. [epoch] is the prepared-cache
+   version counter: it must advance on every code install/invalidation
+   and stay at zero interpreter-only. *)
+type snap = {
+  output : string;
+  results : string list;  (* rendered values of each entry call *)
+  cycles : int;
+  steps : int;
+  profile : string;
+  installed : int;        (* compiled methods at the end *)
+  epoch : int;
+}
+
+let check_same what (ref_ : snap) (pre : snap) =
+  let s = Alcotest.(check string) and i = Alcotest.(check int) in
+  s (what ^ ": output") ref_.output pre.output;
+  Alcotest.(check (list string)) (what ^ ": results") ref_.results pre.results;
+  i (what ^ ": cycles") ref_.cycles pre.cycles;
+  i (what ^ ": steps") ref_.steps pre.steps;
+  s (what ^ ": profiles") ref_.profile pre.profile;
+  i (what ^ ": installed methods") ref_.installed pre.installed
+
+(* One engine run over a freshly compiled workload: main once, then the
+   bench entry [iters] times. *)
+let run_workload ?compiler ?spec_miss_threshold ~(hotness : int) ~(iters : int)
+    (backend : Runtime.Interp.backend) (w : Workloads.Defs.t) : snap =
+  let prog = Workloads.Registry.compile w in
+  let engine =
+    Jit.Engine.create ?spec_miss_threshold prog
+      {
+        name = "diff";
+        compiler;
+        hotness_threshold = hotness;
+        compile_cost_per_node = 50;
+        verify = false;
+      }
+  in
+  engine.vm.backend <- backend;
+  let results = ref [] in
+  let record v = results := Runtime.Values.to_string v :: !results in
+  record (Jit.Engine.run_main engine);
+  for _ = 1 to iters do
+    record (Jit.Engine.run_meth engine "bench" [ Runtime.Values.Vunit ])
+  done;
+  {
+    output = Jit.Engine.output engine;
+    results = List.rev !results;
+    cycles = engine.vm.cycles;
+    steps = engine.vm.steps;
+    profile = Runtime.Profile.to_text engine.vm.profiles;
+    installed = Jit.Engine.installed_methods engine;
+    epoch = engine.vm.code_epoch;
+  }
+
+(* ---------- every workload, interpreter only ---------- *)
+
+let test_workloads_interp () =
+  List.iter
+    (fun (w : Workloads.Defs.t) ->
+      let run b = run_workload ~hotness:max_int ~iters:2 b w in
+      let ref_ = run Runtime.Interp.Reference in
+      let pre = run Runtime.Interp.Prepared in
+      check_same w.name ref_ pre;
+      Alcotest.(check int) (w.name ^ ": no installs, epoch stays 0") 0 pre.epoch)
+    Workloads.Registry.all
+
+(* ---------- tiered engine: compile, install, invalidate ---------- *)
+
+(* The incremental inliner compiles hot methods mid-run, so installed code
+   replaces interpreted execution while cycles keep accumulating — any
+   stale prepared code or accounting drift diverges the clock instantly.
+   A low spec-miss threshold also exercises code invalidation. *)
+let test_workloads_tiered () =
+  let subset =
+    List.filteri (fun i _ -> i mod 3 = 0) Workloads.Registry.all (* every 3rd *)
+  in
+  List.iter
+    (fun (w : Workloads.Defs.t) ->
+      let run b =
+        run_workload
+          ~compiler:(Util.incremental ())
+          ~spec_miss_threshold:4 ~hotness:3 ~iters:(min w.iters 12) b w
+      in
+      let ref_ = run Runtime.Interp.Reference in
+      let pre = run Runtime.Interp.Prepared in
+      check_same (w.name ^ " (tiered)") ref_ pre;
+      if pre.installed > 0 then
+        Alcotest.(check bool)
+          (w.name ^ ": installs bumped the code epoch")
+          true (pre.epoch > 0))
+    subset
+
+(* ---------- cache invalidation drops stale prepared code ---------- *)
+
+let test_invalidation () =
+  let src =
+    {|def f(x: Int): Int = x * 2 + 1
+def main(): Unit = {
+  var i = 0;
+  while (i < 20) { println(f(i)); i = i + 1; }
+}|}
+  in
+  let c1 : Jit.Engine.compiler =
+   fun prog _ m ->
+    match (Ir.Program.meth prog m).body with
+    | Some fn -> Ir.Fn.copy fn
+    | None -> Alcotest.fail "no body"
+  in
+  let engine = Util.engine ~hotness:3 src (Some c1) "inv" in
+  ignore (Jit.Engine.run_main engine);
+  Alcotest.(check bool) "something compiled" true
+    (Jit.Engine.installed_methods engine > 0);
+  Alcotest.(check bool) "install invalidated prepared code" true
+    (engine.vm.code_epoch > 0);
+  (* the cache must hold no entry translated from a body that is no longer
+     what the tier dispatch would execute *)
+  Hashtbl.iter
+    (fun key (e : Runtime.Interp.prepared_entry) ->
+      let m = key / 2 in
+      let current =
+        match Hashtbl.find_opt engine.code_cache m with
+        | Some fn -> Some fn
+        | None -> (Ir.Program.meth engine.vm.prog m).body
+      in
+      match current with
+      | Some fn when key mod 2 = 1 || not (Hashtbl.mem engine.code_cache m) ->
+          Alcotest.(check bool) "cached entry matches live body" true (e.src == fn)
+      | _ -> ())
+    engine.vm.prepared_cache;
+  let expected =
+    String.concat "" (List.init 20 (fun i -> string_of_int (i * 2 + 1) ^ "\n"))
+  in
+  Alcotest.(check string) "output survives recompilation" expected
+    (Jit.Engine.output engine)
+
+(* ---------- random programs ---------- *)
+
+(* A compact source generator: arithmetic with safe divisors, if/while
+   with constant bounds, heap cells, arrays indexed modulo their length,
+   and virtual dispatch through a small class hierarchy — deterministic by
+   construction, trap-free, phi-heavy. *)
+
+let prelude =
+  {|class Cell(v: Int) {}
+abstract class P { def m(x: Int): Int }
+class P1() extends P { def m(x: Int): Int = x + 1 }
+class P2() extends P { def m(x: Int): Int = x * 2 }
+class P3() extends P { def m(x: Int): Int = x - 3 }
+def poly(i: Int, x: Int): Int = {
+  val k = if (i % 3 == 0) { 0 } else { if (i % 3 == 1) { 1 } else { 2 } };
+  var p: P = new P1();
+  if (k == 1) { p = new P2() };
+  if (k == 2) { p = new P3() };
+  p.m(x)
+}
+|}
+
+let rec gen_expr ~vars ~depth : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map string_of_int (int_range 0 9);
+        (if vars = [] then return "5" else oneofl vars);
+      ]
+  in
+  if depth = 0 then leaf
+  else
+    frequency
+      [
+        (2, leaf);
+        ( 3,
+          let* op = oneofl [ "+"; "-"; "*" ] in
+          let* a = gen_expr ~vars ~depth:(depth - 1) in
+          let* b = gen_expr ~vars ~depth:(depth - 1) in
+          return (Printf.sprintf "(%s %s %s)" a op b) );
+        ( 1,
+          let* a = gen_expr ~vars ~depth:(depth - 1) in
+          let* d = oneofl [ "2"; "3"; "5" ] in
+          return (Printf.sprintf "(%s / %s)" a d) );
+        ( 1,
+          let* a = gen_expr ~vars ~depth:(depth - 1) in
+          let* b = gen_expr ~vars ~depth:(depth - 1) in
+          let* op = oneofl [ "<"; "=="; ">=" ] in
+          let* t = gen_expr ~vars ~depth:(depth - 1) in
+          let* f = gen_expr ~vars ~depth:(depth - 1) in
+          return (Printf.sprintf "(if (%s %s %s) { %s } else { %s })" a op b t f) );
+        ( 1,
+          let* i = gen_expr ~vars ~depth:0 in
+          let* x = gen_expr ~vars ~depth:(depth - 1) in
+          return (Printf.sprintf "poly(%s, %s)" i x) );
+      ]
+
+let gen_stmts : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* n = int_range 2 6 in
+  let rec go k vars cells arrays acc fresh =
+    if k = 0 then return (List.rev acc)
+    else
+      let* choice = int_range 0 5 in
+      match choice with
+      | 0 ->
+          let name = Printf.sprintf "x%d" fresh in
+          let* e = gen_expr ~vars ~depth:2 in
+          go (k - 1) (name :: vars) cells arrays
+            (Printf.sprintf "var %s = %s;" name e :: acc)
+            (fresh + 1)
+      | 1 ->
+          let i = Printf.sprintf "i%d" fresh in
+          let* bound = int_range 1 5 in
+          let* e = gen_expr ~vars:(i :: vars) ~depth:2 in
+          go (k - 1) vars cells arrays
+            (Printf.sprintf
+               "var %s = 0; while (%s < %d) { acc = acc + (%s); %s = %s + 1; };" i
+               i bound e i i
+            :: acc)
+            (fresh + 1)
+      | 2 ->
+          let name = Printf.sprintf "c%d" fresh in
+          let* e = gen_expr ~vars ~depth:1 in
+          go (k - 1)
+            (Printf.sprintf "%s.v" name :: vars)
+            (name :: cells) arrays
+            (Printf.sprintf "val %s = new Cell(%s);" name e :: acc)
+            (fresh + 1)
+      | 3 when cells <> [] ->
+          let* cell = oneofl cells in
+          let* e = gen_expr ~vars ~depth:2 in
+          go (k - 1) vars cells arrays
+            (Printf.sprintf "%s.v = %s;" cell e :: acc)
+            fresh
+      | 4 ->
+          let name = Printf.sprintf "ar%d" fresh in
+          let* len = int_range 1 6 in
+          go (k - 1)
+            (Printf.sprintf "%s[abs(acc) %% %d]" name len :: vars)
+            cells
+            ((name, len) :: arrays)
+            (Printf.sprintf "val %s = new Array[Int](%d);" name len :: acc)
+            (fresh + 1)
+      | _ when arrays <> [] ->
+          let* arr, len = oneofl arrays in
+          let* idx = gen_expr ~vars ~depth:1 in
+          let* e = gen_expr ~vars ~depth:2 in
+          go (k - 1) vars cells arrays
+            (Printf.sprintf "%s[abs(%s) %% %d] = %s;" arr idx len e :: acc)
+            fresh
+      | _ ->
+          let* e = gen_expr ~vars ~depth:2 in
+          go (k - 1) vars cells arrays
+            (Printf.sprintf "acc = acc + (%s);" e :: acc)
+            fresh
+  in
+  let* stmts = go n [ "a"; "b"; "acc" ] [] [] [] 0 in
+  return (String.concat "\n  " stmts)
+
+let gen_program : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* block = gen_stmts in
+  let f =
+    Printf.sprintf "def f(a: Int, b: Int): Int = {\n  var acc = 0;\n  %s\n  acc\n}"
+      block
+  in
+  let main =
+    {|def main(): Unit = {
+  var i = 0;
+  while (i < 8) { println(f(i, i * 2 - 3)); i = i + 1; }
+}|}
+  in
+  return (prelude ^ f ^ "\n" ^ main)
+
+let program_arbitrary = QCheck.make ~print:(fun s -> s) gen_program
+
+let compile_ok src =
+  match Frontend.Pipeline.compile src with
+  | Ok prog -> prog
+  | Error e ->
+      QCheck.Test.fail_reportf "generated program does not compile: %s@.%s"
+        (Frontend.Pipeline.error_to_string e)
+        src
+
+(* Interpreter-only differential on a raw VM (no engine, no opts). *)
+let vm_snap (backend : Runtime.Interp.backend) (src : string) : snap =
+  let prog = compile_ok src in
+  let vm = Runtime.Interp.create ~backend prog in
+  let v = Runtime.Interp.run_main vm in
+  {
+    output = Runtime.Interp.output vm;
+    results = [ Runtime.Values.to_string v ];
+    cycles = vm.cycles;
+    steps = vm.steps;
+    profile = Runtime.Profile.to_text vm.profiles;
+    installed = 0;
+    epoch = vm.code_epoch;
+  }
+
+let same what (ref_ : snap) (pre : snap) =
+  if ref_ <> pre then
+    QCheck.Test.fail_reportf
+      "%s diverged:@.cycles %d vs %d, steps %d vs %d@.output %S vs %S" what
+      ref_.cycles pre.cycles ref_.steps pre.steps ref_.output pre.output;
+  true
+
+let prop_interp_differential =
+  QCheck.Test.make ~name:"prepared = reference on random programs (interp)"
+    ~count:50 program_arbitrary (fun src ->
+      same "interp" (vm_snap Runtime.Interp.Reference src)
+        (vm_snap Runtime.Interp.Prepared src))
+
+(* Tiered differential: hot methods compile mid-run under both backends. *)
+let engine_snap (backend : Runtime.Interp.backend) (src : string) : snap =
+  let prog = compile_ok src in
+  let engine =
+    Jit.Engine.create prog
+      {
+        name = "diff";
+        compiler = Some (Util.incremental ());
+        hotness_threshold = 2;
+        compile_cost_per_node = 50;
+        verify = false;
+      }
+  in
+  engine.vm.backend <- backend;
+  let v = Jit.Engine.run_main engine in
+  {
+    output = Jit.Engine.output engine;
+    results = [ Runtime.Values.to_string v ];
+    cycles = engine.vm.cycles;
+    steps = engine.vm.steps;
+    profile = Runtime.Profile.to_text engine.vm.profiles;
+    installed = Jit.Engine.installed_methods engine;
+    epoch = 0;  (* epochs may legitimately differ only via cache warmth; fixed *)
+  }
+
+let prop_tiered_differential =
+  QCheck.Test.make ~name:"prepared = reference on random programs (tiered)"
+    ~count:30 program_arbitrary (fun src ->
+      same "tiered" (engine_snap Runtime.Interp.Reference src)
+        (engine_snap Runtime.Interp.Prepared src))
+
+(* ---------- traps ---------- *)
+
+(* Trapping executions must diverge identically: same message, same
+   output, cycles and steps at the moment of the trap. *)
+let trap_snap ?max_steps (backend : Runtime.Interp.backend) (src : string) :
+    string * snap =
+  let prog = Util.compile src in
+  let vm = Runtime.Interp.create ~backend prog in
+  (match max_steps with Some n -> vm.max_steps <- n | None -> ());
+  let msg =
+    match Runtime.Interp.run_main vm with
+    | v -> "no trap: " ^ Runtime.Values.to_string v
+    | exception Runtime.Values.Trap m -> m
+  in
+  ( msg,
+    {
+      output = Runtime.Interp.output vm;
+      results = [];
+      cycles = vm.cycles;
+      steps = vm.steps;
+      profile = Runtime.Profile.to_text vm.profiles;
+      installed = 0;
+      epoch = 0;
+    } )
+
+let trap_cases =
+  [
+    ("division by zero", None,
+     "def main(): Unit = { var d = 0; println(1 / d) }");
+    ("remainder by zero", None,
+     "def main(): Unit = { var d = 0; println(1 % d) }");
+    ("array index out of bounds", None,
+     "def main(): Unit = { val a = new Array[Int](3); var i = 5; println(a[i]) }");
+    ("step budget exceeded", Some 100,
+     "def main(): Unit = { var i = 0; while (i < 100000) { i = i + 1; }; println(i) }");
+  ]
+
+let test_traps () =
+  List.iter
+    (fun (name, max_steps, src) ->
+      let rmsg, rsnap = trap_snap ?max_steps Runtime.Interp.Reference src in
+      let pmsg, psnap = trap_snap ?max_steps Runtime.Interp.Prepared src in
+      Alcotest.(check string) (name ^ ": message") rmsg pmsg;
+      check_same name rsnap psnap)
+    trap_cases
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "workloads",
+        [
+          test "all workloads, interpreter only" test_workloads_interp;
+          test "workload subset, tiered with invalidation" test_workloads_tiered;
+          test "installs drop stale prepared code" test_invalidation;
+        ] );
+      ( "random",
+        [
+          QCheck_alcotest.to_alcotest prop_interp_differential;
+          QCheck_alcotest.to_alcotest prop_tiered_differential;
+        ] );
+      ("traps", [ test "trapping programs trap identically" test_traps ]);
+    ]
