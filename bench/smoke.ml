@@ -4,7 +4,9 @@
    twice — once on the reference IR walker, once on the prepared execution
    engine — verifies the two runs are observationally identical (output
    and simulated cycles), and reports real steps/second for both plus the
-   speedup. Results land in BENCH_interp.json in the working directory.
+   speedup. A JIT'd run of one workload with an attached telemetry trace
+   contributes compile-timeline data. Results land in BENCH_interp.json
+   in the working directory.
 
    This measures the harness itself, not the simulation: simulated cycles
    are identical by construction; wall-clock throughput is the win. *)
@@ -49,6 +51,35 @@ let run_backend (backend : Runtime.Interp.backend) : backend_run =
     seconds;
   }
 
+(* One workload under the incremental JIT with an in-memory trace sink
+   attached: the trace is digested back through [Obs.Summary] (a built-in
+   self-check that the emitted JSONL parses) and its compile timeline is
+   embedded in the result file. *)
+let traced_jit_run () =
+  let w = List.hd Workloads.Registry.all in
+  let sink, lines = Obs.Trace.memory_sink () in
+  let run =
+    Obs.Trace.scoped sink (fun () ->
+        let prog = Workloads.Registry.compile w in
+        let engine =
+          Jit.Engine.create prog
+            {
+              name = "incremental";
+              compiler = Some (Common.incremental ());
+              hotness_threshold = Common.hotness_threshold;
+              compile_cost_per_node = Common.compile_cost_per_node;
+              verify = false;
+            }
+        in
+        Jit.Harness.run_benchmark ~iters:w.iters engine ~entry:"bench" ~label:w.name)
+  in
+  let summary =
+    match Obs.Summary.of_lines (lines ()) with
+    | Ok s -> s
+    | Error e -> Fmt.failwith "trace self-check failed: %s" e
+  in
+  (w.name, run, summary)
+
 let run () =
   let nworkloads = List.length Workloads.Registry.all in
   Common.print_header
@@ -89,6 +120,11 @@ let run () =
         ("steps_per_sec", Support.Json.Float (sps r));
       ]
   in
+  let traced_name, traced, summary = traced_jit_run () in
+  Common.note "trace smoke: %s under incremental — %d events, %d installs, %d IR nodes"
+    traced_name summary.Obs.Summary.total
+    (List.length traced.Jit.Harness.timeline)
+    traced.Jit.Harness.code_size;
   let json =
     Support.Json.Obj
       [
@@ -98,6 +134,19 @@ let run () =
         ("reference", backend_json reference);
         ("prepared", backend_json prepared);
         ("speedup", Support.Json.Float speedup);
+        ( "trace",
+          Support.Json.Obj
+            [
+              ("workload", Support.Json.String traced_name);
+              ("config", Support.Json.String "incremental");
+              ("events", Support.Json.Int summary.Obs.Summary.total);
+              ( "events_by_kind",
+                Support.Json.Obj
+                  (List.map
+                     (fun (k, n) -> (k, Support.Json.Int n))
+                     summary.Obs.Summary.kinds) );
+              ("timeline", Jit.Harness.timeline_json traced);
+            ] );
       ]
   in
   let oc = open_out "BENCH_interp.json" in

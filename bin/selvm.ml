@@ -2,8 +2,10 @@
 
      selvm run prog.sel                       # run main under the JIT
      selvm run --config greedy prog.sel       # choose the inliner
+     selvm run --trace events.jsonl prog.sel  # record structured JIT telemetry
      selvm bench --entry bench prog.sel       # repeat a method, report cycles
      selvm compile --method f prog.sel        # dump a method's optimized IR
+     selvm events events.jsonl                # summarize a recorded trace
      selvm workloads                          # list the built-in benchmarks
      selvm run --workload gauss-mix           # run a built-in benchmark
 
@@ -108,6 +110,21 @@ let stats_arg =
 let verify_arg =
   Arg.(value & flag & info [ "verify" ] ~doc:"Verify every compiled body (slower).")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record structured JIT telemetry (compiles, installs, invalidations, \
+           inliner decisions, optimizer counters) as JSONL to FILE. Events carry \
+           the simulated cycle clock, so identical runs produce identical traces. \
+           Summarize with `selvm events FILE`.")
+
+(* Runs [f] with a JSONL trace sink on [path] when --trace was given. *)
+let with_optional_trace (path : string option) (f : unit -> 'a) : 'a =
+  match path with None -> f () | Some path -> Obs.Trace.with_file path f
+
 let fail msg =
   Printf.eprintf "selvm: %s\n" msg;
   exit 1
@@ -115,24 +132,27 @@ let fail msg =
 (* ---- run ---- *)
 
 let run_cmd =
-  let run file workload config hotness stats verify =
+  let run file workload config hotness stats verify trace =
     match load_program ~file ~workload with
     | Error e -> fail e
-    | Ok (prog, _) -> (
-        match make_engine prog config hotness verify with
-        | Error e -> fail e
-        | Ok e -> (
-            match Jit.Engine.run_main e with
-            | _ ->
-                print_string (Jit.Engine.output e);
-                if stats then print_stats e
-            | exception Runtime.Values.Trap msg ->
-                print_string (Jit.Engine.output e);
-                fail ("runtime trap: " ^ msg)))
+    | Ok (prog, _) ->
+        with_optional_trace trace (fun () ->
+            match make_engine prog config hotness verify with
+            | Error e -> fail e
+            | Ok e -> (
+                match Jit.Engine.run_main e with
+                | _ ->
+                    print_string (Jit.Engine.output e);
+                    if stats then print_stats e
+                | exception Runtime.Values.Trap msg ->
+                    print_string (Jit.Engine.output e);
+                    fail ("runtime trap: " ^ msg)))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a Sel program's main under the JIT.")
-    Term.(const run $ file_arg $ workload_arg $ config_arg $ hotness_arg $ stats_arg $ verify_arg)
+    Term.(
+      const run $ file_arg $ workload_arg $ config_arg $ hotness_arg $ stats_arg
+      $ verify_arg $ trace_arg)
 
 (* ---- bench ---- *)
 
@@ -152,39 +172,43 @@ let bench_cmd =
           ~doc:"Write the collected profiles to FILE afterwards (see `compile \
                 --profiles`).")
   in
-  let bench file workload config hotness entry iters save_profiles =
+  let bench file workload config hotness entry iters save_profiles trace =
     match load_program ~file ~workload with
     | Error e -> fail e
-    | Ok (prog, label) -> (
-        match make_engine prog config hotness false with
-        | Error e -> fail e
-        | Ok e ->
-            let run =
-              Jit.Harness.run_benchmark ~iters e ~entry ~label:(label ^ "/" ^ config)
-            in
-            Printf.printf "# %s  entry=%s config=%s\n" label entry config;
-            Printf.printf "# iter cycles compiled_methods\n";
-            List.iter
-              (fun (it : Jit.Harness.iteration) ->
-                Printf.printf "%d %d %d\n" it.index it.cycles it.compiled_methods)
-              run.iterations;
-            Printf.printf "# peak %.1f +- %.1f cycles; %d IR nodes installed\n"
-              run.peak_cycles run.peak_stddev run.code_size;
-            match save_profiles with
-            | Some path ->
-                let oc = open_out path in
-                Fun.protect
-                  ~finally:(fun () -> close_out_noerr oc)
-                  (fun () ->
-                    output_string oc (Runtime.Profile.to_text e.vm.profiles));
-                Printf.eprintf "-- profiles written to %s\n" path
-            | None -> ())
+    | Ok (prog, label) ->
+        with_optional_trace trace (fun () ->
+            match make_engine prog config hotness false with
+            | Error e -> fail e
+            | Ok e -> (
+                let run =
+                  Jit.Harness.run_benchmark ~iters e ~entry ~label:(label ^ "/" ^ config)
+                in
+                Printf.printf "# %s  entry=%s config=%s\n" label entry config;
+                Printf.printf "# iter cycles compiled_methods\n";
+                List.iter
+                  (fun (it : Jit.Harness.iteration) ->
+                    Printf.printf "%d %d %d\n" it.index it.cycles it.compiled_methods)
+                  run.iterations;
+                Printf.printf "# peak %.1f +- %.1f cycles; %d IR nodes installed\n"
+                  run.peak_cycles run.peak_stddev run.code_size;
+                if run.pending_methods > 0 then
+                  Printf.printf "# %d compilations (%d IR nodes) still pending\n"
+                    run.pending_methods run.pending_code_size;
+                match save_profiles with
+                | Some path ->
+                    let oc = open_out path in
+                    Fun.protect
+                      ~finally:(fun () -> close_out_noerr oc)
+                      (fun () ->
+                        output_string oc (Runtime.Profile.to_text e.vm.profiles));
+                    Printf.eprintf "-- profiles written to %s\n" path
+                | None -> ()))
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Repeat a method and report per-iteration simulated cycles.")
     Term.(
       const bench $ file_arg $ workload_arg $ config_arg $ hotness_arg $ entry_arg
-      $ iters_arg $ save_profiles_arg)
+      $ iters_arg $ save_profiles_arg $ trace_arg)
 
 (* ---- compile ---- *)
 
@@ -277,6 +301,27 @@ let parse_ir_cmd =
     (Cmd.info "parse-ir" ~doc:"Parse and verify a textual IR dump (round-trip check).")
     Term.(const parse_ir $ file_arg)
 
+(* ---- events ---- *)
+
+let events_cmd =
+  let trace_file_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"JSONL trace recorded with --trace.")
+  in
+  let events file =
+    match Obs.Summary.of_file file with
+    | Ok summary -> print_string (Obs.Summary.render summary)
+    | Error e -> fail (Printf.sprintf "bad trace %s: %s" file e)
+    | exception Sys_error e -> fail e
+  in
+  Cmd.v
+    (Cmd.info "events"
+       ~doc:
+         "Summarize a JSONL telemetry trace: compile timeline, installed code, \
+          invalidations, inliner decisions, optimizer counters.")
+    Term.(const events $ trace_file_arg)
+
 (* ---- workloads ---- *)
 
 let workloads_cmd =
@@ -345,6 +390,6 @@ let main_cmd =
        ~doc:
          "A JIT-compiled VM for the Sel language with the CGO'19 \
           optimization-driven incremental inline-substitution algorithm.")
-    [ run_cmd; bench_cmd; compile_cmd; parse_ir_cmd; workloads_cmd; synth_cmd ]
+    [ run_cmd; bench_cmd; compile_cmd; parse_ir_cmd; events_cmd; workloads_cmd; synth_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

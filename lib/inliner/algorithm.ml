@@ -68,6 +68,16 @@ let compile ?trial_cache (prog : Ir.Types.program) (profiles : Runtime.Profile.t
     Log.debug (fun m ->
         m "round %d: expanded=%d inlined=%d root_size=%d cutoffs=%d" stats.rounds expanded
           inlined (Ir.Fn.size t.root_fn) (Calltree.tree_n_c t));
+    Obs.Trace.emit "inline_round" (fun () ->
+        Support.Json.
+          [
+            ("root", Int root_meth);
+            ("round", Int stats.rounds);
+            ("expanded", Int expanded);
+            ("inlined", Int inlined);
+            ("root_size", Int (Ir.Fn.size t.root_fn));
+            ("cutoffs", Int (Calltree.tree_n_c t));
+          ]);
     changed := expanded > 0 || inlined > 0
   done;
   stats.final_size <- Ir.Fn.size t.root_fn;

@@ -98,6 +98,24 @@ let may_expand (t : t) (n : node) : bool =
       let relative_benefit = local_benefit t n /. float_of_int size in
       relative_benefit >= exp ((float_of_int (tree_s_ir t) -. p.r1) /. p.r2)
 
+(* One structured telemetry record per expansion-threshold decision:
+   which cutoff was at the head of the exploration, at what benefit, cost
+   and priority, and whether it was expanded or declined. *)
+let trace_decision (t : t) (n : node) ~(verdict : string) : unit =
+  Obs.Trace.emit "expand_decision" (fun () ->
+      Support.Json.
+        [
+          ("root", Int t.root_meth);
+          ("site_m", Int n.site.sm);
+          ("site_idx", Int n.site.sidx);
+          ("callsite", Int n.call_vid);
+          ("benefit", Float (local_benefit t n));
+          ("cost", Int (node_size t n));
+          ("priority", Float (priority t n));
+          ("tree_size", Int (tree_s_ir t));
+          ("verdict", String verdict);
+        ])
+
 (* One expansion phase. Returns the number of nodes expanded. *)
 let run (t : t) : int =
   let rec clear (n : node) =
@@ -112,10 +130,12 @@ let run (t : t) : int =
     | None -> continue_ := false
     | Some n ->
         if may_expand t n then begin
+          trace_decision t n ~verdict:"expand";
           if expand_cutoff t n then incr expanded
           (* Generic outcomes make no progress but also leave no cutoff *)
         end
         else begin
+          trace_decision t n ~verdict:"decline";
           match t.params.threshold_policy with
           | Params.Fixed _ ->
               (* the budget is global: once exceeded, the phase is over *)

@@ -94,6 +94,19 @@ let run (t : t) : int =
               (fst n.tuple) (snd n.tuple) (Analysis.ratio n.tuple)
               (Ir.Fn.size t.root_fn)
               (if can_inline t n then "inline" else "skip"));
+        Obs.Trace.emit "inline_decision" (fun () ->
+            Support.Json.
+              [
+                ("root", Int t.root_meth);
+                ("site_m", Int n.site.sm);
+                ("site_idx", Int n.site.sidx);
+                ("callsite", Int n.call_vid);
+                ("benefit", Float (fst n.tuple));
+                ("cost", Float (snd n.tuple));
+                ("priority", Float (Analysis.ratio n.tuple));
+                ("root_size", Int (Ir.Fn.size t.root_fn));
+                ("verdict", String (if can_inline t n then "inline" else "skip"));
+              ]);
         if Ir.Fn.size t.root_fn >= t.params.root_size_cap then continue_ := false
         else if can_inline t n then begin
           let k = inline_node t n in

@@ -58,6 +58,10 @@ type t = {
   recompile_counts : (meth_id, int) Hashtbl.t;
   cooldown : (meth_id, int) Hashtbl.t;      (* invocation count gating recompilation *)
   mutable invalidations : (meth_id * int) list;  (* method, at_cycles *)
+  (* installs a produced-but-pending body through the normal install path
+     (code cache + prepared-code invalidation + accounting + telemetry);
+     set when a compiler is configured, used by [flush_pending] *)
+  mutable install_pending : meth_id -> fn -> unit;
 }
 
 let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
@@ -72,18 +76,31 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
       async_compile; pending = Hashtbl.create 8;
       spec_miss_threshold; max_recompiles;
       miss_counts = Hashtbl.create 8; recompile_counts = Hashtbl.create 8;
-      cooldown = Hashtbl.create 8; invalidations = [] }
+      cooldown = Hashtbl.create 8; invalidations = [];
+      install_pending = (fun _ _ -> ()) }
   in
   vm.code <- (fun m -> Hashtbl.find_opt t.code_cache m);
+  (* stamp the ambient trace sink (if any) with this engine's simulated
+     clock; a no-op with tracing disabled *)
+  Obs.Trace.set_clock (fun () -> vm.cycles);
   (match config.compiler with
   | None -> ()
   | Some compiler ->
+      let meth_name m = (Ir.Program.meth prog m).m_name in
       let install m body size =
         Hashtbl.replace t.code_cache m body;
         (* the tier for this method changed: drop its prepared code *)
         Runtime.Interp.invalidate_code vm m;
-        t.compilations <- { cm = m; size; at_cycles = vm.cycles } :: t.compilations
+        (* a fresh body starts with a clean speculation slate: misses
+           recorded against the previous code version must not count
+           toward the new body's invalidation threshold *)
+        Hashtbl.remove t.miss_counts m;
+        t.compilations <- { cm = m; size; at_cycles = vm.cycles } :: t.compilations;
+        Obs.Trace.emit "install" (fun () ->
+            Support.Json.
+              [ ("m", Int m); ("meth", String (meth_name m)); ("size", Int size) ])
       in
+      t.install_pending <- (fun m body -> install m body (Ir.Fn.size body));
       vm.on_entry <-
         (fun m ->
           (* background compilations whose latency has elapsed install at
@@ -108,13 +125,39 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
             Fun.protect
               ~finally:(fun () -> t.compiling <- false)
               (fun () ->
+                Obs.Trace.emit "compile_start" (fun () ->
+                    Support.Json.
+                      [
+                        ("m", Int m);
+                        ("meth", String (meth_name m));
+                        ( "invocations",
+                          Int (Runtime.Profile.invocation_count vm.profiles m) );
+                      ]);
                 let body = compiler prog vm.profiles m in
                 if config.verify then Ir.Verify.check body;
                 let size = Ir.Fn.size body in
                 let latency = size * config.compile_cost_per_node in
                 t.compile_cycles <- t.compile_cycles + latency;
-                if t.async_compile then
-                  Hashtbl.replace t.pending m (body, vm.cycles + latency)
+                Obs.Trace.emit "compile_done" (fun () ->
+                    Support.Json.
+                      [
+                        ("m", Int m);
+                        ("meth", String (meth_name m));
+                        ("size", Int size);
+                        ("latency", Int latency);
+                        ("async", Bool t.async_compile);
+                      ]);
+                if t.async_compile then begin
+                  Hashtbl.replace t.pending m (body, vm.cycles + latency);
+                  Obs.Trace.emit "pending_install" (fun () ->
+                      Support.Json.
+                        [
+                          ("m", Int m);
+                          ("meth", String (meth_name m));
+                          ("size", Int size);
+                          ("ready_at", Int (vm.cycles + latency));
+                        ])
+                end
                 else install m body size)
           end);
       vm.on_spec_miss <-
@@ -135,13 +178,22 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
             if !r >= t.spec_miss_threshold && recompiled < t.max_recompiles then begin
               (* invalidate: drop the code, let the interpreter re-profile
                  the shifted receiver distribution, recompile later *)
+              let misses = !r in
               Hashtbl.remove t.code_cache m;
               Runtime.Interp.invalidate_code vm m;
               Hashtbl.replace t.recompile_counts m (recompiled + 1);
               r := 0;
               Hashtbl.replace t.cooldown m
                 (Runtime.Profile.invocation_count vm.profiles m + config.hotness_threshold);
-              t.invalidations <- (m, vm.cycles) :: t.invalidations
+              t.invalidations <- (m, vm.cycles) :: t.invalidations;
+              Obs.Trace.emit "invalidate" (fun () ->
+                  Support.Json.
+                    [
+                      ("m", Int m);
+                      ("meth", String (meth_name m));
+                      ("misses", Int misses);
+                      ("recompiles", Int (recompiled + 1));
+                    ])
             end
           end))
   ;
@@ -160,6 +212,37 @@ let installed_code_size (t : t) : int =
   Hashtbl.fold (fun _ fn acc -> acc + Ir.Fn.size fn) t.code_cache 0
 
 let installed_methods (t : t) : int = Hashtbl.length t.code_cache
+
+(* Async-compilation accounting: a pending body whose method is never
+   re-entered would otherwise stay invisible to [installed_code_size] and
+   [compilations], under-reporting the Table I code-size metric. *)
+
+let pending_methods (t : t) : int = Hashtbl.length t.pending
+
+let pending_code_size (t : t) : int =
+  Hashtbl.fold (fun _ (body, _) acc -> acc + Ir.Fn.size body) t.pending 0
+
+(* Installs every pending compilation whose simulated latency has elapsed
+   on the execution clock — a background compiler thread would have had
+   them live; only the re-entry that normally triggers installation never
+   happened. With [force], still-in-flight bodies install too. Returns the
+   number installed. Call at end of run (the harness does) so code-size
+   accounting matches what was actually compiled. *)
+let flush_pending ?(force = false) (t : t) : int =
+  let ready =
+    Hashtbl.fold
+      (fun m (body, ready_at) acc ->
+        if force || t.vm.cycles >= ready_at then (m, body) :: acc else acc)
+      t.pending []
+    (* deterministic install order, so traces are run-to-run identical *)
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (m, body) ->
+      Hashtbl.remove t.pending m;
+      t.install_pending m body)
+    ready;
+  List.length ready
 
 let compiled_body (t : t) (name : string) : fn option =
   match Ir.Program.find_meth t.vm.prog name with

@@ -39,6 +39,9 @@ type t = {
   recompile_counts : (meth_id, int) Hashtbl.t;
   cooldown : (meth_id, int) Hashtbl.t;
   mutable invalidations : (meth_id * int) list;  (** method, at_cycles *)
+  mutable install_pending : meth_id -> fn -> unit;
+  (** installs a pending body through the normal install path; wired by
+      {!create} when a compiler is configured, used by {!flush_pending} *)
 }
 
 val create :
@@ -68,4 +71,19 @@ val installed_code_size : t -> int
 (** Total size of installed bodies — the Figure 10 / Table I metric. *)
 
 val installed_methods : t -> int
+
+val pending_methods : t -> int
+(** Compilations produced but not yet installed (async mode). *)
+
+val pending_code_size : t -> int
+(** Total size of produced-but-pending bodies — code the compiler paid
+    for that {!installed_code_size} cannot see yet. *)
+
+val flush_pending : ?force:bool -> t -> int
+(** Installs every pending compilation whose simulated latency has
+    elapsed (all of them with [force]), in ascending method order, and
+    returns how many installed. The benchmark harness calls this at end
+    of run so the code-size metric includes async compilations whose
+    method was never re-entered after the latency elapsed. *)
+
 val compiled_body : t -> string -> fn option

@@ -16,12 +16,21 @@ type run = {
   peak_stddev : float;
   code_size : int;          (* installed code size at the end *)
   compile_cycles : int;
+  pending_methods : int;    (* async compilations still in flight at the end *)
+  pending_code_size : int;
+  timeline : (string * int * int) list;  (* method, size, at_cycles; chronological *)
+  invalidated : (string * int) list;     (* method, at_cycles; chronological *)
   output : string;          (* program output, for differential checking *)
 }
 
 (* Runs [entry] (a 0-argument Sel function returning Int or Unit) [iters]
    times on a fresh engine. A [setup] entry, when present, runs once
-   beforehand (workload initialization). *)
+   beforehand (workload initialization).
+
+   At the end the engine's ready pending compilations are flushed so
+   [code_size] (the Table I metric) covers async compilations whose
+   simulated latency elapsed but whose method was never re-entered;
+   bodies still in flight are reported separately in [pending_*]. *)
 let run_benchmark ?(setup : string option) ~(iters : int) (engine : Engine.t)
     ~(entry : string) ~(label : string) : run =
   (match setup with
@@ -40,8 +49,10 @@ let run_benchmark ?(setup : string option) ~(iters : int) (engine : Engine.t)
       :: !iterations
   done;
   let iterations = List.rev !iterations in
+  ignore (Engine.flush_pending engine);
   let series = List.map (fun i -> float_of_int i.cycles) iterations in
   let window = Support.Stats.steady_state_window series in
+  let meth_name m = (Ir.Program.meth engine.vm.prog m).m_name in
   {
     name = label;
     iterations;
@@ -49,5 +60,45 @@ let run_benchmark ?(setup : string option) ~(iters : int) (engine : Engine.t)
     peak_stddev = Support.Stats.stddev window;
     code_size = Engine.installed_code_size engine;
     compile_cycles = engine.compile_cycles;
+    pending_methods = Engine.pending_methods engine;
+    pending_code_size = Engine.pending_code_size engine;
+    timeline =
+      List.rev_map
+        (fun (c : Engine.compilation) -> (meth_name c.cm, c.size, c.at_cycles))
+        engine.compilations;
+    invalidated =
+      List.rev_map (fun (m, at) -> (meth_name m, at)) engine.invalidations;
     output = Engine.output engine;
   }
+
+(* The compile-timeline section of a BENCH_*.json result: when code was
+   installed, how big it was, and what is still in flight. *)
+let timeline_json (r : run) : Support.Json.t =
+  Support.Json.Obj
+    [
+      ( "installs",
+        Support.Json.List
+          (List.map
+             (fun (meth, size, at) ->
+               Support.Json.Obj
+                 [
+                   ("meth", Support.Json.String meth);
+                   ("size", Support.Json.Int size);
+                   ("at_cycles", Support.Json.Int at);
+                 ])
+             r.timeline) );
+      ( "invalidations",
+        Support.Json.List
+          (List.map
+             (fun (meth, at) ->
+               Support.Json.Obj
+                 [
+                   ("meth", Support.Json.String meth);
+                   ("at_cycles", Support.Json.Int at);
+                 ])
+             r.invalidated) );
+      ("code_size", Support.Json.Int r.code_size);
+      ("compile_cycles", Support.Json.Int r.compile_cycles);
+      ("pending_methods", Support.Json.Int r.pending_methods);
+      ("pending_code_size", Support.Json.Int r.pending_code_size);
+    ]

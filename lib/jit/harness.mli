@@ -16,10 +16,24 @@ type run = {
   peak_stddev : float;
   code_size : int;
   compile_cycles : int;
+  pending_methods : int;
+      (** async compilations still in flight when the run ended *)
+  pending_code_size : int;
+  timeline : (string * int * int) list;
+      (** each install as (method, size, at_cycles), chronological *)
+  invalidated : (string * int) list;
+      (** each invalidation as (method, at_cycles), chronological *)
   output : string;
 }
 
 val run_benchmark :
   ?setup:string -> iters:int -> Engine.t -> entry:string -> label:string -> run
 (** Runs [entry] (a 0-argument function) [iters] times; [setup] runs once
-    beforehand when given. *)
+    beforehand when given. Ready pending compilations are flushed at the
+    end ({!Engine.flush_pending}), so [code_size] accounts for async
+    compilations whose method was never re-entered; still-in-flight
+    bodies are reported in [pending_methods]/[pending_code_size]. *)
+
+val timeline_json : run -> Support.Json.t
+(** The compile-timeline section benches embed in BENCH_*.json: installs,
+    invalidations, code size, compile cycles, pending accounting. *)

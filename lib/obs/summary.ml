@@ -1,0 +1,151 @@
+(* Trace digestion for `selvm events`: folds a JSONL event stream into the
+   aggregate view the paper's evaluation cares about — how many
+   compilations, how much code got installed and when, what the inliner
+   decided, what the optimizer triggered. *)
+
+type compile_event = {
+  meth : string;
+  size : int;
+  at_cycles : int;
+}
+
+type t = {
+  mutable total : int;
+  mutable kinds : (string * int) list;      (* per-kind counts, insertion order *)
+  mutable installs : compile_event list;    (* chronological *)
+  mutable pending_installs : int;
+  mutable invalidations : compile_event list;  (* size = misses at invalidation *)
+  mutable inline_yes : int;
+  mutable inline_no : int;
+  mutable expand_yes : int;
+  mutable expand_no : int;
+  mutable canon_events : int;
+  mutable nodes_deleted : int;
+  mutable last_cycles : int;
+}
+
+let empty () =
+  {
+    total = 0;
+    kinds = [];
+    installs = [];
+    pending_installs = 0;
+    invalidations = [];
+    inline_yes = 0;
+    inline_no = 0;
+    expand_yes = 0;
+    expand_no = 0;
+    canon_events = 0;
+    nodes_deleted = 0;
+    last_cycles = 0;
+  }
+
+let bump_kind (s : t) (kind : string) : unit =
+  s.kinds <-
+    (if List.mem_assoc kind s.kinds then
+       List.map (fun (k, n) -> if k = kind then (k, n + 1) else (k, n)) s.kinds
+     else s.kinds @ [ (kind, 1) ])
+
+let int_field j key =
+  match Option.bind (Support.Json.member key j) Support.Json.to_int_opt with
+  | Some n -> n
+  | None -> 0
+
+let str_field j key =
+  match Option.bind (Support.Json.member key j) Support.Json.to_string_opt with
+  | Some s -> s
+  | None -> "?"
+
+let add_event (s : t) (j : Support.Json.t) : unit =
+  let kind = str_field j "ev" in
+  s.total <- s.total + 1;
+  bump_kind s kind;
+  let cycles = int_field j "cycles" in
+  if cycles > s.last_cycles then s.last_cycles <- cycles;
+  match kind with
+  | "install" ->
+      s.installs <-
+        s.installs @ [ { meth = str_field j "meth"; size = int_field j "size"; at_cycles = cycles } ]
+  | "pending_install" -> s.pending_installs <- s.pending_installs + 1
+  | "invalidate" ->
+      s.invalidations <-
+        s.invalidations
+        @ [ { meth = str_field j "meth"; size = int_field j "misses"; at_cycles = cycles } ]
+  | "inline_decision" ->
+      if str_field j "verdict" = "inline" then s.inline_yes <- s.inline_yes + 1
+      else s.inline_no <- s.inline_no + 1
+  | "expand_decision" ->
+      if str_field j "verdict" = "expand" then s.expand_yes <- s.expand_yes + 1
+      else s.expand_no <- s.expand_no + 1
+  | "opt_round" ->
+      s.canon_events <- s.canon_events + int_field j "canon";
+      s.nodes_deleted <- s.nodes_deleted + int_field j "dce"
+  | _ -> ()
+
+(* Folds trace lines into a summary; the error names the first malformed
+   line (1-based). *)
+let of_lines (lines : string list) : (t, string) result =
+  let s = empty () in
+  let rec go lineno = function
+    | [] -> Ok s
+    | line :: rest ->
+        if String.trim line = "" then go (lineno + 1) rest
+        else (
+          match Support.Json.of_string line with
+          | Ok j ->
+              add_event s j;
+              go (lineno + 1) rest
+          | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+  in
+  go 1 lines
+
+let of_file (path : string) : (t, string) result =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      of_lines (List.rev !lines))
+
+let installed_code_size (s : t) : int =
+  List.fold_left (fun acc (c : compile_event) -> acc + c.size) 0 s.installs
+
+let render (s : t) : string =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "%d events over %d simulated cycles\n\n" s.total s.last_cycles;
+  pf "events by kind:\n";
+  List.iter (fun (k, n) -> pf "  %-18s %d\n" k n) s.kinds;
+  if s.installs <> [] then begin
+    pf "\ncompile timeline (%d installs, %d IR nodes):\n" (List.length s.installs)
+      (installed_code_size s);
+    List.iter
+      (fun (c : compile_event) ->
+        pf "  @%-10d install %-24s %d nodes\n" c.at_cycles c.meth c.size)
+      s.installs
+  end;
+  if s.pending_installs > 0 then
+    pf "\npending (async) compilations queued: %d\n" s.pending_installs;
+  if s.invalidations <> [] then begin
+    pf "\ninvalidations:\n";
+    List.iter
+      (fun (c : compile_event) ->
+        pf "  @%-10d invalidate %-21s %d spec misses\n" c.at_cycles c.meth c.size)
+      s.invalidations
+  end;
+  if s.inline_yes + s.inline_no + s.expand_yes + s.expand_no > 0 then begin
+    pf "\ninliner decisions:\n";
+    pf "  expansions         %d accepted, %d declined\n" s.expand_yes s.expand_no;
+    pf "  inlines            %d accepted, %d skipped\n" s.inline_yes s.inline_no
+  end;
+  if s.canon_events + s.nodes_deleted > 0 then begin
+    pf "\noptimizer (root rounds):\n";
+    pf "  canonicalizations  %d\n" s.canon_events;
+    pf "  nodes deleted      %d\n" s.nodes_deleted
+  end;
+  Buffer.contents buf

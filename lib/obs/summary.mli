@@ -1,0 +1,44 @@
+(** Trace digestion for [selvm events]: folds a JSONL event stream (the
+    format {!Trace} emits, documented in docs/OBSERVABILITY.md) into the
+    aggregates the paper's evaluation reads off the compiler — compile
+    timeline, installed code size, invalidations, inliner decisions,
+    optimizer counters. *)
+
+type compile_event = {
+  meth : string;
+  size : int;  (** IR nodes for installs; spec-miss count for invalidations *)
+  at_cycles : int;
+}
+
+type t = {
+  mutable total : int;
+  mutable kinds : (string * int) list;  (** per-kind counts, first-seen order *)
+  mutable installs : compile_event list;  (** chronological *)
+  mutable pending_installs : int;
+  mutable invalidations : compile_event list;
+  mutable inline_yes : int;
+  mutable inline_no : int;
+  mutable expand_yes : int;
+  mutable expand_no : int;
+  mutable canon_events : int;
+  mutable nodes_deleted : int;
+  mutable last_cycles : int;
+}
+
+val empty : unit -> t
+
+val add_event : t -> Support.Json.t -> unit
+(** Folds one parsed event into the summary. Unknown kinds still count
+    toward [total]/[kinds]. *)
+
+val of_lines : string list -> (t, string) result
+(** Blank lines are skipped; the error names the first malformed line. *)
+
+val of_file : string -> (t, string) result
+
+val installed_code_size : t -> int
+(** Sum of installed sizes over the trace — the Table I metric as seen by
+    the event stream. *)
+
+val render : t -> string
+(** Human-readable multi-line report. *)

@@ -86,6 +86,19 @@ let round_root_opts ?(rwelim = true) ?(scalar = true) ?(licm = true) ?(peel = tr
     stats.gvn_hits <- stats.gvn_hits + s2.gvn_hits;
     stats.dce_removed <- stats.dce_removed + s2.dce_removed
   end;
+  Obs.Trace.emit "opt_round" (fun () ->
+      Support.Json.
+        [
+          ("fn", String fn.fname);
+          ("canon", Int (Canonicalize.total stats.canon));
+          ("gvn", Int stats.gvn_hits);
+          ("dce", Int stats.dce_removed);
+          ("rwelim", Int stats.rw_eliminated);
+          ("scalar", Int stats.scalar_replaced);
+          ("licm", Int stats.licm_hoisted);
+          ("peel", Int stats.loops_peeled);
+          ("size", Int (Ir.Fn.size fn));
+        ]);
   stats
 
 (* Baseline preparation of every method body right after lowering, before

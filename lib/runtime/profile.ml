@@ -133,19 +133,33 @@ let to_text (t : t) : string =
 
 exception Bad_profile of string
 
+(* Duplicate records *accumulate*: a profile dump produced by
+   concatenating several runs' dumps (merged profiles) must load as the
+   sum of its parts, not as whichever record happened to come last.
+   Negative counts can express no observation and are rejected. *)
 let of_text (text : string) : t =
   let t = create () in
+  let bad lineno line =
+    raise (Bad_profile (Printf.sprintf "line %d: %S" (lineno + 1) line))
+  in
   let ints line =
     match String.split_on_char ' ' (String.trim line) with
     | kind :: rest -> (kind, List.map int_of_string rest)
     | [] -> raise (Bad_profile "empty record")
   in
+  let accumulate tbl key count =
+    match Hashtbl.find_opt tbl key with
+    | Some r -> r := !r + count
+    | None -> Hashtbl.replace tbl key (ref count)
+  in
   String.split_on_char '\n' text
   |> List.iteri (fun lineno line ->
          if String.trim line <> "" then
            match ints line with
-           | "i", [ m; count ] -> Hashtbl.replace t.invocations m (ref count)
-           | "b", [ m; b; count ] -> Hashtbl.replace t.blocks (m, b) (ref count)
+           | (_, counts) when List.exists (fun n -> n < 0) counts ->
+               bad lineno line
+           | "i", [ m; count ] -> accumulate t.invocations m count
+           | "b", [ m; b; count ] -> accumulate t.blocks (m, b) count
            | "r", [ m; s; c; count ] ->
                let hist =
                  match Hashtbl.find_opt t.receivers (m, s) with
@@ -155,9 +169,13 @@ let of_text (text : string) : t =
                      Hashtbl.replace t.receivers (m, s) h;
                      h
                in
-               Hashtbl.replace hist c (ref count)
-           | "c", [ m; s; tk; ntk ] -> Hashtbl.replace t.branches (m, s) (ref tk, ref ntk)
-           | _ -> raise (Bad_profile (Printf.sprintf "line %d: %S" (lineno + 1) line))
-           | exception _ ->
-               raise (Bad_profile (Printf.sprintf "line %d: %S" (lineno + 1) line)))
+               accumulate hist c count
+           | "c", [ m; s; tk; ntk ] -> (
+               match Hashtbl.find_opt t.branches (m, s) with
+               | Some (tk_r, ntk_r) ->
+                   tk_r := !tk_r + tk;
+                   ntk_r := !ntk_r + ntk
+               | None -> Hashtbl.replace t.branches (m, s) (ref tk, ref ntk))
+           | _ -> bad lineno line
+           | exception _ -> bad lineno line)
   |> fun () -> t

@@ -46,4 +46,6 @@ exception Bad_profile of string
 val to_text : t -> string
 
 val of_text : string -> t
-(** @raise Bad_profile on malformed input. *)
+(** Duplicate records accumulate, so the concatenation of several dumps
+    loads as their merge (summed counts).
+    @raise Bad_profile on malformed input or negative counts. *)

@@ -1,6 +1,6 @@
-(* A minimal JSON emitter — enough to write benchmark result files without
-   pulling in a JSON library. Emission only; nothing in the tree parses
-   JSON back. *)
+(* A minimal JSON emitter and reader — enough to write benchmark result
+   files and read back the JSONL traces `Obs.Trace` emits, without pulling
+   in a JSON library. *)
 
 type t =
   | Null
@@ -64,3 +64,183 @@ let to_string (j : t) : string =
   let buf = Buffer.create 256 in
   write buf j;
   Buffer.contents buf
+
+(* ---------- parsing ----------
+
+   A recursive-descent reader for the subset this module emits (which is
+   all of JSON except exotic number forms). Used by `selvm events` to
+   summarize trace files and by the round-trip tests. *)
+
+exception Parse_error of string
+
+type cursor = { text : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let error c msg = raise (Parse_error (Printf.sprintf "at offset %d: %s" c.pos msg))
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> error c (Printf.sprintf "expected %C" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.text && String.sub c.text c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else error c (Printf.sprintf "expected %s" word)
+
+let hex_digit c ch =
+  match ch with
+  | '0' .. '9' -> Char.code ch - Char.code '0'
+  | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+  | _ -> error c "bad hex digit in \\u escape"
+
+(* \uXXXX escapes decode to UTF-8 bytes (the emitter only produces them
+   for control characters, which are single bytes). *)
+let add_utf8 buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+  end
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> error c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some '"' -> advance c; Buffer.add_char buf '"'; go ()
+        | Some '\\' -> advance c; Buffer.add_char buf '\\'; go ()
+        | Some '/' -> advance c; Buffer.add_char buf '/'; go ()
+        | Some 'n' -> advance c; Buffer.add_char buf '\n'; go ()
+        | Some 'r' -> advance c; Buffer.add_char buf '\r'; go ()
+        | Some 't' -> advance c; Buffer.add_char buf '\t'; go ()
+        | Some 'b' -> advance c; Buffer.add_char buf '\b'; go ()
+        | Some 'f' -> advance c; Buffer.add_char buf '\012'; go ()
+        | Some 'u' ->
+            advance c;
+            let code = ref 0 in
+            for _ = 1 to 4 do
+              match peek c with
+              | Some ch ->
+                  code := (!code * 16) + hex_digit c ch;
+                  advance c
+              | None -> error c "truncated \\u escape"
+            done;
+            add_utf8 buf !code;
+            go ()
+        | _ -> error c "bad escape")
+    | Some ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek c with Some ch -> is_num_char ch | None -> false) do
+    advance c
+  done;
+  let s = String.sub c.text start (c.pos - start) in
+  match int_of_string_opt s with
+  | Some n -> Int n
+  | None -> (
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> error c (Printf.sprintf "bad number %S" s))
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> error c "unexpected end of input"
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '"' -> String (parse_string c)
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin advance c; List [] end
+      else begin
+        let items = ref [ parse_value c ] in
+        skip_ws c;
+        while peek c = Some ',' do
+          advance c;
+          items := parse_value c :: !items;
+          skip_ws c
+        done;
+        expect c ']';
+        List (List.rev !items)
+      end
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin advance c; Obj [] end
+      else begin
+        let field () =
+          skip_ws c;
+          let k = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        skip_ws c;
+        while peek c = Some ',' do
+          advance c;
+          fields := field () :: !fields;
+          skip_ws c
+        done;
+        expect c '}';
+        Obj (List.rev !fields)
+      end
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> error c (Printf.sprintf "unexpected %C" ch)
+
+let of_string (s : string) : (t, string) result =
+  let c = { text = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+      skip_ws c;
+      if c.pos = String.length s then Ok v
+      else Error (Printf.sprintf "trailing garbage at offset %d" c.pos)
+  | exception Parse_error msg -> Error msg
+
+(* ---------- object accessors ---------- *)
+
+let member (key : string) (j : t) : t option =
+  match j with Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_int_opt = function Int n -> Some n | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None

@@ -1,4 +1,5 @@
-(** A minimal JSON emitter for benchmark result files. Emission only. *)
+(** A minimal JSON emitter and reader for benchmark result files and the
+    JSONL traces {!Obs.Trace} writes. *)
 
 type t =
   | Null
@@ -12,3 +13,15 @@ type t =
 val to_string : t -> string
 (** Single-line rendering; strings are escaped, non-finite floats become
     [null]. *)
+
+val of_string : string -> (t, string) result
+(** Parses one JSON value (the subset {!to_string} emits — all of JSON
+    except exotic number forms). Numbers without [.]/[e] parse as [Int],
+    others as [Float]; [\uXXXX] escapes decode to UTF-8. *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] is the first binding of [key]; [None] for
+    missing keys and non-objects. *)
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option

@@ -195,6 +195,27 @@ let speculation_tests =
         ignore (drive e b 30);
         ignore (drive e c 100);
         Alcotest.(check int) "no invalidations" 0 (List.length e.invalidations));
+    test "install resets stale miss counts" (fun () ->
+        (* regression: misses accumulated against a previous code version
+           must not count toward invalidating the freshly installed body.
+           Seed a stale counter just below the threshold before the method
+           compiles; installation must clear it, so a burst of misses
+           smaller than the threshold cannot invalidate. *)
+        let e, b, c = spec_engine ~spec_miss_threshold:50 () in
+        let call_m = Option.get (Ir.Program.find_meth e.vm.prog "call") in
+        Hashtbl.replace e.miss_counts call_m (ref 49);
+        (* train and install on B receivers *)
+        Alcotest.(check int) "trained" 3 (drive e b 30);
+        Alcotest.(check bool) "installed" true (Hashtbl.mem e.code_cache call_m);
+        (* 16 C calls -> 48 fresh misses: below threshold, so the stale 49
+           is the only thing that could tip it over *)
+        Alcotest.(check int) "shifted" 6 (drive e c 16);
+        Alcotest.(check int) "stale misses did not invalidate" 0
+          (List.length e.invalidations);
+        (* the threshold itself still works: one more call crosses 50 *)
+        ignore (drive e c 1);
+        Alcotest.(check bool) "genuine misses still invalidate" true
+          (List.length e.invalidations >= 1));
   ]
 
 let async_tests =
@@ -257,6 +278,63 @@ let async_tests =
         let m = Option.get (Ir.Program.find_meth prog "bench") in
         Alcotest.(check bool) "profile keeps growing" true
           (Runtime.Profile.invocation_count e.vm.profiles m >= 10));
+    test "flush_pending surfaces never-re-entered compilations" (fun () ->
+        (* regression: a method that crosses the threshold on its *last*
+           entry compiles into [pending] and, with no further entries, the
+           install check never runs — the paid-for code was invisible to
+           installed_code_size and compilations. *)
+        let prog = compile hot_src in
+        let e =
+          Jit.Engine.create ~async_compile:true prog
+            { name = "async"; compiler = Some (incremental ()); hotness_threshold = 3;
+              compile_cost_per_node = 1; verify = true }
+        in
+        for _ = 1 to 3 do
+          ignore (Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ])
+        done;
+        (* bench and work both became hot on the final iteration *)
+        Alcotest.(check int) "nothing installed" 0 (Jit.Engine.installed_methods e);
+        Alcotest.(check bool) "pending visible" true (Jit.Engine.pending_methods e > 0);
+        Alcotest.(check bool) "pending size visible" true
+          (Jit.Engine.pending_code_size e > 0);
+        let n = Jit.Engine.flush_pending ~force:true e in
+        Alcotest.(check bool) "flush installed them" true (n > 0);
+        Alcotest.(check int) "pending drained" 0 (Jit.Engine.pending_methods e);
+        Alcotest.(check int) "accounted" n (Jit.Engine.installed_methods e);
+        Alcotest.(check bool) "code size now visible" true
+          (Jit.Engine.installed_code_size e > 0);
+        Alcotest.(check int) "compilations recorded" n
+          (List.length e.compilations));
+    test "flush_pending without force honours the latency" (fun () ->
+        let prog = compile hot_src in
+        let e =
+          Jit.Engine.create ~async_compile:true prog
+            { name = "async"; compiler = Some (incremental ()); hotness_threshold = 3;
+              compile_cost_per_node = 1000000 (* never elapses *); verify = false }
+        in
+        for _ = 1 to 3 do
+          ignore (Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ])
+        done;
+        Alcotest.(check bool) "pending" true (Jit.Engine.pending_methods e > 0);
+        Alcotest.(check int) "latency not elapsed: nothing installs" 0
+          (Jit.Engine.flush_pending e);
+        Alcotest.(check bool) "still pending" true (Jit.Engine.pending_methods e > 0));
+    test "harness end-of-run accounting includes elapsed pending code" (fun () ->
+        (* same scenario through the harness: with a tiny per-node cost the
+           latency elapses during the final iteration, so the end-of-run
+           flush installs the bodies and the run reports their size. *)
+        let prog = compile hot_src in
+        let e =
+          Jit.Engine.create ~async_compile:true prog
+            { name = "async"; compiler = Some (incremental ()); hotness_threshold = 3;
+              compile_cost_per_node = 1; verify = false }
+        in
+        let run = Jit.Harness.run_benchmark ~iters:3 e ~entry:"bench" ~label:"a" in
+        Alcotest.(check bool) "code size reported" true (run.code_size > 0);
+        Alcotest.(check bool) "timeline non-empty" true (run.timeline <> []);
+        (* anything still latent is reported separately, never dropped *)
+        Alcotest.(check int) "nothing left behind" 0
+          (Jit.Engine.pending_methods e - run.pending_methods));
   ]
 
 let () =

@@ -1,0 +1,182 @@
+(* Tests for the telemetry subsystem: the ambient trace sink, event
+   emission from the engine/inliner/optimizer, trace determinism, and the
+   [selvm events] summary aggregation. *)
+
+open Util
+
+(* Runs [hot_src] under the incremental JIT with a memory sink installed;
+   returns the collected JSONL lines. *)
+let traced_run ?(iters = 20) () =
+  let sink, lines = Obs.Trace.memory_sink () in
+  Obs.Trace.scoped sink (fun () ->
+      let e =
+        engine ~hotness:3
+          {|def work(n: Int): Int = { var i = 0; var s = 0; while (i < n) { s = s + i; i = i + 1 }; s }
+            def bench(): Int = work(20)
+            def main(): Unit = println(bench())|}
+          (Some (incremental ())) "traced"
+      in
+      for _ = 1 to iters do
+        ignore (Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ])
+      done;
+      (e, lines ()))
+
+let kind_of line =
+  match Support.Json.of_string line with
+  | Ok j -> Option.bind (Support.Json.member "ev" j) Support.Json.to_string_opt
+  | Error _ -> None
+
+let has_kind k lines = List.exists (fun l -> kind_of l = Some k) lines
+
+let trace_tests =
+  [
+    test "disabled tracing emits nothing and costs nothing" (fun () ->
+        Alcotest.(check bool) "not enabled" false (Obs.Trace.enabled ());
+        (* the fields closure must never be forced without a sink *)
+        Obs.Trace.emit "boom" (fun () -> Alcotest.fail "fields forced while disabled");
+        let _, lines = traced_run () in
+        Alcotest.(check bool) "sink collected events" true (lines <> []);
+        (* after the scoped run the ambient sink is restored to nothing *)
+        Alcotest.(check bool) "disabled again" false (Obs.Trace.enabled ()));
+    test "every line is valid single-object JSON with ev and cycles" (fun () ->
+        let _, lines = traced_run () in
+        List.iter
+          (fun line ->
+            match Support.Json.of_string line with
+            | Error e -> Alcotest.failf "bad JSONL line %S: %s" line e
+            | Ok j ->
+                Alcotest.(check bool) "has ev" true
+                  (Support.Json.member "ev" j <> None);
+                (match Option.bind (Support.Json.member "cycles" j)
+                         Support.Json.to_int_opt with
+                | Some c -> Alcotest.(check bool) "cycles >= 0" true (c >= 0)
+                | None -> Alcotest.failf "no cycles in %S" line))
+          lines);
+    test "engine and compiler pipeline events all appear" (fun () ->
+        let _, lines = traced_run () in
+        List.iter
+          (fun k ->
+            Alcotest.(check bool) (k ^ " present") true (has_kind k lines))
+          [
+            "compile_start"; "compile_done"; "install";
+            "inline_round"; "expand_decision"; "inline_decision"; "opt_round";
+          ]);
+    test "identical runs produce byte-identical traces" (fun () ->
+        let _, a = traced_run () in
+        let _, b = traced_run () in
+        Alcotest.(check (list string)) "deterministic" a b);
+    test "cycle stamps are monotonically non-decreasing" (fun () ->
+        let _, lines = traced_run () in
+        let cycles =
+          List.filter_map
+            (fun l ->
+              match Support.Json.of_string l with
+              | Ok j -> Option.bind (Support.Json.member "cycles" j)
+                          Support.Json.to_int_opt
+              | Error _ -> None)
+            lines
+        in
+        let rec mono = function
+          | a :: (b :: _ as rest) -> a <= b && mono rest
+          | _ -> true
+        in
+        Alcotest.(check bool) "monotone" true (mono cycles));
+    test "scoped nests and restores the previous sink" (fun () ->
+        let outer, outer_lines = Obs.Trace.memory_sink () in
+        let inner, inner_lines = Obs.Trace.memory_sink () in
+        Obs.Trace.scoped outer (fun () ->
+            Obs.Trace.emit "a" (fun () -> []);
+            Obs.Trace.scoped inner (fun () -> Obs.Trace.emit "b" (fun () -> []));
+            Obs.Trace.emit "c" (fun () -> []));
+        Alcotest.(check int) "outer got a and c" 2 (List.length (outer_lines ()));
+        Alcotest.(check int) "inner got b" 1 (List.length (inner_lines ()));
+        Alcotest.(check bool) "uninstalled at exit" false (Obs.Trace.enabled ()));
+    test "tracing does not perturb execution" (fun () ->
+        let run traced =
+          let body () =
+            let e =
+              engine ~hotness:3
+                {|def work(n: Int): Int = { var i = 0; var s = 0; while (i < n) { s = s + i; i = i + 1 }; s }
+                  def bench(): Int = work(20)
+                  def main(): Unit = println(bench())|}
+                (Some (incremental ())) "x"
+            in
+            for _ = 1 to 20 do
+              ignore (Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ])
+            done;
+            (e.vm.cycles, e.vm.steps, Jit.Engine.installed_code_size e)
+          in
+          if traced then
+            let sink, _ = Obs.Trace.memory_sink () in
+            Obs.Trace.scoped sink body
+          else body ()
+        in
+        let c1, s1, z1 = run false and c2, s2, z2 = run true in
+        Alcotest.(check int) "cycles identical" c1 c2;
+        Alcotest.(check int) "steps identical" s1 s2;
+        Alcotest.(check int) "code size identical" z1 z2);
+  ]
+
+let summary_tests =
+  [
+    test "summary aggregates match the engine" (fun () ->
+        let e, lines = traced_run () in
+        match Obs.Summary.of_lines lines with
+        | Error err -> Alcotest.failf "summary rejected the trace: %s" err
+        | Ok s ->
+            Alcotest.(check int) "event total" (List.length lines) s.Obs.Summary.total;
+            Alcotest.(check int) "installs" (Jit.Engine.installed_methods e)
+              (List.length s.Obs.Summary.installs);
+            Alcotest.(check int) "installed size"
+              (Jit.Engine.installed_code_size e)
+              (Obs.Summary.installed_code_size s);
+            Alcotest.(check bool) "inliner decisions seen" true
+              (s.Obs.Summary.inline_yes + s.Obs.Summary.inline_no > 0);
+            Alcotest.(check bool) "render is non-empty" true
+              (String.length (Obs.Summary.render s) > 0));
+    test "of_lines skips blanks and reports the bad line" (fun () ->
+        let good = {|{"ev": "install", "cycles": 1, "meth": "f", "size": 3}|} in
+        (match Obs.Summary.of_lines [ ""; good; "  " ] with
+        | Ok s -> Alcotest.(check int) "one event" 1 s.Obs.Summary.total
+        | Error e -> Alcotest.failf "rejected blanks: %s" e);
+        match Obs.Summary.of_lines [ good; "{oops" ] with
+        | Ok _ -> Alcotest.fail "accepted a malformed line"
+        | Error e ->
+            Alcotest.(check bool) "names the line" true
+              (contains_substring ~needle:"line 2" e));
+    test "unknown event kinds still count" (fun () ->
+        match
+          Obs.Summary.of_lines
+            [ {|{"ev": "mystery", "cycles": 5}|}; {|{"ev": "mystery", "cycles": 6}|} ]
+        with
+        | Error e -> Alcotest.failf "rejected: %s" e
+        | Ok s ->
+            Alcotest.(check int) "total" 2 s.Obs.Summary.total;
+            Alcotest.(check (option int)) "kind count" (Some 2)
+              (List.assoc_opt "mystery" s.Obs.Summary.kinds);
+            Alcotest.(check int) "last cycles" 6 s.Obs.Summary.last_cycles);
+    test "file round trip via with_file" (fun () ->
+        let path = Filename.temp_file "selvm_trace" ".jsonl" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Obs.Trace.with_file path (fun () ->
+                Obs.Trace.emit "install" (fun () ->
+                    Support.Json.
+                      [ ("m", Int 0); ("meth", String "f"); ("size", Int 4) ]);
+                Obs.Trace.emit "invalidate" (fun () ->
+                    Support.Json.
+                      [ ("m", Int 0); ("meth", String "f"); ("misses", Int 9);
+                        ("recompiles", Int 1) ]));
+            match Obs.Summary.of_file path with
+            | Error e -> Alcotest.failf "of_file: %s" e
+            | Ok s ->
+                Alcotest.(check int) "two events" 2 s.Obs.Summary.total;
+                Alcotest.(check int) "one install" 1
+                  (List.length s.Obs.Summary.installs);
+                Alcotest.(check int) "one invalidation" 1
+                  (List.length s.Obs.Summary.invalidations)));
+  ]
+
+let () =
+  Alcotest.run "obs" [ ("trace", trace_tests); ("summary", summary_tests) ]

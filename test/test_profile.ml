@@ -171,6 +171,87 @@ let tests =
             | _ -> Alcotest.failf "accepted %S" bad
             | exception Runtime.Profile.Bad_profile _ -> ())
           [ "x 1 2"; "i one 2"; "b 1"; "r 1 2 3" ]);
+    test "duplicate records accumulate (merge semantics)" (fun () ->
+        (* the concatenation of two dumps must load as their sum, not as
+           whichever record came last *)
+        let _, vm =
+          profiled
+            {|abstract class A { def m(): Int }
+              class B() extends A { def m(): Int = 1 }
+              class C() extends A { def m(): Int = 2 }
+              def call(a: A): Int = a.m()
+              def f(x: Int): Int = if (x % 3 == 0) { call(new B()) } else { call(new C()) }
+              def main(): Unit = {
+                var i = 0;
+                var s = 0;
+                while (i < 30) { s = s + f(i); i = i + 1 }
+                println(s)
+              }|}
+        in
+        let text = Runtime.Profile.to_text vm.profiles in
+        let once = Runtime.Profile.of_text text in
+        let twice = Runtime.Profile.of_text (text ^ text) in
+        (* every line doubled: reserialize and compare against doubling the
+           counts of the single load. The sorted text format makes the
+           comparison exhaustive over all four record kinds. *)
+        let doubled_lines =
+          String.split_on_char '\n' (Runtime.Profile.to_text once)
+          |> List.filter (fun l -> String.trim l <> "")
+          |> List.map (fun l ->
+                 match String.split_on_char ' ' l with
+                 | [ "i"; m; n ] ->
+                     Printf.sprintf "i %s %d" m (2 * int_of_string n)
+                 | [ "b"; m; b; n ] ->
+                     Printf.sprintf "b %s %s %d" m b (2 * int_of_string n)
+                 | [ "r"; m; s; c; n ] ->
+                     Printf.sprintf "r %s %s %s %d" m s c (2 * int_of_string n)
+                 | [ "c"; m; s; tk; ntk ] ->
+                     Printf.sprintf "c %s %s %d %d" m s
+                       (2 * int_of_string tk)
+                       (2 * int_of_string ntk)
+                 | _ -> Alcotest.failf "unexpected record %S" l)
+          |> List.sort compare
+        in
+        let expected = String.concat "\n" doubled_lines ^ "\n" in
+        Alcotest.(check string) "concatenated dump sums every count" expected
+          (Runtime.Profile.to_text twice));
+    test "merged profiles preserve derived queries" (fun () ->
+        let prog, vm =
+          profiled
+            {|def f(x: Int): Int = if (x % 4 == 0) { 1 } else { 0 }
+              def main(): Unit = {
+                var i = 0;
+                var s = 0;
+                while (i < 100) { s = s + f(i); i = i + 1 }
+                println(s)
+              }|}
+        in
+        let text = Runtime.Profile.to_text vm.profiles in
+        let merged = Runtime.Profile.of_text (text ^ "\n" ^ text) in
+        let f = meth prog "f" in
+        (* absolute counts double... *)
+        Alcotest.(check int) "invocations doubled"
+          (2 * Runtime.Profile.invocation_count vm.profiles f)
+          (Runtime.Profile.invocation_count merged f);
+        (* ...while ratios (branch probability) are unchanged *)
+        let fn = body_of prog "f" in
+        Ir.Fn.iter_blocks
+          (fun blk ->
+            match blk.term with
+            | Ir.Types.If { site; _ } when site.sm = f ->
+                Alcotest.(check (option (float 1e-9)))
+                  "branch prob invariant under merge"
+                  (Runtime.Profile.branch_prob vm.profiles site)
+                  (Runtime.Profile.branch_prob merged site)
+            | _ -> ())
+          fn);
+    test "negative counts are rejected" (fun () ->
+        List.iter
+          (fun bad ->
+            match Runtime.Profile.of_text bad with
+            | _ -> Alcotest.failf "accepted %S" bad
+            | exception Runtime.Profile.Bad_profile _ -> ())
+          [ "i 1 -2"; "b 0 1 -5"; "r 2 0 3 -1"; "c 0 1 -3 4"; "c 0 1 3 -4" ]);
     test "compiled code does not profile" (fun () ->
         let src =
           {|def g(): Int = 1

@@ -1,4 +1,4 @@
-(* Unit tests for the support library: Vec, Rng, Stats. *)
+(* Unit tests for the support library: Vec, Rng, Stats, Json. *)
 
 open Util
 
@@ -134,11 +134,107 @@ let stats_tests =
     test "steady-state of single sample" (fun () ->
         Alcotest.(check (list (float 0.0))) "one" [ 7.0 ]
           (Support.Stats.steady_state_window [ 7.0 ]));
+    test "steady-state of two samples keeps the last" (fun () ->
+        (* 40% of 2 rounds down to 0; the window floor is 1 sample *)
+        Alcotest.(check (list (float 0.0))) "two" [ 9.0 ]
+          (Support.Stats.steady_state_window [ 3.0; 9.0 ]));
+    test "steady-state window beyond the cap is the last 20" (fun () ->
+        let xs = List.init 60 float_of_int in
+        let w = Support.Stats.steady_state_window xs in
+        Alcotest.(check int) "len" 20 (List.length w);
+        Alcotest.(check (float 0.0)) "starts at 40" 40.0 (List.hd w);
+        Alcotest.(check (float 0.0)) "ends at 59" 59.0 (List.nth w 19));
+    test "steady-state at the cap boundary" (fun () ->
+        (* n=50: 40% = 20 exactly; n=51: 40% rounds down to 20 *)
+        Alcotest.(check int) "n=50" 20
+          (List.length (Support.Stats.steady_state_window (List.init 50 float_of_int)));
+        Alcotest.(check int) "n=51" 20
+          (List.length (Support.Stats.steady_state_window (List.init 51 float_of_int))));
+    test "steady-state of empty raises" (fun () ->
+        Alcotest.check_raises "empty"
+          (Invalid_argument "Stats.steady_state_window: empty") (fun () ->
+            ignore (Support.Stats.steady_state_window [])));
     test "mean of empty raises" (fun () ->
         Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty") (fun () ->
             ignore (Support.Stats.mean [])));
   ]
 
+(* ---------- Json: the emitter the trace sink depends on ---------- *)
+
+let json_str j = Support.Json.to_string j
+
+let json_tests =
+  let open Support.Json in
+  [
+    test "scalars render" (fun () ->
+        Alcotest.(check string) "null" "null" (json_str Null);
+        Alcotest.(check string) "true" "true" (json_str (Bool true));
+        Alcotest.(check string) "int" "-42" (json_str (Int (-42)));
+        Alcotest.(check string) "string" "\"hi\"" (json_str (String "hi")));
+    test "control characters escape" (fun () ->
+        Alcotest.(check string) "newline/tab/cr" "\"a\\nb\\tc\\rd\""
+          (json_str (String "a\nb\tc\rd"));
+        Alcotest.(check string) "quote and backslash" "\"q\\\"b\\\\e\""
+          (json_str (String "q\"b\\e"));
+        (* other control chars take the \u form *)
+        Alcotest.(check string) "\\u0001" "\"\\u0001\"" (json_str (String "\001"));
+        Alcotest.(check string) "\\u001f" "\"\\u001f\"" (json_str (String "\031")));
+    test "non-finite floats become null" (fun () ->
+        Alcotest.(check string) "nan" "null" (json_str (Float Float.nan));
+        Alcotest.(check string) "inf" "null" (json_str (Float Float.infinity));
+        Alcotest.(check string) "-inf" "null" (json_str (Float Float.neg_infinity));
+        Alcotest.(check bool) "finite stays numeric" true
+          (json_str (Float 1.5) = "1.5"));
+    test "nested rendering" (fun () ->
+        Alcotest.(check string) "obj"
+          "{\"a\": [1, 2], \"b\": {\"c\": null}}"
+          (json_str (Obj [ ("a", List [ Int 1; Int 2 ]); ("b", Obj [ ("c", Null) ]) ])));
+    test "parse round-trips what we emit" (fun () ->
+        let samples =
+          [
+            Null;
+            Bool false;
+            Int 123;
+            Int (-7);
+            Float 3.25;
+            String "control \001 and \"quotes\" and \\slashes\n";
+            List [ Int 1; String "x"; Obj [] ];
+            Obj [ ("ev", String "install"); ("cycles", Int 99); ("xs", List [ Null ]) ];
+          ]
+        in
+        List.iter
+          (fun j ->
+            match of_string (json_str j) with
+            | Ok j' -> Alcotest.(check string) "round trip" (json_str j) (json_str j')
+            | Error e -> Alcotest.failf "did not parse %s: %s" (json_str j) e)
+          samples);
+    test "parse handles whitespace and empty containers" (fun () ->
+        Alcotest.(check bool) "empty obj" true (of_string " { } " = Ok (Obj []));
+        Alcotest.(check bool) "empty list" true (of_string "[]" = Ok (List []));
+        Alcotest.(check bool) "spaced" true
+          (of_string "{ \"a\" : [ 1 , 2 ] }" = Ok (Obj [ ("a", List [ Int 1; Int 2 ]) ])));
+    test "parse rejects malformed input" (fun () ->
+        List.iter
+          (fun bad ->
+            match of_string bad with
+            | Ok _ -> Alcotest.failf "accepted %S" bad
+            | Error _ -> ())
+          [ ""; "{"; "[1,]"; "nul"; "\"unterminated"; "{\"a\" 1}"; "1 2"; "{}}" ]);
+    test "member and accessors" (fun () ->
+        let j = Obj [ ("ev", String "install"); ("size", Int 9) ] in
+        Alcotest.(check (option int)) "size" (Some 9)
+          (Option.bind (member "size" j) to_int_opt);
+        Alcotest.(check (option string)) "ev" (Some "install")
+          (Option.bind (member "ev" j) to_string_opt);
+        Alcotest.(check bool) "missing" true (member "nope" j = None);
+        Alcotest.(check bool) "non-object" true (member "x" (Int 1) = None));
+  ]
+
 let () =
   Alcotest.run "support"
-    [ ("vec", vec_tests); ("rng", rng_tests); ("stats", stats_tests) ]
+    [
+      ("vec", vec_tests);
+      ("rng", rng_tests);
+      ("stats", stats_tests);
+      ("json", json_tests);
+    ]
