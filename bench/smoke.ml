@@ -2,11 +2,12 @@
 
    Runs every registered workload under the interpreter (no JIT compiler)
    twice — once on the reference IR walker, once on the prepared execution
-   engine — verifies the two runs are observationally identical (output
-   and simulated cycles), and reports real steps/second for both plus the
-   speedup. A JIT'd run of one workload with an attached telemetry trace
-   contributes compile-timeline data. Results land in BENCH_interp.json
-   in the working directory.
+   engine — verifies per workload that the two runs are observationally
+   identical (output, simulated cycles and steps), and reports real
+   steps/second for both plus the per-workload and aggregate speedup and
+   the prepared engine's inline-cache hit rates. A JIT'd run of one
+   workload with an attached telemetry trace contributes compile-timeline
+   data. Results land in BENCH_interp.json in the working directory.
 
    This measures the harness itself, not the simulation: simulated cycles
    are identical by construction; wall-clock throughput is the win. *)
@@ -20,36 +21,56 @@ let interp_config : Jit.Engine.config =
     verify = false;
   }
 
-type backend_run = {
-  steps : int;
-  cycles : int;
-  digest : string;     (* of concatenated workload outputs *)
-  seconds : float;
+(* One workload on one backend: the engine (for steps/cycles), the
+   harness run (output, inline-cache totals) and the wall-clock cost. *)
+let run_workload (backend : Runtime.Interp.backend) (w : Workloads.Defs.t) :
+    Jit.Engine.t * Jit.Harness.run * float =
+  let prog = Workloads.Registry.compile w in
+  let engine = Jit.Engine.create prog interp_config in
+  engine.vm.backend <- backend;
+  let t0 = Unix.gettimeofday () in
+  let run =
+    Jit.Harness.run_benchmark ~iters:w.iters engine ~entry:"bench" ~label:w.name
+  in
+  let seconds = Unix.gettimeofday () -. t0 in
+  (engine, run, seconds)
+
+(* Per-workload comparison of the two backends, checked for observational
+   equality on the spot. *)
+type comparison = {
+  c_name : string;
+  c_steps : int;
+  c_cycles : int;
+  c_ref_seconds : float;
+  c_prep_seconds : float;
+  c_prep_run : Jit.Harness.run;
 }
 
-let run_backend (backend : Runtime.Interp.backend) : backend_run =
-  let steps = ref 0 and cycles = ref 0 in
-  let outputs = Buffer.create 4096 in
-  let t0 = Unix.gettimeofday () in
-  List.iter
-    (fun (w : Workloads.Defs.t) ->
-      let prog = Workloads.Registry.compile w in
-      let engine = Jit.Engine.create prog interp_config in
-      engine.vm.backend <- backend;
-      let run =
-        Jit.Harness.run_benchmark ~iters:w.iters engine ~entry:"bench" ~label:w.name
-      in
-      steps := !steps + engine.vm.steps;
-      cycles := !cycles + engine.vm.cycles;
-      Buffer.add_string outputs run.output)
-    Workloads.Registry.all;
-  let seconds = Unix.gettimeofday () -. t0 in
+let compare_workload (w : Workloads.Defs.t) : comparison =
+  let ref_engine, ref_run, ref_seconds =
+    run_workload Runtime.Interp.Reference w
+  in
+  let prep_engine, prep_run, prep_seconds =
+    run_workload Runtime.Interp.Prepared w
+  in
+  if ref_engine.vm.cycles <> prep_engine.vm.cycles then
+    Fmt.failwith "%s: backend divergence: %d reference cycles vs %d prepared"
+      w.name ref_engine.vm.cycles prep_engine.vm.cycles;
+  if ref_run.output <> prep_run.output then
+    Fmt.failwith "%s: backend divergence: outputs differ" w.name;
+  if ref_engine.vm.steps <> prep_engine.vm.steps then
+    Fmt.failwith "%s: backend divergence: %d reference steps vs %d prepared"
+      w.name ref_engine.vm.steps prep_engine.vm.steps;
   {
-    steps = !steps;
-    cycles = !cycles;
-    digest = Digest.to_hex (Digest.string (Buffer.contents outputs));
-    seconds;
+    c_name = w.name;
+    c_steps = prep_engine.vm.steps;
+    c_cycles = prep_engine.vm.cycles;
+    c_ref_seconds = ref_seconds;
+    c_prep_seconds = prep_seconds;
+    c_prep_run = prep_run;
   }
+
+let workload_speedup (c : comparison) : float = c.c_ref_seconds /. c.c_prep_seconds
 
 (* One workload under the incremental JIT with an in-memory trace sink
    attached: the trace is digested back through [Obs.Summary] (a built-in
@@ -85,40 +106,68 @@ let run () =
   Common.print_header
     (Printf.sprintf "interp smoke: %d workloads, interpreter only, wall clock"
        nworkloads);
-  let reference = run_backend Runtime.Interp.Reference in
-  let prepared = run_backend Runtime.Interp.Prepared in
-  if reference.cycles <> prepared.cycles then
-    Fmt.failwith "backend divergence: %d reference cycles vs %d prepared"
-      reference.cycles prepared.cycles;
-  if reference.digest <> prepared.digest then
-    Fmt.failwith "backend divergence: outputs differ";
-  if reference.steps <> prepared.steps then
-    Fmt.failwith "backend divergence: %d reference steps vs %d prepared"
-      reference.steps prepared.steps;
-  let sps (r : backend_run) = float_of_int r.steps /. r.seconds in
-  let speedup = sps prepared /. sps reference in
+  let comparisons = List.map compare_workload Workloads.Registry.all in
+  let sum f = List.fold_left (fun acc c -> acc + f c) 0 comparisons in
+  let sumf f = List.fold_left (fun acc c -> acc +. f c) 0.0 comparisons in
+  let steps = sum (fun c -> c.c_steps) in
+  let ref_seconds = sumf (fun c -> c.c_ref_seconds) in
+  let prep_seconds = sumf (fun c -> c.c_prep_seconds) in
+  let speedup = ref_seconds /. prep_seconds in
+  let ic_sites = sum (fun c -> c.c_prep_run.ic_sites) in
+  let ic_hits = sum (fun c -> c.c_prep_run.ic_hits) in
+  let ic_misses = sum (fun c -> c.c_prep_run.ic_misses) in
+  let ic_mega = sum (fun c -> c.c_prep_run.ic_megamorphic) in
+  let ic_dispatches = ic_hits + ic_misses + ic_mega in
+  let ic_hit_rate =
+    if ic_dispatches = 0 then 0.0
+    else float_of_int ic_hits /. float_of_int ic_dispatches
+  in
   Common.print_table
-    ~columns:[ "backend"; "steps"; "seconds"; "steps/sec" ]
+    ~columns:[ "workload"; "steps"; "ref s"; "prep s"; "speedup"; "ic hit%" ]
     ~rows:
       (List.map
-         (fun (label, r) ->
+         (fun c ->
            [
-             label;
-             string_of_int r.steps;
-             Printf.sprintf "%.3f" r.seconds;
-             Printf.sprintf "%.3e" (sps r);
+             c.c_name;
+             string_of_int c.c_steps;
+             Printf.sprintf "%.3f" c.c_ref_seconds;
+             Printf.sprintf "%.3f" c.c_prep_seconds;
+             Printf.sprintf "%.2fx" (workload_speedup c);
+             Printf.sprintf "%.1f" (100.0 *. Jit.Harness.ic_hit_rate c.c_prep_run);
            ])
-         [ ("reference", reference); ("prepared", prepared) ]);
-  Common.note "prepared engine speedup: %.2fx (outputs and cycles identical)"
+         comparisons);
+  Common.note
+    "prepared engine speedup: %.2fx (outputs, cycles and steps identical per \
+     workload)"
     speedup;
-  let backend_json (r : backend_run) =
+  Common.note "inline caches: %d sites, %d dispatches, %.1f%% hit rate" ic_sites
+    ic_dispatches
+    (100.0 *. ic_hit_rate);
+  let backend_json (seconds : float) =
     Support.Json.Obj
       [
-        ("steps", Support.Json.Int r.steps);
-        ("simulated_cycles", Support.Json.Int r.cycles);
-        ("seconds", Support.Json.Float r.seconds);
-        ("steps_per_sec", Support.Json.Float (sps r));
+        ("steps", Support.Json.Int steps);
+        ("simulated_cycles", Support.Json.Int (sum (fun c -> c.c_cycles)));
+        ("seconds", Support.Json.Float seconds);
+        ("steps_per_sec", Support.Json.Float (float_of_int steps /. seconds));
       ]
+  in
+  let per_workload_json =
+    Support.Json.List
+      (List.map
+         (fun c ->
+           Support.Json.Obj
+             [
+               ("name", Support.Json.String c.c_name);
+               ("steps", Support.Json.Int c.c_steps);
+               ("reference_seconds", Support.Json.Float c.c_ref_seconds);
+               ("prepared_seconds", Support.Json.Float c.c_prep_seconds);
+               ("speedup", Support.Json.Float (workload_speedup c));
+               ("ic_sites", Support.Json.Int c.c_prep_run.ic_sites);
+               ( "ic_hit_rate",
+                 Support.Json.Float (Jit.Harness.ic_hit_rate c.c_prep_run) );
+             ])
+         comparisons)
   in
   let traced_name, traced, summary = traced_jit_run () in
   Common.note "trace smoke: %s under incremental — %d events, %d installs, %d IR nodes"
@@ -131,9 +180,19 @@ let run () =
         ("benchmark", Support.Json.String "interp-smoke");
         ("workloads", Support.Json.Int nworkloads);
         ("identical_output", Support.Json.Bool true);
-        ("reference", backend_json reference);
-        ("prepared", backend_json prepared);
+        ("reference", backend_json ref_seconds);
+        ("prepared", backend_json prep_seconds);
         ("speedup", Support.Json.Float speedup);
+        ("per_workload", per_workload_json);
+        ( "ic",
+          Support.Json.Obj
+            [
+              ("sites", Support.Json.Int ic_sites);
+              ("hits", Support.Json.Int ic_hits);
+              ("misses", Support.Json.Int ic_misses);
+              ("megamorphic", Support.Json.Int ic_mega);
+              ("hit_rate", Support.Json.Float ic_hit_rate);
+            ] );
         ( "trace",
           Support.Json.Obj
             [
@@ -145,6 +204,7 @@ let run () =
                   (List.map
                      (fun (k, n) -> (k, Support.Json.Int n))
                      summary.Obs.Summary.kinds) );
+              ("ic", Jit.Harness.ic_json traced);
               ("timeline", Jit.Harness.timeline_json traced);
             ] );
       ]

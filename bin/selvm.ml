@@ -172,7 +172,14 @@ let bench_cmd =
           ~doc:"Write the collected profiles to FILE afterwards (see `compile \
                 --profiles`).")
   in
-  let bench file workload config hotness entry iters save_profiles trace =
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the full run (iterations, inline-cache totals, compile \
+                timeline) to FILE as JSON.")
+  in
+  let bench file workload config hotness entry iters save_profiles json trace =
     match load_program ~file ~workload with
     | Error e -> fail e
     | Ok (prog, label) ->
@@ -194,6 +201,21 @@ let bench_cmd =
                 if run.pending_methods > 0 then
                   Printf.printf "# %d compilations (%d IR nodes) still pending\n"
                     run.pending_methods run.pending_code_size;
+                if run.ic_sites > 0 then
+                  Printf.printf "# inline caches: %d sites, %.1f%% hit rate\n"
+                    run.ic_sites
+                    (100.0 *. Jit.Harness.ic_hit_rate run);
+                (match json with
+                | Some path ->
+                    let oc = open_out path in
+                    Fun.protect
+                      ~finally:(fun () -> close_out_noerr oc)
+                      (fun () ->
+                        output_string oc
+                          (Support.Json.to_string (Jit.Harness.run_json run));
+                        output_string oc "\n");
+                    Printf.eprintf "-- run JSON written to %s\n" path
+                | None -> ());
                 match save_profiles with
                 | Some path ->
                     let oc = open_out path in
@@ -208,7 +230,7 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Repeat a method and report per-iteration simulated cycles.")
     Term.(
       const bench $ file_arg $ workload_arg $ config_arg $ hotness_arg $ entry_arg
-      $ iters_arg $ save_profiles_arg $ trace_arg)
+      $ iters_arg $ save_profiles_arg $ json_arg $ trace_arg)
 
 (* ---- compile ---- *)
 

@@ -213,6 +213,10 @@ let installed_code_size (t : t) : int =
 
 let installed_methods (t : t) : int = Hashtbl.length t.code_cache
 
+(* Per-site inline-cache statistics (live + retired), for `selvm events`
+   and the bench smoke's hit-rate reporting. *)
+let ic_stats (t : t) : Runtime.Interp.ic_stat list = Runtime.Interp.ic_stats t.vm
+
 (* Async-compilation accounting: a pending body whose method is never
    re-entered would otherwise stay invisible to [installed_code_size] and
    [compilations], under-reporting the Table I code-size metric. *)

@@ -72,6 +72,10 @@ val installed_code_size : t -> int
 
 val installed_methods : t -> int
 
+val ic_stats : t -> Runtime.Interp.ic_stat list
+(** Per-site inline-cache statistics, live caches merged with counters
+    retired by installs/invalidations (see {!Runtime.Interp.ic_stats}). *)
+
 val pending_methods : t -> int
 (** Compilations produced but not yet installed (async mode). *)
 

@@ -21,7 +21,16 @@ type run = {
   timeline : (string * int * int) list;  (* method, size, at_cycles; chronological *)
   invalidated : (string * int) list;     (* method, at_cycles; chronological *)
   output : string;          (* program output, for differential checking *)
+  (* inline-cache totals over every site the run dispatched through *)
+  ic_sites : int;
+  ic_hits : int;
+  ic_misses : int;
+  ic_megamorphic : int;
 }
+
+let ic_hit_rate (r : run) : float =
+  let d = r.ic_hits + r.ic_misses + r.ic_megamorphic in
+  if d = 0 then 0.0 else float_of_int r.ic_hits /. float_of_int d
 
 (* Runs [entry] (a 0-argument Sel function returning Int or Unit) [iters]
    times on a fresh engine. A [setup] entry, when present, runs once
@@ -53,6 +62,25 @@ let run_benchmark ?(setup : string option) ~(iters : int) (engine : Engine.t)
   let series = List.map (fun i -> float_of_int i.cycles) iterations in
   let window = Support.Stats.steady_state_window series in
   let meth_name m = (Ir.Program.meth engine.vm.prog m).m_name in
+  (* inline-cache accounting: one ic_site event per dispatched-through
+     site (already merged across recompilations and ordered by site, so
+     identical runs emit identical traces), plus run-level totals *)
+  let ics = Engine.ic_stats engine in
+  List.iter
+    (fun (st : Runtime.Interp.ic_stat) ->
+      Obs.Trace.emit "ic_site" (fun () ->
+          Support.Json.
+            [
+              ("m", Int st.st_site.sm);
+              ("meth", String (meth_name st.st_site.sm));
+              ("sidx", Int st.st_site.sidx);
+              ("selector", String st.st_selector);
+              ("ic_hit", Int st.st_hits);
+              ("ic_miss", Int st.st_misses);
+              ("ic_megamorphic", Int st.st_mega);
+            ]))
+    ics;
+  let sum f = List.fold_left (fun acc st -> acc + f st) 0 ics in
   {
     name = label;
     iterations;
@@ -69,6 +97,10 @@ let run_benchmark ?(setup : string option) ~(iters : int) (engine : Engine.t)
     invalidated =
       List.rev_map (fun (m, at) -> (meth_name m, at)) engine.invalidations;
     output = Engine.output engine;
+    ic_sites = List.length ics;
+    ic_hits = sum (fun st -> st.Runtime.Interp.st_hits);
+    ic_misses = sum (fun st -> st.Runtime.Interp.st_misses);
+    ic_megamorphic = sum (fun st -> st.Runtime.Interp.st_mega);
   }
 
 (* The compile-timeline section of a BENCH_*.json result: when code was
@@ -101,4 +133,39 @@ let timeline_json (r : run) : Support.Json.t =
       ("compile_cycles", Support.Json.Int r.compile_cycles);
       ("pending_methods", Support.Json.Int r.pending_methods);
       ("pending_code_size", Support.Json.Int r.pending_code_size);
+    ]
+
+(* Inline-cache totals of a run. *)
+let ic_json (r : run) : Support.Json.t =
+  Support.Json.Obj
+    [
+      ("sites", Support.Json.Int r.ic_sites);
+      ("hits", Support.Json.Int r.ic_hits);
+      ("misses", Support.Json.Int r.ic_misses);
+      ("megamorphic", Support.Json.Int r.ic_megamorphic);
+      ("hit_rate", Support.Json.Float (ic_hit_rate r));
+    ]
+
+(* The complete run as JSON — the shared emitter behind `selvm bench
+   --json` and the bench smoke's per-run sections. *)
+let run_json (r : run) : Support.Json.t =
+  Support.Json.Obj
+    [
+      ("name", Support.Json.String r.name);
+      ("iterations", Support.Json.Int (List.length r.iterations));
+      ("peak_cycles", Support.Json.Float r.peak_cycles);
+      ("peak_stddev", Support.Json.Float r.peak_stddev);
+      ( "per_iteration",
+        Support.Json.List
+          (List.map
+             (fun (it : iteration) ->
+               Support.Json.Obj
+                 [
+                   ("index", Support.Json.Int it.index);
+                   ("cycles", Support.Json.Int it.cycles);
+                   ("compiled_methods", Support.Json.Int it.compiled_methods);
+                 ])
+             r.iterations) );
+      ("ic", ic_json r);
+      ("timeline", timeline_json r);
     ]

@@ -24,7 +24,15 @@ type run = {
   invalidated : (string * int) list;
       (** each invalidation as (method, at_cycles), chronological *)
   output : string;
+  ic_sites : int;  (** call sites dispatched through an inline cache *)
+  ic_hits : int;
+  ic_misses : int;
+  ic_megamorphic : int;
+      (** dispatches taken by a megamorphic cache's fallback path *)
 }
+
+val ic_hit_rate : run -> float
+(** Hits over total inline-cached dispatches; [0.0] when none ran. *)
 
 val run_benchmark :
   ?setup:string -> iters:int -> Engine.t -> entry:string -> label:string -> run
@@ -37,3 +45,12 @@ val run_benchmark :
 val timeline_json : run -> Support.Json.t
 (** The compile-timeline section benches embed in BENCH_*.json: installs,
     invalidations, code size, compile cycles, pending accounting. *)
+
+val ic_json : run -> Support.Json.t
+(** The run's inline-cache totals: sites, hits, misses, megamorphic
+    dispatches, hit rate. *)
+
+val run_json : run -> Support.Json.t
+(** The complete run as JSON — shared by `selvm bench --json` and the
+    bench smoke's per-run sections: name, iteration summary and series,
+    {!ic_json}, {!timeline_json}. *)

@@ -21,6 +21,10 @@ type t = {
   mutable expand_no : int;
   mutable canon_events : int;
   mutable nodes_deleted : int;
+  mutable ic_sites : int;
+  mutable ic_hits : int;
+  mutable ic_misses : int;
+  mutable ic_megamorphic : int;
   mutable last_cycles : int;
 }
 
@@ -37,6 +41,10 @@ let empty () =
     expand_no = 0;
     canon_events = 0;
     nodes_deleted = 0;
+    ic_sites = 0;
+    ic_hits = 0;
+    ic_misses = 0;
+    ic_megamorphic = 0;
     last_cycles = 0;
   }
 
@@ -80,6 +88,11 @@ let add_event (s : t) (j : Support.Json.t) : unit =
   | "opt_round" ->
       s.canon_events <- s.canon_events + int_field j "canon";
       s.nodes_deleted <- s.nodes_deleted + int_field j "dce"
+  | "ic_site" ->
+      s.ic_sites <- s.ic_sites + 1;
+      s.ic_hits <- s.ic_hits + int_field j "ic_hit";
+      s.ic_misses <- s.ic_misses + int_field j "ic_miss";
+      s.ic_megamorphic <- s.ic_megamorphic + int_field j "ic_megamorphic"
   | _ -> ()
 
 (* Folds trace lines into a summary; the error names the first malformed
@@ -147,5 +160,14 @@ let render (s : t) : string =
     pf "\noptimizer (root rounds):\n";
     pf "  canonicalizations  %d\n" s.canon_events;
     pf "  nodes deleted      %d\n" s.nodes_deleted
+  end;
+  if s.ic_sites > 0 then begin
+    let d = s.ic_hits + s.ic_misses + s.ic_megamorphic in
+    pf "\ninline caches (%d sites):\n" s.ic_sites;
+    pf "  hits               %d (%.1f%% of %d dispatches)\n" s.ic_hits
+      (100.0 *. float_of_int s.ic_hits /. float_of_int (max 1 d))
+      d;
+    pf "  misses             %d\n" s.ic_misses;
+    pf "  megamorphic        %d\n" s.ic_megamorphic
   end;
   Buffer.contents buf

@@ -22,6 +22,10 @@ type t = {
   mutable expand_no : int;
   mutable canon_events : int;
   mutable nodes_deleted : int;
+  mutable ic_sites : int;  (** ic_site events seen (one per dispatched site) *)
+  mutable ic_hits : int;
+  mutable ic_misses : int;
+  mutable ic_megamorphic : int;
   mutable last_cycles : int;
 }
 

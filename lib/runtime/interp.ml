@@ -35,7 +35,27 @@ type mode = Interpreted | Compiled
 
 type backend = Prepared | Reference
 
-type prepared_entry = { src : fn; pcode : Prepared.code }
+(* A cache entry remembers the physical body it was translated from plus
+   the profile (identity and generation) its baked counter cells and IC
+   receiver cells point into: a body replacement, a profile swap or a
+   [Profile.clear] each invalidate the entry at the next lookup. *)
+type prepared_entry = {
+  src : fn;
+  prof : Profile.t;
+  gen : int;
+  pcode : Prepared.code;
+}
+
+(* Accumulated counters of inline caches whose code object was dropped
+   (install/invalidate/replace), keyed by site so repeated recompilations
+   of a method fold into one row. *)
+type ic_stat = {
+  st_site : site;
+  st_selector : string;
+  mutable st_hits : int;
+  mutable st_misses : int;
+  mutable st_mega : int;
+}
 
 type vm = {
   prog : program;
@@ -56,6 +76,9 @@ type vm = {
   (* prepared-code cache, keyed by meth_id * 2 + tier *)
   prepared_cache : (int, prepared_entry) Hashtbl.t;
   mutable code_epoch : int;      (* bumped by every [invalidate_code] *)
+  mutable ic_enabled : bool;     (* inline caches on virtual dispatch *)
+  ic_retired : (site, ic_stat) Hashtbl.t;
+      (* counters of ICs retired with their code objects *)
 }
 
 let create ?(cost = Cost.default) ?(max_steps = 500_000_000)
@@ -76,6 +99,8 @@ let create ?(cost = Cost.default) ?(max_steps = 500_000_000)
     backend;
     prepared_cache = Hashtbl.create 64;
     code_epoch = 0;
+    ic_enabled = true;
+    ic_retired = Hashtbl.create 16;
   }
 
 let output vm = Buffer.contents vm.out
@@ -85,22 +110,93 @@ let charge vm n = vm.cycles <- vm.cycles + n
 let cache_key (m : meth_id) (mode : mode) : int =
   (m * 2) + match mode with Interpreted -> 0 | Compiled -> 1
 
+(* Folds a dropped code object's IC counters into [vm.ic_retired] so
+   install/invalidate cannot erase the dispatch statistics, then zeroes
+   them (a second retirement of the same object is a no-op). *)
+let retire_ics (vm : vm) (pcode : Prepared.code) : unit =
+  Array.iter
+    (fun (ic : Ic.t) ->
+      if Ic.dispatches ic > 0 then begin
+        let st =
+          match Hashtbl.find_opt vm.ic_retired ic.ic_site with
+          | Some st -> st
+          | None ->
+              let st =
+                { st_site = ic.ic_site; st_selector = ic.selector;
+                  st_hits = 0; st_misses = 0; st_mega = 0 }
+              in
+              Hashtbl.replace vm.ic_retired ic.ic_site st;
+              st
+        in
+        st.st_hits <- st.st_hits + ic.hits;
+        st.st_misses <- st.st_misses + ic.misses;
+        st.st_mega <- st.st_mega + ic.mega;
+        Ic.reset_stats ic
+      end)
+    pcode.ics
+
 let invalidate_code (vm : vm) (m : meth_id) : unit =
-  Hashtbl.remove vm.prepared_cache (cache_key m Interpreted);
-  Hashtbl.remove vm.prepared_cache (cache_key m Compiled);
+  let drop key =
+    match Hashtbl.find_opt vm.prepared_cache key with
+    | Some e ->
+        retire_ics vm e.pcode;
+        Hashtbl.remove vm.prepared_cache key
+    | None -> ()
+  in
+  drop (cache_key m Interpreted);
+  drop (cache_key m Compiled);
   vm.code_epoch <- vm.code_epoch + 1
 
-(* Cache lookup guarded by physical identity of the source body: even if
+(* Cache lookup guarded by physical identity of the source body (even if
    an install slipped past [invalidate_code], a replaced body can never
-   execute stale prepared code. *)
+   execute stale prepared code) and by profile identity + generation (a
+   swapped or cleared profile invalidates the baked counter cells). *)
 let prepared_for (vm : vm) ~(mode : mode) (m : meth_id) (fn : fn) : Prepared.code =
   let key = cache_key m mode in
   match Hashtbl.find_opt vm.prepared_cache key with
-  | Some e when e.src == fn -> e.pcode
-  | _ ->
+  | Some e
+    when e.src == fn && e.prof == vm.profiles
+         && e.gen = Profile.generation vm.profiles ->
+      e.pcode
+  | stale ->
+      (match stale with Some e -> retire_ics vm e.pcode | None -> ());
       let pcode = Prepared.prepare ~cost:vm.cost vm.prog fn in
-      Hashtbl.replace vm.prepared_cache key { src = fn; pcode };
+      Hashtbl.replace vm.prepared_cache key
+        { src = fn; prof = vm.profiles;
+          gen = Profile.generation vm.profiles; pcode };
       pcode
+
+(* Per-site IC statistics: live caches plus retired counters, merged by
+   site, ordered by (method, site ordinal). A site can contribute from
+   several live code objects once inlining copies it into other methods'
+   compiled bodies. *)
+let ic_stats (vm : vm) : ic_stat list =
+  let acc = Hashtbl.create 16 in
+  let fold site selector h m g =
+    if h + m + g > 0 then
+      match Hashtbl.find_opt acc site with
+      | Some st ->
+          st.st_hits <- st.st_hits + h;
+          st.st_misses <- st.st_misses + m;
+          st.st_mega <- st.st_mega + g
+      | None ->
+          Hashtbl.replace acc site
+            { st_site = site; st_selector = selector;
+              st_hits = h; st_misses = m; st_mega = g }
+  in
+  Hashtbl.iter
+    (fun site (st : ic_stat) ->
+      fold site st.st_selector st.st_hits st.st_misses st.st_mega)
+    vm.ic_retired;
+  Hashtbl.iter
+    (fun _ (e : prepared_entry) ->
+      Array.iter
+        (fun (ic : Ic.t) -> fold ic.ic_site ic.selector ic.hits ic.misses ic.mega)
+        e.pcode.ics)
+    vm.prepared_cache;
+  Hashtbl.fold (fun _ st acc -> st :: acc) acc []
+  |> List.sort (fun a b ->
+         compare (a.st_site.sm, a.st_site.sidx) (b.st_site.sm, b.st_site.sidx))
 
 let eval_binop (op : binop) (a : value) (b : value) : value =
   match op with
@@ -185,7 +281,16 @@ and exec_code (vm : vm) ~(mode : mode) ~(meth : meth_id) (code : Prepared.code)
        aggressive DCE) must still exhaust the step budget *)
     vm.steps <- vm.steps + 1;
     if vm.steps > vm.max_steps then trap "step budget exceeded";
-    if profiling then Profile.record_block vm.profiles meth b.src_bid;
+    if profiling then begin
+      (* slot-indexed profiling: the counter cell is bound into the code
+         object on first record, making every later record one increment *)
+      match b.prof.cell with
+      | Some c -> incr c
+      | None ->
+          let c = Profile.block_cell vm.profiles meth b.src_bid in
+          b.prof.cell <- Some c;
+          incr c
+    end;
     (* phis evaluate simultaneously with respect to the incoming edge *)
     let nphis = Array.length b.phi_dests in
     if nphis > 0 then begin
@@ -230,13 +335,13 @@ and exec_code (vm : vm) ~(mode : mode) ~(meth : meth_id) (code : Prepared.code)
             else args.(k)
         | Punop (op, a) -> eval_unop op frame.(a)
         | Pbinop (op, a, b) -> eval_binop op frame.(a) frame.(b)
-        | Pcall { callee; cargs; site } ->
+        | Pcall { callee; cargs; site; ic } ->
             let n = Array.length cargs in
             let vals = Array.make n Vunit in
             for j = 0 to n - 1 do
               vals.(j) <- frame.(cargs.(j))
             done;
-            do_call vm ~profiling ~meth ~callee ~site vals
+            do_call vm ?ic ~profiling ~meth ~callee ~site vals
         | Pnew { cls; defaults } ->
             Vobj { o_cls = cls; fields = Array.copy defaults }
         | Pgetfield { obj; slot; fname } -> (
@@ -302,9 +407,15 @@ and exec_code (vm : vm) ~(mode : mode) ~(meth : meth_id) (code : Prepared.code)
     match b.term with
     | Preturn r -> frame.(r)
     | Pgoto { target; edge } -> run target edge
-    | Pif { cond; site; tb; tedge; fb; fedge } ->
+    | Pif { cond; site; tb; tedge; fb; fedge; bprof } ->
         let taken = as_bool frame.(cond) in
-        if profiling then Profile.record_branch vm.profiles site ~taken;
+        if profiling then
+          (match bprof.brec with
+          | Some br -> Profile.brec_record br ~taken
+          | None ->
+              let br = Profile.branch_cell vm.profiles site in
+              bprof.brec <- Some br;
+              Profile.brec_record br ~taken);
         if taken then run tb tedge else run fb fedge
     | Punreachable -> trap "reached an unreachable block in %s" code.fname
     | Pdead b' ->
@@ -446,8 +557,8 @@ and exec_ref (vm : vm) ~(mode : mode) ~(meth : meth_id) (fn : fn) (args : value 
   vm.depth <- vm.depth - 1;
   result
 
-and do_call (vm : vm) ~profiling ~(meth : meth_id) ~(callee : callee) ~(site : site)
-    (args : value array) : value =
+and do_call (vm : vm) ?ic ~profiling ~(meth : meth_id) ~(callee : callee)
+    ~(site : site) (args : value array) : value =
   match callee with
   | Direct m ->
       charge vm (Cost.call_overhead vm.cost ~virtual_:false ~targets:1);
@@ -455,16 +566,65 @@ and do_call (vm : vm) ~profiling ~(meth : meth_id) ~(callee : callee) ~(site : s
   | Virtual sel -> (
       if Array.length args = 0 then trap "virtual call with no receiver";
       let o = as_obj args.(0) in
-      if profiling then Profile.record_receiver vm.profiles site o.o_cls;
-      (* synthetic sites are typeswitch fallbacks: reaching one in compiled
-         code means the speculation missed *)
-      if (not profiling) && site.sidx < 0 then vm.on_spec_miss meth site;
-      let observed = Profile.receiver_count vm.profiles site in
-      charge vm (Cost.call_overhead vm.cost ~virtual_:true ~targets:(max observed 1));
-      match Ir.Program.resolve vm.prog o.o_cls sel with
-      | Some m -> invoke vm m args
-      | None ->
-          trap "class %s does not understand %s" (Ir.Program.cls vm.prog o.o_cls).c_name sel)
+      match ic with
+      | Some ic when vm.ic_enabled -> (
+          (* synthetic sites are typeswitch fallbacks: reaching one in
+             compiled code means the speculation missed — an IC-cached
+             dispatch must report it exactly like the slow path does *)
+          if (not profiling) && site.sidx < 0 then vm.on_spec_miss meth site;
+          match Ic.probe ic o.o_cls with
+          | Some e ->
+              (* cached: the scan resolved the target. The entry's count
+                 cell aliases the profile's receiver-histogram cell, so
+                 recording the receiver is one increment. *)
+              ic.hits <- ic.hits + 1;
+              if profiling then incr e.e_count;
+              let observed = Profile.receiver_count vm.profiles site in
+              charge vm
+                (Cost.call_overhead vm.cost ~virtual_:true ~targets:(max observed 1));
+              invoke vm e.e_target args
+          | None -> (
+              Ic.note_miss ic;
+              let cell =
+                if profiling then begin
+                  let c =
+                    Profile.rsite_cell (Profile.receiver_site vm.profiles site) o.o_cls
+                  in
+                  incr c;
+                  Some c
+                end
+                else
+                  (* non-profiling tiers never create profile entries; an
+                     existing cell is still shared so a later profiled hit
+                     through this entry counts into the real histogram *)
+                  Option.bind
+                    (Profile.find_receiver_site vm.profiles site)
+                    (fun rs -> Profile.find_rsite_cell rs o.o_cls)
+              in
+              let observed = Profile.receiver_count vm.profiles site in
+              charge vm
+                (Cost.call_overhead vm.cost ~virtual_:true ~targets:(max observed 1));
+              match Ir.Program.resolve vm.prog o.o_cls sel with
+              | Some m ->
+                  Ic.add ic
+                    { e_cls = o.o_cls; e_target = m;
+                      e_count = (match cell with Some c -> c | None -> ref 0) };
+                  invoke vm m args
+              | None ->
+                  trap "class %s does not understand %s"
+                    (Ir.Program.cls vm.prog o.o_cls).c_name sel))
+      | _ -> (
+          if profiling then Profile.record_receiver vm.profiles site o.o_cls;
+          (* synthetic sites are typeswitch fallbacks: reaching one in compiled
+             code means the speculation missed *)
+          if (not profiling) && site.sidx < 0 then vm.on_spec_miss meth site;
+          let observed = Profile.receiver_count vm.profiles site in
+          charge vm (Cost.call_overhead vm.cost ~virtual_:true ~targets:(max observed 1));
+          match Ir.Program.resolve vm.prog o.o_cls sel with
+          | Some m -> invoke vm m args
+          | None ->
+              trap "class %s does not understand %s"
+                (Ir.Program.cls vm.prog o.o_cls).c_name sel))
 
 (* Runs a program's [main]; returns its result value. *)
 let run_main (vm : vm) : value =

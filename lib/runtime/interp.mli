@@ -25,9 +25,25 @@ type mode = Interpreted | Compiled
 
 type backend = Prepared | Reference
 
-type prepared_entry = { src : fn; pcode : Prepared.code }
-(** A cache entry remembers the physical body it was translated from;
-    entries whose [src] is not the current body are ignored and replaced. *)
+type prepared_entry = {
+  src : fn;
+  prof : Profile.t;
+  gen : int;
+  pcode : Prepared.code;
+}
+(** A cache entry remembers the physical body it was translated from and
+    the profile (identity + generation) its baked counter cells point
+    into; entries whose [src] is not the current body, or whose profile
+    was swapped or cleared, are ignored and replaced. *)
+
+type ic_stat = {
+  st_site : site;
+  st_selector : string;
+  mutable st_hits : int;
+  mutable st_misses : int;
+  mutable st_mega : int;
+}
+(** Accumulated inline-cache counters of one call site (see {!ic_stats}). *)
 
 type vm = {
   prog : program;
@@ -49,6 +65,12 @@ type vm = {
   (** prepared code per method and tier, keyed [meth_id * 2 + tier] *)
   mutable code_epoch : int;
   (** bumped by every {!invalidate_code}; a cheap staleness witness *)
+  mutable ic_enabled : bool;
+  (** inline caches on prepared virtual dispatch (default [true]);
+      disabling is observably transparent — the differential suite
+      enforces identical output, cycles, steps and folded profiles *)
+  ic_retired : (site, ic_stat) Hashtbl.t;
+  (** counters of inline caches retired with their dropped code objects *)
 }
 
 val create : ?cost:Cost.t -> ?max_steps:int -> ?backend:backend -> program -> vm
@@ -57,9 +79,15 @@ val create : ?cost:Cost.t -> ?max_steps:int -> ?backend:backend -> program -> vm
 val output : vm -> string
 
 val invalidate_code : vm -> meth_id -> unit
-(** Drops any prepared code cached for the method (both tiers) and bumps
+(** Drops any prepared code cached for the method (both tiers) — retiring
+    the inline caches it contains into {!ic_stats} — and bumps
     [code_epoch]. {!Jit.Engine} calls this whenever it installs, replaces
     or removes compiled code for a method. *)
+
+val ic_stats : vm -> ic_stat list
+(** Per-site inline-cache statistics: live caches merged with retired
+    counters, ordered by (method, site ordinal). Sites with zero
+    dispatches are omitted. *)
 
 val invoke : vm -> meth_id -> value array -> value
 (** Runs a method through the tier dispatch (compiled body if installed,

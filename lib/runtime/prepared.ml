@@ -30,6 +30,16 @@ open Ir.Types
 open Values
 module Vec = Support.Vec
 
+(* Lazily-bound profile cells. Prepared code carries one holder per
+   profiled event site (block entry, branch); the executing engine binds
+   the holder to the profile's counter cell on first use and then records
+   with a plain increment — no per-event key lookup. Holders belong to
+   the code object, so they are dropped with it; [Interp] guards cached
+   code by profile identity and generation, which keeps a bound cell from
+   outliving the profile it counts into. *)
+type cell_holder = { mutable cell : int ref option }
+type brec_holder = { mutable brec : Profile.brec option }
+
 (* Pre-decoded instruction payload. Operands are register (= vid) indices
    into the frame. *)
 type pop =
@@ -37,7 +47,9 @@ type pop =
   | Pparam of int
   | Punop of unop * int
   | Pbinop of binop * int * int
-  | Pcall of { callee : callee; cargs : int array; site : site }
+  | Pcall of { callee : callee; cargs : int array; site : site; ic : Ic.t option }
+      (* virtual calls carry a polymorphic inline cache; [None] for
+         direct calls *)
   | Pnew of { cls : class_id; defaults : value array }
       (* [defaults] is the field-default template; allocation is an
          [Array.copy] (elements are immutable values, sharing is safe) *)
@@ -67,6 +79,7 @@ type pterm =
       tedge : int;
       fb : int;
       fedge : int;
+      bprof : brec_holder;    (* branch counters, bound on first record *)
     }
   | Preturn of int
   | Punreachable
@@ -83,6 +96,7 @@ type pblock = {
   body : pinstr array;         (* non-phi instructions, in order *)
   term : pterm;
   term_cost : int;
+  prof : cell_holder;          (* block counter, bound on first record *)
 }
 
 type code = {
@@ -90,6 +104,7 @@ type code = {
   nregs : int;          (* frame size: the function's vid space *)
   entry : int;          (* dense index of the entry block *)
   blocks : pblock array;
+  ics : Ic.t array;     (* every inline cache in [blocks], decode order *)
 }
 
 let fname (c : code) = c.fname
@@ -97,7 +112,8 @@ let num_blocks (c : code) = Array.length c.blocks
 
 (* ---------- translation ---------- *)
 
-let decode_instr ~(cost : Cost.t) (prog : program) (i : instr) : pinstr =
+let decode_instr ~(cost : Cost.t) ~(ics : Ic.t list ref) (prog : program)
+    (i : instr) : pinstr =
   let sc = Cost.instr_cost cost i.kind in
   let op, sc =
     match i.kind with
@@ -111,7 +127,15 @@ let decode_instr ~(cost : Cost.t) (prog : program) (i : instr) : pinstr =
     | Binop (op, a, b) -> (Pbinop (op, a, b), sc)
     | Phi _ -> invalid_arg "Prepared.decode_instr: phi in a block body"
     | Call { callee; args; site; _ } ->
-        (Pcall { callee; cargs = Array.of_list args; site }, sc)
+        let ic =
+          match callee with
+          | Virtual sel ->
+              let ic = Ic.create ~site ~selector:sel in
+              ics := ic :: !ics;
+              Some ic
+          | Direct _ -> None
+        in
+        (Pcall { callee; cargs = Array.of_list args; site; ic }, sc)
     | New c ->
         let layout = (Ir.Program.cls prog c).layout in
         ( Pnew
@@ -131,6 +155,7 @@ let decode_instr ~(cost : Cost.t) (prog : program) (i : instr) : pinstr =
   { dest = i.id; static_cost = sc; op }
 
 let prepare ~(cost : Cost.t) (prog : program) (fn : fn) : code =
+  let ics : Ic.t list ref = ref [] in
   let nslots = Vec.length fn.blocks in
   (* dense indices for live blocks, in id order *)
   let index_of_bid = Array.make (max nslots 1) (-1) in
@@ -232,6 +257,7 @@ let prepare ~(cost : Cost.t) (prog : program) (fn : fn) : code =
                 tedge = edge_of ~target:tb ~src:b;
                 fb = index_of_target fb;
                 fedge = edge_of ~target:fb ~src:b;
+                bprof = { brec = None };
               },
             Cost.term_cost cost blk.term )
       | Return v -> (Preturn v, Cost.term_cost cost blk.term)
@@ -245,9 +271,10 @@ let prepare ~(cost : Cost.t) (prog : program) (fn : fn) : code =
       pred_bids = my_preds;
       body =
         Array.of_list
-          (List.map (fun v -> decode_instr ~cost prog (Ir.Fn.instr fn v)) non_phis);
+          (List.map (fun v -> decode_instr ~cost ~ics prog (Ir.Fn.instr fn v)) non_phis);
       term;
       term_cost;
+      prof = { cell = None };
     }
   in
   let live_blocks = List.map decode_block live in
@@ -263,6 +290,7 @@ let prepare ~(cost : Cost.t) (prog : program) (fn : fn) : code =
       body = [||];
       term = Pdead b;
       term_cost = 0;
+      prof = { cell = None };
     }
   in
   let stub_blocks = List.rev_map (fun (b, _) -> stub_block b) !stubs in
@@ -271,4 +299,5 @@ let prepare ~(cost : Cost.t) (prog : program) (fn : fn) : code =
     nregs = max (Vec.length fn.instrs) 1;
     entry;
     blocks = Array.of_list (live_blocks @ stub_blocks);
+    ics = Array.of_list (List.rev !ics);
   }

@@ -20,12 +20,19 @@
 open Ir.Types
 open Values
 
+type cell_holder = { mutable cell : int ref option }
+(** A lazily-bound profile counter cell: the engine binds it to the
+    profile's cell on first record, then records with one increment. *)
+
+type brec_holder = { mutable brec : Profile.brec option }
+
 type pop =
   | Pconst of value
   | Pparam of int
   | Punop of unop * int
   | Pbinop of binop * int * int
-  | Pcall of { callee : callee; cargs : int array; site : site }
+  | Pcall of { callee : callee; cargs : int array; site : site; ic : Ic.t option }
+      (** virtual calls carry a polymorphic inline cache *)
   | Pnew of { cls : class_id; defaults : value array }
   | Pgetfield of { obj : int; slot : int; fname : string }
   | Psetfield of { obj : int; slot : int; fname : string; value : int }
@@ -51,6 +58,7 @@ type pterm =
       tedge : int;
       fb : int;
       fedge : int;
+      bprof : brec_holder;
     }
   | Preturn of int
   | Punreachable
@@ -67,6 +75,7 @@ type pblock = {
   body : pinstr array;
   term : pterm;
   term_cost : int;
+  prof : cell_holder;
 }
 
 type code = {
@@ -74,6 +83,7 @@ type code = {
   nregs : int;
   entry : int;
   blocks : pblock array;
+  ics : Ic.t array;  (** every inline cache in [blocks], decode order *)
 }
 
 val fname : code -> string

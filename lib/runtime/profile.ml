@@ -5,95 +5,234 @@
 
    Everything is keyed by stable ids: methods by [meth_id], blocks by
    (meth, bid) — block ids are preserved by IR copying — and callsites by
-   their [site] key, which survives inlining. *)
+   their [site] key, which survives inlining.
+
+   Storage is slot-indexed: method ids, block ids and site ordinals are
+   all dense (the lowering allocates them consecutively), so counters live
+   in option arrays indexed directly by id instead of the tuple-keyed
+   hashtables of the seed implementation. Recording is an array read plus
+   an increment — no per-event key allocation, no hashing. The counter
+   cells themselves ([int ref] / {!brec} / {!rsite}) have stable identity
+   and are handed out to callers, which lets the prepared execution engine
+   bake them into pre-decoded code and its inline caches: a baked-cell
+   increment and a [record_*] call are indistinguishable in the folded
+   profile. Synthetic sites (negative [sidx], typeswitch fallbacks) cannot
+   index an array and fall back to keyed tables; they are rare and only
+   reachable from compiled code, which does not profile. *)
 
 open Ir.Types
 
+(* Receiver histogram of one call site. Class cells are handed out so the
+   inline-cache fast path can record a receiver with one increment. *)
+type rsite = { hist : (class_id, int ref) Hashtbl.t }
+
+(* Taken/not-taken counters of one branch site, bindable as a unit. *)
+type brec = { mutable taken : int; mutable not_taken : int }
+
+(* Everything recorded against one method, slot-indexed. *)
+type mprof = {
+  mutable blocks : int ref option array;  (* by bid *)
+  mutable branches : brec option array;   (* by sidx *)
+  mutable rsites : rsite option array;    (* by sidx *)
+}
+
 type t = {
-  invocations : (meth_id, int ref) Hashtbl.t;
-  blocks : (meth_id * bid, int ref) Hashtbl.t;
-  receivers : (meth_id * int, (class_id, int ref) Hashtbl.t) Hashtbl.t;
-  branches : (meth_id * int, int ref * int ref) Hashtbl.t;  (* taken, not-taken *)
+  mutable invocations : int ref option array;  (* by meth_id *)
+  mutable mprofs : mprof option array;         (* by meth_id *)
+  synth_branches : (meth_id * int, brec) Hashtbl.t;
+  synth_rsites : (meth_id * int, rsite) Hashtbl.t;
+  mutable generation : int;
 }
 
 let create () =
   {
-    invocations = Hashtbl.create 64;
-    blocks = Hashtbl.create 256;
-    receivers = Hashtbl.create 64;
-    branches = Hashtbl.create 128;
+    invocations = [||];
+    mprofs = [||];
+    synth_branches = Hashtbl.create 8;
+    synth_rsites = Hashtbl.create 8;
+    generation = 0;
   }
 
-let bump tbl key =
-  match Hashtbl.find_opt tbl key with
-  | Some r -> incr r
-  | None -> Hashtbl.replace tbl key (ref 1)
+let generation t = t.generation
 
-let record_invocation t m = bump t.invocations m
+(* Returns [arr] grown (amortized doubling) so index [i] is valid. *)
+let grown : 'a. 'a option array -> int -> 'a option array =
+ fun arr i ->
+  if i < Array.length arr then arr
+  else begin
+    let n = max 8 (max (i + 1) (2 * Array.length arr)) in
+    let a = Array.make n None in
+    Array.blit arr 0 a 0 (Array.length arr);
+    a
+  end
 
-let record_block t m b = bump t.blocks (m, b)
+let mprof_for (t : t) (m : meth_id) : mprof =
+  t.mprofs <- grown t.mprofs m;
+  match t.mprofs.(m) with
+  | Some mp -> mp
+  | None ->
+      let mp = { blocks = [||]; branches = [||]; rsites = [||] } in
+      t.mprofs.(m) <- Some mp;
+      mp
 
+(* ---------- counter cells (find-or-create; stable identity) ---------- *)
+
+let invocation_cell (t : t) (m : meth_id) : int ref =
+  t.invocations <- grown t.invocations m;
+  match t.invocations.(m) with
+  | Some c -> c
+  | None ->
+      let c = ref 0 in
+      t.invocations.(m) <- Some c;
+      c
+
+let block_cell (t : t) (m : meth_id) (b : bid) : int ref =
+  let mp = mprof_for t m in
+  mp.blocks <- grown mp.blocks b;
+  match mp.blocks.(b) with
+  | Some c -> c
+  | None ->
+      let c = ref 0 in
+      mp.blocks.(b) <- Some c;
+      c
+
+let branch_cell (t : t) (site : site) : brec =
+  if site.sidx < 0 then begin
+    let key = (site.sm, site.sidx) in
+    match Hashtbl.find_opt t.synth_branches key with
+    | Some br -> br
+    | None ->
+        let br = { taken = 0; not_taken = 0 } in
+        Hashtbl.replace t.synth_branches key br;
+        br
+  end
+  else begin
+    let mp = mprof_for t site.sm in
+    mp.branches <- grown mp.branches site.sidx;
+    match mp.branches.(site.sidx) with
+    | Some br -> br
+    | None ->
+        let br = { taken = 0; not_taken = 0 } in
+        mp.branches.(site.sidx) <- Some br;
+        br
+  end
+
+let brec_record (br : brec) ~(taken : bool) : unit =
+  if taken then br.taken <- br.taken + 1 else br.not_taken <- br.not_taken + 1
+
+let receiver_site (t : t) (site : site) : rsite =
+  if site.sidx < 0 then begin
+    let key = (site.sm, site.sidx) in
+    match Hashtbl.find_opt t.synth_rsites key with
+    | Some rs -> rs
+    | None ->
+        let rs = { hist = Hashtbl.create 4 } in
+        Hashtbl.replace t.synth_rsites key rs;
+        rs
+  end
+  else begin
+    let mp = mprof_for t site.sm in
+    mp.rsites <- grown mp.rsites site.sidx;
+    match mp.rsites.(site.sidx) with
+    | Some rs -> rs
+    | None ->
+        let rs = { hist = Hashtbl.create 4 } in
+        mp.rsites.(site.sidx) <- Some rs;
+        rs
+  end
+
+let find_receiver_site (t : t) (site : site) : rsite option =
+  if site.sidx < 0 then Hashtbl.find_opt t.synth_rsites (site.sm, site.sidx)
+  else if site.sm >= 0 && site.sm < Array.length t.mprofs then
+    match t.mprofs.(site.sm) with
+    | Some mp when site.sidx < Array.length mp.rsites -> mp.rsites.(site.sidx)
+    | _ -> None
+  else None
+
+let rsite_cell (rs : rsite) (c : class_id) : int ref =
+  match Hashtbl.find_opt rs.hist c with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace rs.hist c r;
+      r
+
+let find_rsite_cell (rs : rsite) (c : class_id) : int ref option =
+  Hashtbl.find_opt rs.hist c
+
+let rsite_distinct (rs : rsite) : int = Hashtbl.length rs.hist
+
+(* ---------- recording ---------- *)
+
+let record_invocation t m = incr (invocation_cell t m)
+let record_block t m b = incr (block_cell t m b)
 let record_receiver t (site : site) (c : class_id) =
-  let key = (site.sm, site.sidx) in
-  let hist =
-    match Hashtbl.find_opt t.receivers key with
-    | Some h -> h
-    | None ->
-        let h = Hashtbl.create 4 in
-        Hashtbl.replace t.receivers key h;
-        h
-  in
-  bump hist c
-
+  incr (rsite_cell (receiver_site t site) c)
 let record_branch t (site : site) ~(taken : bool) =
-  let key = (site.sm, site.sidx) in
-  let taken_r, not_taken_r =
-    match Hashtbl.find_opt t.branches key with
-    | Some p -> p
-    | None ->
-        let p = (ref 0, ref 0) in
-        Hashtbl.replace t.branches key p;
-        p
-  in
-  if taken then incr taken_r else incr not_taken_r
+  brec_record (branch_cell t site) ~taken
+
+(* ---------- queries ---------- *)
 
 let invocation_count t m =
-  match Hashtbl.find_opt t.invocations m with Some r -> !r | None -> 0
+  if m >= 0 && m < Array.length t.invocations then
+    match t.invocations.(m) with Some c -> !c | None -> 0
+  else 0
 
 let block_count t m b =
-  match Hashtbl.find_opt t.blocks (m, b) with Some r -> !r | None -> 0
+  if m >= 0 && m < Array.length t.mprofs then
+    match t.mprofs.(m) with
+    | Some mp when b >= 0 && b < Array.length mp.blocks -> (
+        match mp.blocks.(b) with Some c -> !c | None -> 0)
+    | _ -> 0
+  else 0
+
+let find_branch (t : t) (site : site) : brec option =
+  if site.sidx < 0 then Hashtbl.find_opt t.synth_branches (site.sm, site.sidx)
+  else if site.sm >= 0 && site.sm < Array.length t.mprofs then
+    match t.mprofs.(site.sm) with
+    | Some mp when site.sidx < Array.length mp.branches ->
+        mp.branches.(site.sidx)
+    | _ -> None
+  else None
 
 (* Number of distinct receiver classes observed at a site: O(1), used by
    the interpreter's virtual-call overhead accounting on every call (the
    full histogram would be rebuilt and sorted per query). *)
 let receiver_count t (site : site) : int =
-  match Hashtbl.find_opt t.receivers (site.sm, site.sidx) with
+  match find_receiver_site t site with
   | None -> 0
-  | Some h -> Hashtbl.length h
+  | Some rs -> Hashtbl.length rs.hist
 
 (* Receiver histogram as (class, probability), most frequent first. *)
 let receiver_profile t (site : site) : (class_id * float) list =
-  match Hashtbl.find_opt t.receivers (site.sm, site.sidx) with
+  match find_receiver_site t site with
   | None -> []
-  | Some h ->
-      let total = Hashtbl.fold (fun _ r acc -> acc + !r) h 0 in
+  | Some rs ->
+      let total = Hashtbl.fold (fun _ r acc -> acc + !r) rs.hist 0 in
       if total = 0 then []
       else
-        Hashtbl.fold (fun c r acc -> (c, float_of_int !r /. float_of_int total) :: acc) h []
+        Hashtbl.fold
+          (fun c r acc -> (c, float_of_int !r /. float_of_int total) :: acc)
+          rs.hist []
         |> List.sort (fun (_, a) (_, b) -> compare b a)
 
 let branch_prob t (site : site) : float option =
-  match Hashtbl.find_opt t.branches (site.sm, site.sidx) with
+  match find_branch t site with
   | None -> None
-  | Some (tk, ntk) ->
-      let total = !tk + !ntk in
-      if total = 0 then None else Some (float_of_int !tk /. float_of_int total)
+  | Some br ->
+      let total = br.taken + br.not_taken in
+      if total = 0 then None
+      else Some (float_of_int br.taken /. float_of_int total)
 
+(* [clear] advances the generation: cells handed out before the bump no
+   longer belong to this profile, and holders of baked cells (the prepared
+   engine) must rebind. *)
 let clear t =
-  Hashtbl.reset t.invocations;
-  Hashtbl.reset t.blocks;
-  Hashtbl.reset t.receivers;
-  Hashtbl.reset t.branches
+  t.invocations <- [||];
+  t.mprofs <- [||];
+  Hashtbl.reset t.synth_branches;
+  Hashtbl.reset t.synth_rsites;
+  t.generation <- t.generation + 1
 
 (* ---------- text serialization ----------
 
@@ -107,23 +246,40 @@ let clear t =
    sources); loaders of foreign profiles get whatever the ids say. *)
 
 let to_text (t : t) : string =
-  let buf = Buffer.create 1024 in
   let lines = ref [] in
-  Hashtbl.iter
-    (fun m r -> lines := Printf.sprintf "i %d %d" m !r :: !lines)
+  let add fmt = Printf.ksprintf (fun l -> lines := l :: !lines) fmt in
+  Array.iteri
+    (fun m c -> match c with Some c -> add "i %d %d" m !c | None -> ())
     t.invocations;
+  Array.iteri
+    (fun m mp ->
+      match mp with
+      | None -> ()
+      | Some mp ->
+          Array.iteri
+            (fun b c -> match c with Some c -> add "b %d %d %d" m b !c | None -> ())
+            mp.blocks;
+          Array.iteri
+            (fun s br ->
+              match br with
+              | Some br -> add "c %d %d %d %d" m s br.taken br.not_taken
+              | None -> ())
+            mp.branches;
+          Array.iteri
+            (fun s rs ->
+              match rs with
+              | Some rs -> Hashtbl.iter (fun c r -> add "r %d %d %d %d" m s c !r) rs.hist
+              | None -> ())
+            mp.rsites)
+    t.mprofs;
   Hashtbl.iter
-    (fun (m, b) r -> lines := Printf.sprintf "b %d %d %d" m b !r :: !lines)
-    t.blocks;
+    (fun (m, s) (br : brec) -> add "c %d %d %d %d" m s br.taken br.not_taken)
+    t.synth_branches;
   Hashtbl.iter
-    (fun (m, s) hist ->
-      Hashtbl.iter
-        (fun c r -> lines := Printf.sprintf "r %d %d %d %d" m s c !r :: !lines)
-        hist)
-    t.receivers;
-  Hashtbl.iter
-    (fun (m, s) (tk, ntk) -> lines := Printf.sprintf "c %d %d %d %d" m s !tk !ntk :: !lines)
-    t.branches;
+    (fun (m, s) (rs : rsite) ->
+      Hashtbl.iter (fun c r -> add "r %d %d %d %d" m s c !r) rs.hist)
+    t.synth_rsites;
+  let buf = Buffer.create 1024 in
   List.iter
     (fun l ->
       Buffer.add_string buf l;
@@ -147,35 +303,25 @@ let of_text (text : string) : t =
     | kind :: rest -> (kind, List.map int_of_string rest)
     | [] -> raise (Bad_profile "empty record")
   in
-  let accumulate tbl key count =
-    match Hashtbl.find_opt tbl key with
-    | Some r -> r := !r + count
-    | None -> Hashtbl.replace tbl key (ref count)
-  in
   String.split_on_char '\n' text
   |> List.iteri (fun lineno line ->
          if String.trim line <> "" then
            match ints line with
            | (_, counts) when List.exists (fun n -> n < 0) counts ->
                bad lineno line
-           | "i", [ m; count ] -> accumulate t.invocations m count
-           | "b", [ m; b; count ] -> accumulate t.blocks (m, b) count
+           | "i", [ m; count ] ->
+               let c = invocation_cell t m in
+               c := !c + count
+           | "b", [ m; b; count ] ->
+               let c = block_cell t m b in
+               c := !c + count
            | "r", [ m; s; c; count ] ->
-               let hist =
-                 match Hashtbl.find_opt t.receivers (m, s) with
-                 | Some h -> h
-                 | None ->
-                     let h = Hashtbl.create 4 in
-                     Hashtbl.replace t.receivers (m, s) h;
-                     h
-               in
-               accumulate hist c count
-           | "c", [ m; s; tk; ntk ] -> (
-               match Hashtbl.find_opt t.branches (m, s) with
-               | Some (tk_r, ntk_r) ->
-                   tk_r := !tk_r + tk;
-                   ntk_r := !ntk_r + ntk
-               | None -> Hashtbl.replace t.branches (m, s) (ref tk, ref ntk))
+               let cell = rsite_cell (receiver_site t { sm = m; sidx = s }) c in
+               cell := !cell + count
+           | "c", [ m; s; tk; ntk ] ->
+               let br = branch_cell t { sm = m; sidx = s } in
+               br.taken <- br.taken + tk;
+               br.not_taken <- br.not_taken + ntk
            | _ -> bad lineno line
            | exception _ -> bad lineno line)
   |> fun () -> t

@@ -2,13 +2,30 @@
     invocation counters, per-block execution counts (subsuming branch and
     backedge counters) and per-callsite receiver histograms. Keys are
     stable across IR copying and inlining: methods by id, blocks by
-    (method, block id), callsites by their {!Ir.Types.site}. *)
+    (method, block id), callsites by their {!Ir.Types.site}.
+
+    Counters are slot-indexed — dense arrays by method/block/site ordinal
+    instead of tuple-keyed hashtables — so recording allocates nothing.
+    The counter cells have stable identity and can be handed out: the
+    prepared execution engine bakes them into pre-decoded code and inline
+    caches, and an increment through a baked cell is indistinguishable
+    from the corresponding [record_*] call in the folded profile. *)
 
 open Ir.Types
 
 type t
 
+type rsite
+(** The receiver histogram of one call site. *)
+
+type brec = { mutable taken : int; mutable not_taken : int }
+(** The taken/not-taken counters of one branch site. *)
+
 val create : unit -> t
+
+val generation : t -> int
+(** Bumped by every {!clear}. Holders of baked cells compare generations
+    to detect that their cells no longer belong to the profile. *)
 
 (** {1 Recording (used by the interpreter)} *)
 
@@ -16,6 +33,26 @@ val record_invocation : t -> meth_id -> unit
 val record_block : t -> meth_id -> bid -> unit
 val record_receiver : t -> site -> class_id -> unit
 val record_branch : t -> site -> taken:bool -> unit
+
+(** {1 Counter cells (used by the prepared engine's baked profiling)}
+
+    Find-or-create accessors returning the underlying cell. Cells are
+    valid for the profile's current {!generation} only. *)
+
+val block_cell : t -> meth_id -> bid -> int ref
+val branch_cell : t -> site -> brec
+
+val brec_record : brec -> taken:bool -> unit
+(** [brec_record br ~taken] is [record_branch] through a bound cell. *)
+
+val receiver_site : t -> site -> rsite
+val find_receiver_site : t -> site -> rsite option
+(** Like {!receiver_site} but never creates the site. *)
+
+val rsite_cell : rsite -> class_id -> int ref
+val find_rsite_cell : rsite -> class_id -> int ref option
+val rsite_distinct : rsite -> int
+(** Distinct receiver classes recorded in the histogram, in O(1). *)
 
 (** {1 Queries (used by the inliner and cost model)} *)
 
@@ -35,6 +72,7 @@ val branch_prob : t -> site -> float option
 (** Probability the branch was taken; [None] when never executed. *)
 
 val clear : t -> unit
+(** Resets every counter and advances the {!generation}. *)
 
 (** {1 Text serialization}
 

@@ -351,6 +351,163 @@ let prop_tiered_differential =
       same "tiered" (engine_snap Runtime.Interp.Reference src)
         (engine_snap Runtime.Interp.Prepared src))
 
+(* ---------- inline caches ---------- *)
+
+(* Inline caches must be observably transparent: disabling them changes
+   nothing the program (or the profile fold) can see. *)
+let vm_snap_ic ~(ic : bool) (src : string) : snap =
+  let prog = compile_ok src in
+  let vm = Runtime.Interp.create ~backend:Runtime.Interp.Prepared prog in
+  vm.ic_enabled <- ic;
+  let v = Runtime.Interp.run_main vm in
+  {
+    output = Runtime.Interp.output vm;
+    results = [ Runtime.Values.to_string v ];
+    cycles = vm.cycles;
+    steps = vm.steps;
+    profile = Runtime.Profile.to_text vm.profiles;
+    installed = 0;
+    epoch = vm.code_epoch;
+  }
+
+let prop_ic_differential =
+  QCheck.Test.make ~name:"ic-enabled = ic-disabled on random programs (interp)"
+    ~count:40 program_arbitrary (fun src ->
+      same "ic" (vm_snap_ic ~ic:false src) (vm_snap_ic ~ic:true src))
+
+let engine_snap_ic ~(ic : bool) (src : string) : snap =
+  let prog = compile_ok src in
+  let engine =
+    Jit.Engine.create prog
+      {
+        name = "diff-ic";
+        compiler = Some (Util.incremental ());
+        hotness_threshold = 2;
+        compile_cost_per_node = 50;
+        verify = false;
+      }
+  in
+  engine.vm.ic_enabled <- ic;
+  let v = Jit.Engine.run_main engine in
+  {
+    output = Jit.Engine.output engine;
+    results = [ Runtime.Values.to_string v ];
+    cycles = engine.vm.cycles;
+    steps = engine.vm.steps;
+    profile = Runtime.Profile.to_text engine.vm.profiles;
+    installed = Jit.Engine.installed_methods engine;
+    epoch = 0;
+  }
+
+let prop_ic_tiered_differential =
+  QCheck.Test.make ~name:"ic-enabled = ic-disabled on random programs (tiered)"
+    ~count:20 program_arbitrary (fun src ->
+      same "ic tiered" (engine_snap_ic ~ic:false src) (engine_snap_ic ~ic:true src))
+
+let ic_src =
+  {|abstract class A { def m(x: Int): Int }
+class A1() extends A { def m(x: Int): Int = x + 1 }
+class A2() extends A { def m(x: Int): Int = x * 2 }
+class A3() extends A { def m(x: Int): Int = x - 3 }
+def pick(i: Int): A = {
+  val k = i % 3;
+  var p: A = new A1();
+  if (k == 1) { p = new A2() };
+  if (k == 2) { p = new A3() };
+  p
+}
+def bench(): Int = {
+  var acc = 0;
+  var i = 0;
+  while (i < 30) { acc = acc + pick(i).m(i); i = i + 1; };
+  acc
+}
+def main(): Unit = { println(bench()) }|}
+
+let ic_totals (stats : Runtime.Interp.ic_stat list) : int * int * int =
+  List.fold_left
+    (fun (h, m, g) (st : Runtime.Interp.ic_stat) ->
+      (h + st.st_hits, m + st.st_misses, g + st.st_mega))
+    (0, 0, 0) stats
+
+(* Installs and invalidations drop prepared code; the inline-cache
+   counters inside must be retired — never lost, never double-counted —
+   and fresh code must rebuild its caches from scratch. *)
+let test_ic_flush () =
+  let c1 : Jit.Engine.compiler =
+   fun prog _ m ->
+    match (Ir.Program.meth prog m).body with
+    | Some fn -> Ir.Fn.copy fn
+    | None -> Alcotest.fail "no body"
+  in
+  let engine = Util.engine ~hotness:3 ~verify:false ic_src (Some c1) "ic-flush" in
+  ignore (Jit.Engine.run_main engine);
+  for _ = 1 to 10 do
+    ignore (Jit.Engine.run_meth engine "bench" [ Runtime.Values.Vunit ])
+  done;
+  Alcotest.(check bool) "something compiled" true
+    (Jit.Engine.installed_methods engine > 0);
+  Alcotest.(check bool) "installs retired inline caches" true
+    (Hashtbl.length engine.vm.ic_retired > 0);
+  let stats = Jit.Engine.ic_stats engine in
+  Alcotest.(check bool) "ic stats nonempty" true (stats <> []);
+  let h0, m0, g0 = ic_totals stats in
+  Alcotest.(check bool) "hits dominate misses" true (h0 > m0);
+  (* flush everything: the prepared cache must empty and every live
+     counter must survive into the retired table, exactly once *)
+  Ir.Program.iter_meths
+    (fun (m : Ir.Types.meth) -> Runtime.Interp.invalidate_code engine.vm m.m_id)
+    engine.vm.prog;
+  Alcotest.(check int) "prepared cache flushed" 0
+    (Hashtbl.length engine.vm.prepared_cache);
+  let h1, m1, g1 = ic_totals (Jit.Engine.ic_stats engine) in
+  Alcotest.(check int) "hits preserved across flush" h0 h1;
+  Alcotest.(check int) "misses preserved across flush" m0 m1;
+  Alcotest.(check int) "megamorphic preserved across flush" g0 g1;
+  (* fresh prepared code rebuilds its caches and keeps counting *)
+  for _ = 1 to 5 do
+    ignore (Jit.Engine.run_meth engine "bench" [ Runtime.Values.Vunit ])
+  done;
+  let h2, _, _ = ic_totals (Jit.Engine.ic_stats engine) in
+  Alcotest.(check bool) "totals grow after re-prepare" true (h2 > h1)
+
+(* A site seeing more receiver classes than the cache depth must go
+   megamorphic — new classes fall through to the slow path — while the
+   classes already cached keep hitting. *)
+let test_ic_megamorphic () =
+  let src =
+    {|abstract class K { def m(x: Int): Int }
+class K1() extends K { def m(x: Int): Int = x + 1 }
+class K2() extends K { def m(x: Int): Int = x * 2 }
+class K3() extends K { def m(x: Int): Int = x - 3 }
+class K4() extends K { def m(x: Int): Int = x * x }
+class K5() extends K { def m(x: Int): Int = 0 - x }
+def pick(i: Int): K = {
+  val k = i % 5;
+  var p: K = new K1();
+  if (k == 1) { p = new K2() };
+  if (k == 2) { p = new K3() };
+  if (k == 3) { p = new K4() };
+  if (k == 4) { p = new K5() };
+  p
+}
+def main(): Unit = {
+  var acc = 0;
+  var i = 0;
+  while (i < 40) { acc = acc + pick(i).m(i); i = i + 1; };
+  println(acc)
+}|}
+  in
+  let prog = Util.compile src in
+  let vm = Runtime.Interp.create ~backend:Runtime.Interp.Prepared prog in
+  ignore (Runtime.Interp.run_main vm);
+  let _, _, mega = ic_totals (Runtime.Interp.ic_stats vm) in
+  let hits, _, _ = ic_totals (Runtime.Interp.ic_stats vm) in
+  Alcotest.(check bool) "megamorphic fallbacks counted" true (mega > 0);
+  Alcotest.(check bool) "cached classes keep hitting" true (hits > 0);
+  (* and transparency still holds on the megamorphic program *)
+  ignore (same "megamorphic" (vm_snap_ic ~ic:false src) (vm_snap_ic ~ic:true src))
+
 (* ---------- traps ---------- *)
 
 (* Trapping executions must diverge identically: same message, same
@@ -410,6 +567,13 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_interp_differential;
           QCheck_alcotest.to_alcotest prop_tiered_differential;
+        ] );
+      ( "inline caches",
+        [
+          QCheck_alcotest.to_alcotest prop_ic_differential;
+          QCheck_alcotest.to_alcotest prop_ic_tiered_differential;
+          test "installs and invalidations retire ic counters" test_ic_flush;
+          test "megamorphic sites fall back, cached classes hit" test_ic_megamorphic;
         ] );
       ("traps", [ test "trapping programs trap identically" test_traps ]);
     ]

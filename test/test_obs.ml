@@ -155,6 +155,60 @@ let summary_tests =
             Alcotest.(check (option int)) "kind count" (Some 2)
               (List.assoc_opt "mystery" s.Obs.Summary.kinds);
             Alcotest.(check int) "last cycles" 6 s.Obs.Summary.last_cycles);
+    test "ic_site events aggregate" (fun () ->
+        match
+          Obs.Summary.of_lines
+            [
+              {|{"ev": "ic_site", "cycles": 10, "m": 0, "meth": "f", "sidx": 2, "selector": "m", "ic_hit": 98, "ic_miss": 2, "ic_megamorphic": 0}|};
+              {|{"ev": "ic_site", "cycles": 11, "m": 1, "meth": "g", "sidx": 0, "selector": "m", "ic_hit": 5, "ic_miss": 4, "ic_megamorphic": 7}|};
+            ]
+        with
+        | Error e -> Alcotest.failf "rejected: %s" e
+        | Ok s ->
+            Alcotest.(check int) "sites" 2 s.Obs.Summary.ic_sites;
+            Alcotest.(check int) "hits" 103 s.Obs.Summary.ic_hits;
+            Alcotest.(check int) "misses" 6 s.Obs.Summary.ic_misses;
+            Alcotest.(check int) "megamorphic" 7 s.Obs.Summary.ic_megamorphic;
+            Alcotest.(check bool) "render reports the caches" true
+              (contains_substring ~needle:"inline caches"
+                 (Obs.Summary.render s)));
+    test "harness emits ic_site events matching the run totals" (fun () ->
+        let sink, lines = Obs.Trace.memory_sink () in
+        let run =
+          Obs.Trace.scoped sink (fun () ->
+              let e =
+                engine ~hotness:max_int
+                  {|abstract class A { def m(x: Int): Int }
+                    class A1() extends A { def m(x: Int): Int = x + 1 }
+                    class A2() extends A { def m(x: Int): Int = x * 2 }
+                    def pick(i: Int): A = {
+                      var p: A = new A1();
+                      if (i % 2 == 1) { p = new A2() };
+                      p
+                    }
+                    def bench(): Int = {
+                      var acc = 0;
+                      var i = 0;
+                      while (i < 20) { acc = acc + pick(i).m(i); i = i + 1; };
+                      acc
+                    }
+                    def main(): Unit = println(bench())|}
+                  None "ic-trace"
+              in
+              Jit.Harness.run_benchmark ~iters:5 e ~entry:"bench"
+                ~label:"ic-trace")
+        in
+        Alcotest.(check bool) "run counted hits" true (run.Jit.Harness.ic_hits > 0);
+        match Obs.Summary.of_lines (lines ()) with
+        | Error e -> Alcotest.failf "summary rejected the trace: %s" e
+        | Ok s ->
+            Alcotest.(check int) "sites" run.Jit.Harness.ic_sites
+              s.Obs.Summary.ic_sites;
+            Alcotest.(check int) "hits" run.Jit.Harness.ic_hits s.Obs.Summary.ic_hits;
+            Alcotest.(check int) "misses" run.Jit.Harness.ic_misses
+              s.Obs.Summary.ic_misses;
+            Alcotest.(check int) "megamorphic" run.Jit.Harness.ic_megamorphic
+              s.Obs.Summary.ic_megamorphic);
     test "file round trip via with_file" (fun () ->
         let path = Filename.temp_file "selvm_trace" ".jsonl" in
         Fun.protect
