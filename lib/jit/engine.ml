@@ -35,6 +35,19 @@ let interpreter_config = {
 
 type compilation = { cm : meth_id; size : int; at_cycles : int }
 
+(* One contained compilation failure: the compiler (or the verifier)
+   threw instead of producing an installable body. The run survives —
+   the method keeps interpreting. *)
+type bailout = { bm : meth_id; reason : string; at_cycles : int }
+
+(* Exceptions the engine refuses to contain: conditions of the host
+   process, not of one compilation. Everything else — compiler bugs,
+   verifier rejects, even a runaway inliner blowing the stack — must
+   degrade to the interpreter, never abort the run. *)
+let containable = function
+  | Out_of_memory | Sys.Break -> false
+  | _ -> true
+
 type t = {
   vm : Runtime.Interp.vm;
   config : config;
@@ -58,6 +71,7 @@ type t = {
   recompile_counts : (meth_id, int) Hashtbl.t;
   cooldown : (meth_id, int) Hashtbl.t;      (* invocation count gating recompilation *)
   mutable invalidations : (meth_id * int) list;  (* method, at_cycles *)
+  mutable bailouts : bailout list;          (* contained compile failures, most recent first *)
   (* installs a produced-but-pending body through the normal install path
      (code cache + prepared-code invalidation + accounting + telemetry);
      set when a compiler is configured, used by [flush_pending] *)
@@ -76,7 +90,7 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
       async_compile; pending = Hashtbl.create 8;
       spec_miss_threshold; max_recompiles;
       miss_counts = Hashtbl.create 8; recompile_counts = Hashtbl.create 8;
-      cooldown = Hashtbl.create 8; invalidations = [];
+      cooldown = Hashtbl.create 8; invalidations = []; bailouts = [];
       install_pending = (fun _ _ -> ()) }
   in
   vm.code <- (fun m -> Hashtbl.find_opt t.code_cache m);
@@ -133,8 +147,30 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
                         ( "invocations",
                           Int (Runtime.Profile.invocation_count vm.profiles m) );
                       ]);
-                let body = compiler prog vm.profiles m in
-                if config.verify then Ir.Verify.check body;
+                match
+                  let body = compiler prog vm.profiles m in
+                  if config.verify then Ir.Verify.check body;
+                  body
+                with
+                | exception e when containable e ->
+                    (* the compilation died; the method stays interpreted
+                       (and keeps profiling) — an invalidation-style event
+                       records the failure, the run goes on *)
+                    let reason =
+                      match e with
+                      | Ir.Verify.Ill_formed msg -> "verify: " ^ msg
+                      | Failure msg -> msg
+                      | e -> Printexc.to_string e
+                    in
+                    t.bailouts <- { bm = m; reason; at_cycles = vm.cycles } :: t.bailouts;
+                    Obs.Trace.emit "compile_bailout" (fun () ->
+                        Support.Json.
+                          [
+                            ("m", Int m);
+                            ("meth", String (meth_name m));
+                            ("reason", String reason);
+                          ])
+                | body ->
                 let size = Ir.Fn.size body in
                 let latency = size * config.compile_cost_per_node in
                 t.compile_cycles <- t.compile_cycles + latency;

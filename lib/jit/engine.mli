@@ -23,6 +23,15 @@ val interpreter_config : config
 
 type compilation = { cm : meth_id; size : int; at_cycles : int }
 
+type bailout = { bm : meth_id; reason : string; at_cycles : int }
+(** One contained compilation failure: the compiler or verifier threw
+    instead of producing an installable body; the method kept
+    interpreting. *)
+
+val containable : exn -> bool
+(** Which exceptions a compiler invocation may fail with and be contained
+    (all but host-process conditions: [Out_of_memory], [Sys.Break]). *)
+
 type t = {
   vm : Runtime.Interp.vm;
   config : config;
@@ -39,6 +48,8 @@ type t = {
   recompile_counts : (meth_id, int) Hashtbl.t;
   cooldown : (meth_id, int) Hashtbl.t;
   mutable invalidations : (meth_id * int) list;  (** method, at_cycles *)
+  mutable bailouts : bailout list;
+  (** contained compile failures, most recent first; see {!containable} *)
   mutable install_pending : meth_id -> fn -> unit;
   (** installs a pending body through the normal install path; wired by
       {!create} when a compiler is configured, used by {!flush_pending} *)

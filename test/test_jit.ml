@@ -85,6 +85,71 @@ let engine_tests =
         | None -> Alcotest.fail "bench not in cache");
   ]
 
+(* Regression: an exception escaping the pluggable compiler (or the
+   verify step) used to propagate out of [Interp] through [on_entry] and
+   abort the whole run. The engine must contain it, record a bailout,
+   and keep interpreting. *)
+let bailout_tests =
+  [
+    test "a crashing compiler does not abort the run" (fun () ->
+        let crashes = ref 0 in
+        let e =
+          engine ~hotness:3 hot_src
+            (Some
+               (fun _ _ _ ->
+                 incr crashes;
+                 failwith "boom: injected compiler bug"))
+            "crash"
+        in
+        let last = ref Runtime.Values.Vunit in
+        for _ = 1 to 20 do
+          last := Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ]
+        done;
+        Alcotest.(check int) "program result unaffected" 190
+          (Runtime.Values.as_int !last);
+        Alcotest.(check bool) "compiler was invoked" true (!crashes > 0);
+        Alcotest.(check int) "nothing installed" 0 (Jit.Engine.installed_methods e);
+        Alcotest.(check bool) "bailouts recorded" true (e.bailouts <> []);
+        Alcotest.(check bool) "reason captured" true
+          (List.for_all
+             (fun (b : Jit.Engine.bailout) ->
+               contains_substring ~needle:"boom" b.reason)
+             e.bailouts));
+    test "a verifier reject does not abort the run" (fun () ->
+        (* a compiler producing ill-formed IR: the verify step throws *)
+        let bogus : Jit.Engine.compiler =
+         fun _ _ _ ->
+          let open Ir.Types in
+          let fn = Ir.Fn.create ~fname:"bogus" ~param_tys:[| Tunit |] ~rty:Tint in
+          let b = Ir.Fn.add_block fn in
+          fn.entry <- b;
+          Ir.Fn.set_term fn b (Return 9999);  (* undefined value id *)
+          fn
+        in
+        let e = engine ~hotness:3 hot_src (Some bogus) "bogus" in
+        let last = ref Runtime.Values.Vunit in
+        for _ = 1 to 10 do
+          last := Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ]
+        done;
+        Alcotest.(check int) "result correct" 190 (Runtime.Values.as_int !last);
+        Alcotest.(check int) "ill-formed body never installed" 0
+          (Jit.Engine.installed_methods e);
+        Alcotest.(check bool) "bailout names the verifier" true
+          (List.exists
+             (fun (b : Jit.Engine.bailout) ->
+               contains_substring ~needle:"verify" b.reason)
+             e.bailouts));
+    test "host-process conditions are not contained" (fun () ->
+        Alcotest.(check bool) "Out_of_memory fatal" false
+          (Jit.Engine.containable Out_of_memory);
+        Alcotest.(check bool) "Sys.Break fatal" false
+          (Jit.Engine.containable Sys.Break);
+        Alcotest.(check bool) "Failure contained" true
+          (Jit.Engine.containable (Failure "x"));
+        Alcotest.(check bool) "Stack_overflow contained" true
+          (Jit.Engine.containable Stack_overflow));
+  ]
+
 let harness_tests =
   [
     test "harness iterations speed up after compilation" (fun () ->
@@ -341,6 +406,7 @@ let () =
   Alcotest.run "jit"
     [
       ("engine", engine_tests);
+      ("bailout", bailout_tests);
       ("harness", harness_tests);
       ("speculation", speculation_tests);
       ("async", async_tests);
