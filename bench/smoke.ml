@@ -209,8 +209,6 @@ let run () =
             ] );
       ]
   in
-  let oc = open_out "BENCH_interp.json" in
-  output_string oc (Support.Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
+  (* atomic: an interrupted run never leaves a truncated results file *)
+  Support.Io.write_atomic "BENCH_interp.json" (Support.Json.to_string json ^ "\n");
   Common.note "wrote BENCH_interp.json"

@@ -43,9 +43,12 @@ let load_program ~(file : string option) ~(workload : string option) :
     (Ir.Types.program * string, string) result =
   match (file, workload) with
   | Some path, None -> (
-      match Frontend.Pipeline.compile (read_file path) with
-      | Ok prog -> Ok (prog, path)
-      | Error e -> Error (Frontend.Pipeline.error_to_string e))
+      match read_file path with
+      | exception Sys_error e -> Error e
+      | text -> (
+          match Frontend.Pipeline.compile text with
+          | Ok prog -> Ok (prog, path)
+          | Error e -> Error (Frontend.Pipeline.error_to_string e)))
   | None, Some name -> (
       match Workloads.Registry.find name with
       | Some w -> Ok (Workloads.Registry.compile w, name)
@@ -55,12 +58,12 @@ let load_program ~(file : string option) ~(workload : string option) :
   | Some _, Some _ -> Error "pass either a file or --workload, not both"
   | None, None -> Error "pass a .sel file or --workload NAME"
 
-let make_engine prog config hotness verify =
+let make_engine ?compile_fuel prog config hotness verify =
   match compiler_of_config config with
   | Error e -> Error e
   | Ok compiler ->
       Ok
-        (Jit.Engine.create prog
+        (Jit.Engine.create ?compile_fuel prog
            {
              name = config;
              compiler;
@@ -76,7 +79,17 @@ let print_stats (e : Jit.Engine.t) =
     e.config.name e.vm.cycles
     (Jit.Engine.installed_methods e)
     (Jit.Engine.installed_code_size e)
-    e.compile_cycles
+    e.compile_cycles;
+  let bs = Jit.Engine.bailout_stats e in
+  if bs.failed_attempts > 0 then
+    Printf.eprintf "-- bailouts: %d failed attempts over %d methods, %d blacklisted\n"
+      bs.failed_attempts bs.failed_methods
+      (List.length bs.blacklisted_methods);
+  match Support.Chaos.plan () with
+  | Some p ->
+      Printf.eprintf "-- chaos: seed %d rate %.2f: %d faults injected over %d rolls\n"
+        p.seed p.rate p.injected p.rolls
+  | None -> ()
 
 (* ---- common options ---- *)
 
@@ -121,38 +134,88 @@ let trace_arg =
            the simulated cycle clock, so identical runs produce identical traces. \
            Summarize with `selvm events FILE`.")
 
-(* Runs [f] with a JSONL trace sink on [path] when --trace was given. *)
-let with_optional_trace (path : string option) (f : unit -> 'a) : 'a =
-  match path with None -> f () | Some path -> Obs.Trace.with_file path f
+let chaos_seed_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "chaos-seed" ] ~docv:"N"
+        ~doc:"Seed of the deterministic fault-injection plan (with --chaos-rate).")
+
+let chaos_rate_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "chaos-rate" ] ~docv:"R"
+        ~doc:
+          "Inject a fault (compiler crash, verifier reject, starved compile budget, \
+           invalidation storm) with probability R at each opportunity; 0 disables. \
+           The same seed and rate replay the exact same fault sequence; program \
+           output is unaffected — faulted methods degrade to the interpreter.")
+
+let compile_fuel_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "compile-fuel" ] ~docv:"N"
+        ~doc:
+          "Watchdog budget per compilation, in fuel checkpoints; a compilation \
+           exceeding it falls back to its best completed inlining round, or bails \
+           out entirely when not even one round finished.")
 
 let fail msg =
   Printf.eprintf "selvm: %s\n" msg;
   exit 1
 
+(* Runs [f] with a JSONL trace sink on [path] when --trace was given. The
+   trace is written atomically; an unwritable path is a one-line
+   diagnostic, not a backtrace. *)
+let with_optional_trace (path : string option) (f : unit -> 'a) : 'a =
+  match path with
+  | None -> f ()
+  | Some path -> (
+      try Obs.Trace.with_file path f
+      with Sys_error e -> fail ("cannot write --trace: " ^ e))
+
+(* Runs [f] under a chaos fault plan when --chaos-rate > 0. *)
+let with_optional_chaos ~(seed : int) ~(rate : float) (f : unit -> 'a) : 'a =
+  if rate = 0.0 then f ()
+  else if not (Float.is_finite rate) || rate < 0.0 || rate > 1.0 then
+    fail "--chaos-rate must be in [0, 1]"
+  else Support.Chaos.scoped ~seed ~rate f
+
 (* ---- run ---- *)
 
 let run_cmd =
-  let run file workload config hotness stats verify trace =
+  let run file workload config hotness stats verify trace chaos_seed chaos_rate
+      compile_fuel =
     match load_program ~file ~workload with
     | Error e -> fail e
-    | Ok (prog, _) ->
-        with_optional_trace trace (fun () ->
-            match make_engine prog config hotness verify with
-            | Error e -> fail e
-            | Ok e -> (
-                match Jit.Engine.run_main e with
-                | _ ->
-                    print_string (Jit.Engine.output e);
-                    if stats then print_stats e
-                | exception Runtime.Values.Trap msg ->
-                    print_string (Jit.Engine.output e);
-                    fail ("runtime trap: " ^ msg)))
+    | Ok (prog, _) -> (
+        (* failures inside the trace scope are carried out as [Error] and
+           reported after it closes: [exit] would not unwind the scope, and
+           the trace file only renames into place when the scope exits *)
+        let outcome =
+          with_optional_trace trace (fun () ->
+              with_optional_chaos ~seed:chaos_seed ~rate:chaos_rate (fun () ->
+                  match make_engine ?compile_fuel prog config hotness verify with
+                  | Error e -> Error e
+                  | Ok e -> (
+                      match Jit.Engine.run_main e with
+                      | _ ->
+                          print_string (Jit.Engine.output e);
+                          if stats then print_stats e;
+                          Ok ()
+                      | exception Runtime.Values.Trap msg ->
+                          print_string (Jit.Engine.output e);
+                          Error ("runtime trap: " ^ msg))))
+        in
+        match outcome with Ok () -> () | Error e -> fail e)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a Sel program's main under the JIT.")
     Term.(
       const run $ file_arg $ workload_arg $ config_arg $ hotness_arg $ stats_arg
-      $ verify_arg $ trace_arg)
+      $ verify_arg $ trace_arg $ chaos_seed_arg $ chaos_rate_arg $ compile_fuel_arg)
 
 (* ---- bench ---- *)
 
@@ -179,58 +242,76 @@ let bench_cmd =
           ~doc:"Write the full run (iterations, inline-cache totals, compile \
                 timeline) to FILE as JSON.")
   in
-  let bench file workload config hotness entry iters save_profiles json trace =
+  let bench file workload config hotness entry iters save_profiles json trace
+      chaos_seed chaos_rate compile_fuel =
     match load_program ~file ~workload with
     | Error e -> fail e
-    | Ok (prog, label) ->
-        with_optional_trace trace (fun () ->
-            match make_engine prog config hotness false with
-            | Error e -> fail e
-            | Ok e -> (
-                let run =
-                  Jit.Harness.run_benchmark ~iters e ~entry ~label:(label ^ "/" ^ config)
-                in
-                Printf.printf "# %s  entry=%s config=%s\n" label entry config;
-                Printf.printf "# iter cycles compiled_methods\n";
-                List.iter
-                  (fun (it : Jit.Harness.iteration) ->
-                    Printf.printf "%d %d %d\n" it.index it.cycles it.compiled_methods)
-                  run.iterations;
-                Printf.printf "# peak %.1f +- %.1f cycles; %d IR nodes installed\n"
-                  run.peak_cycles run.peak_stddev run.code_size;
-                if run.pending_methods > 0 then
-                  Printf.printf "# %d compilations (%d IR nodes) still pending\n"
-                    run.pending_methods run.pending_code_size;
-                if run.ic_sites > 0 then
-                  Printf.printf "# inline caches: %d sites, %.1f%% hit rate\n"
-                    run.ic_sites
-                    (100.0 *. Jit.Harness.ic_hit_rate run);
-                (match json with
-                | Some path ->
-                    let oc = open_out path in
-                    Fun.protect
-                      ~finally:(fun () -> close_out_noerr oc)
-                      (fun () ->
-                        output_string oc
-                          (Support.Json.to_string (Jit.Harness.run_json run));
-                        output_string oc "\n");
-                    Printf.eprintf "-- run JSON written to %s\n" path
-                | None -> ());
-                match save_profiles with
-                | Some path ->
-                    let oc = open_out path in
-                    Fun.protect
-                      ~finally:(fun () -> close_out_noerr oc)
-                      (fun () ->
-                        output_string oc (Runtime.Profile.to_text e.vm.profiles));
-                    Printf.eprintf "-- profiles written to %s\n" path
-                | None -> ()))
+    | Ok (prog, label) -> (
+        (* as in `run`: carry failures out of the trace scope so the
+           atomic trace rename still happens before exiting *)
+        let outcome =
+          with_optional_trace trace (fun () ->
+              with_optional_chaos ~seed:chaos_seed ~rate:chaos_rate (fun () ->
+                  match make_engine ?compile_fuel prog config hotness false with
+                  | Error e -> Error e
+                  | Ok e -> (
+                      match
+                        Jit.Harness.run_benchmark ~iters e ~entry
+                          ~label:(label ^ "/" ^ config)
+                      with
+                      | exception Runtime.Values.Trap msg ->
+                          Error ("runtime trap: " ^ msg)
+                      | run -> (
+                          Printf.printf "# %s  entry=%s config=%s\n" label entry config;
+                          Printf.printf "# iter cycles compiled_methods\n";
+                          List.iter
+                            (fun (it : Jit.Harness.iteration) ->
+                              Printf.printf "%d %d %d\n" it.index it.cycles
+                                it.compiled_methods)
+                            run.iterations;
+                          Printf.printf
+                            "# peak %.1f +- %.1f cycles; %d IR nodes installed\n"
+                            run.peak_cycles run.peak_stddev run.code_size;
+                          if run.pending_methods > 0 then
+                            Printf.printf "# %d compilations (%d IR nodes) still pending\n"
+                              run.pending_methods run.pending_code_size;
+                          if run.ic_sites > 0 then
+                            Printf.printf "# inline caches: %d sites, %.1f%% hit rate\n"
+                              run.ic_sites
+                              (100.0 *. Jit.Harness.ic_hit_rate run);
+                          if run.bailed_out <> [] then
+                            Printf.printf "# %d compile bailouts; blacklisted: %s\n"
+                              (List.length run.bailed_out)
+                              (match run.blacklisted with
+                              | [] -> "none"
+                              | ms -> String.concat ", " ms);
+                          match
+                            (match json with
+                            | Some path ->
+                                Support.Io.write_atomic path
+                                  (Support.Json.to_string (Jit.Harness.run_json run)
+                                  ^ "\n");
+                                Printf.eprintf "-- run JSON written to %s\n" path
+                            | None -> ());
+                            match save_profiles with
+                            | Some path ->
+                                Support.Io.write_atomic path
+                                  (Runtime.Profile.to_text e.vm.profiles);
+                                Printf.eprintf "-- profiles written to %s\n" path
+                            | None -> ()
+                          with
+                          | () -> Ok ()
+                          | exception Sys_error msg ->
+                              Error ("cannot write results: " ^ msg)))))
+        in
+        match outcome with Ok () -> () | Error e -> fail e)
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Repeat a method and report per-iteration simulated cycles.")
     Term.(
       const bench $ file_arg $ workload_arg $ config_arg $ hotness_arg $ entry_arg
-      $ iters_arg $ save_profiles_arg $ json_arg $ trace_arg)
+      $ iters_arg $ save_profiles_arg $ json_arg $ trace_arg $ chaos_seed_arg
+      $ chaos_rate_arg $ compile_fuel_arg)
 
 (* ---- compile ---- *)
 
@@ -260,10 +341,13 @@ let compile_cmd =
         let vm = Runtime.Interp.create prog in
         (match profiles with
         | Some path -> (
-            match Runtime.Profile.of_text (read_file path) with
-            | loaded -> vm.profiles <- loaded
-            | exception Runtime.Profile.Bad_profile msg ->
-                fail ("bad profile file: " ^ msg))
+            match read_file path with
+            | exception Sys_error e -> fail e
+            | text -> (
+                match Runtime.Profile.of_text text with
+                | loaded -> vm.profiles <- loaded
+                | exception Runtime.Profile.Bad_profile msg ->
+                    fail ("bad profile file: " ^ msg)))
         | None ->
             for _ = 1 to warmup do
               ignore (Runtime.Interp.run_main vm)
@@ -299,7 +383,9 @@ let parse_ir_cmd =
       & info [] ~docv:"FILE" ~doc:"Textual IR dump (the format `selvm compile` prints).")
   in
   let parse_ir file =
-    let text = read_file file in
+    let text =
+      match read_file file with text -> text | exception Sys_error e -> fail e
+    in
     (* tolerate a leading `; comment` line from `selvm compile` output *)
     let text =
       if String.length text > 0 && text.[0] = ';' then

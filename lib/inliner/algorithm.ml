@@ -47,38 +47,76 @@ let compile ?trial_cache (prog : Ir.Types.program) (profiles : Runtime.Profile.t
       opt_events = 0;
     }
   in
+  (* Compile watchdog: under an ambient [Support.Fuel] budget, snapshot
+     the root after every completed round. A fuel abort mid-round
+     (checkpoints sit in [Expansion.run] and [Opt.Driver]) then falls
+     back to the last completed round's body — the best result the
+     budget paid for. If not even the first round finished, there is no
+     useful body and [Fuel.Exhausted] escapes to the engine's bailout
+     path. Snapshots cost one [Ir.Fn.copy] per round and only exist when
+     a budget is installed. *)
+  let watchdog = Support.Fuel.enabled () in
+  let best : (Ir.Types.fn * int * int * int * int) option ref = ref None in
   let changed = ref true in
-  while
-    !changed
-    && stats.rounds < params.max_rounds
-    && Ir.Fn.size t.root_fn < params.root_size_cap
-  do
-    stats.rounds <- stats.rounds + 1;
-    let expanded = Expansion.run t in
-    Analysis.run t;
-    let inlined = Inline_phase.run t in
-    let opt_stats =
-      Opt.Driver.round_root_opts ~rwelim:params.opt_rwelim ~scalar:params.opt_scalar
-        ~licm:params.opt_licm ~peel:params.opt_peel prog t.root_fn
-    in
-    stats.expanded <- stats.expanded + expanded;
-    stats.inlined <- stats.inlined + inlined;
-    stats.opt_events <- stats.opt_events + Opt.Driver.simple_opt_count opt_stats;
-    Calltree.refresh t;
-    Log.debug (fun m ->
-        m "round %d: expanded=%d inlined=%d root_size=%d cutoffs=%d" stats.rounds expanded
-          inlined (Ir.Fn.size t.root_fn) (Calltree.tree_n_c t));
-    Obs.Trace.emit "inline_round" (fun () ->
-        Support.Json.
-          [
-            ("root", Int root_meth);
-            ("round", Int stats.rounds);
-            ("expanded", Int expanded);
-            ("inlined", Int inlined);
-            ("root_size", Int (Ir.Fn.size t.root_fn));
-            ("cutoffs", Int (Calltree.tree_n_c t));
-          ]);
-    changed := expanded > 0 || inlined > 0
-  done;
-  stats.final_size <- Ir.Fn.size t.root_fn;
-  { body = t.root_fn; stats }
+  (try
+     while
+       !changed
+       && stats.rounds < params.max_rounds
+       && Ir.Fn.size t.root_fn < params.root_size_cap
+     do
+       Support.Fuel.spend 1;
+       stats.rounds <- stats.rounds + 1;
+       let expanded = Expansion.run t in
+       Analysis.run t;
+       let inlined = Inline_phase.run t in
+       let opt_stats =
+         Opt.Driver.round_root_opts ~rwelim:params.opt_rwelim ~scalar:params.opt_scalar
+           ~licm:params.opt_licm ~peel:params.opt_peel prog t.root_fn
+       in
+       stats.expanded <- stats.expanded + expanded;
+       stats.inlined <- stats.inlined + inlined;
+       stats.opt_events <- stats.opt_events + Opt.Driver.simple_opt_count opt_stats;
+       Calltree.refresh t;
+       Log.debug (fun m ->
+           m "round %d: expanded=%d inlined=%d root_size=%d cutoffs=%d" stats.rounds
+             expanded inlined (Ir.Fn.size t.root_fn) (Calltree.tree_n_c t));
+       Obs.Trace.emit "inline_round" (fun () ->
+           Support.Json.
+             [
+               ("root", Int root_meth);
+               ("round", Int stats.rounds);
+               ("expanded", Int expanded);
+               ("inlined", Int inlined);
+               ("root_size", Int (Ir.Fn.size t.root_fn));
+               ("cutoffs", Int (Calltree.tree_n_c t));
+             ]);
+       changed := expanded > 0 || inlined > 0;
+       if watchdog then
+         best :=
+           Some
+             ( Ir.Fn.copy t.root_fn,
+               stats.rounds,
+               stats.expanded,
+               stats.inlined,
+               stats.opt_events )
+     done;
+     stats.final_size <- Ir.Fn.size t.root_fn;
+     { body = t.root_fn; stats }
+   with Support.Fuel.Exhausted -> (
+     match !best with
+     | None -> raise Support.Fuel.Exhausted
+     | Some (body, rounds, expanded, inlined, opt_events) ->
+         stats.rounds <- rounds;
+         stats.expanded <- expanded;
+         stats.inlined <- inlined;
+         stats.opt_events <- opt_events;
+         stats.final_size <- Ir.Fn.size body;
+         Obs.Trace.emit "inline_round" (fun () ->
+             Support.Json.
+               [
+                 ("root", Int root_meth);
+                 ("round", Int rounds);
+                 ("fuel_abort", Bool true);
+                 ("root_size", Int (Ir.Fn.size body));
+               ]);
+         { body; stats }))

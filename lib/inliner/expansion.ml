@@ -126,6 +126,9 @@ let run (t : t) : int =
   let expanded = ref 0 in
   let continue_ = ref true in
   while !continue_ && !expanded < t.params.max_expansions_per_round do
+    (* watchdog checkpoint: between expansions the tree and the root IR
+       are consistent, so a fuel abort here is clean *)
+    Support.Fuel.spend 1;
     match best_cutoff t with
     | None -> continue_ := false
     | Some n ->

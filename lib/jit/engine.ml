@@ -37,8 +37,25 @@ type compilation = { cm : meth_id; size : int; at_cycles : int }
 
 (* One contained compilation failure: the compiler (or the verifier)
    threw instead of producing an installable body. The run survives —
-   the method keeps interpreting. *)
-type bailout = { bm : meth_id; reason : string; at_cycles : int }
+   the method keeps interpreting. [failures] is the method's failure
+   count including this one; [charged] the compile cycles the dead
+   attempt burned; [blacklisted] whether this failure hit the cap and
+   permanently retired the method to the interpreter. *)
+type bailout = {
+  bm : meth_id;
+  reason : string;
+  at_cycles : int;
+  failures : int;
+  charged : int;
+  blacklisted : bool;
+}
+
+(* Aggregate failure picture of a run, for summaries and the CLI. *)
+type bailout_stats = {
+  failed_attempts : int;       (* bailouts recorded *)
+  failed_methods : int;        (* distinct methods with >= 1 failure *)
+  blacklisted_methods : meth_id list;  (* ascending *)
+}
 
 (* Exceptions the engine refuses to contain: conditions of the host
    process, not of one compilation. Everything else — compiler bugs,
@@ -72,6 +89,16 @@ type t = {
   cooldown : (meth_id, int) Hashtbl.t;      (* invocation count gating recompilation *)
   mutable invalidations : (meth_id * int) list;  (* method, at_cycles *)
   mutable bailouts : bailout list;          (* contained compile failures, most recent first *)
+  (* graceful-degradation machinery: a failed compile backs off
+     exponentially (cooldown doubling per failure); at the cap the method
+     is blacklisted — permanently interpreted, never retried, so a
+     deterministic compiler bug costs a bounded number of compile cycles *)
+  max_compile_failures : int;
+  failure_counts : (meth_id, int) Hashtbl.t;
+  blacklist : (meth_id, unit) Hashtbl.t;
+  (* optional per-compilation watchdog budget (Support.Fuel checkpoints);
+     None: unlimited *)
+  compile_fuel : int option;
   (* installs a produced-but-pending body through the normal install path
      (code cache + prepared-code invalidation + accounting + telemetry);
      set when a compiler is configured, used by [flush_pending] *)
@@ -79,7 +106,8 @@ type t = {
 }
 
 let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
-    ?(max_recompiles = 2) ?(async_compile = false) (prog : program) (config : config) : t =
+    ?(max_recompiles = 2) ?(async_compile = false) ?(max_compile_failures = 3)
+    ?compile_fuel (prog : program) (config : config) : t =
   (* parse-time canonicalization: prepared bodies are what gets profiled,
      specialized and inlined (idempotent; safe if already prepared) *)
   Opt.Driver.prepare_program prog;
@@ -91,6 +119,8 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
       spec_miss_threshold; max_recompiles;
       miss_counts = Hashtbl.create 8; recompile_counts = Hashtbl.create 8;
       cooldown = Hashtbl.create 8; invalidations = []; bailouts = [];
+      max_compile_failures; failure_counts = Hashtbl.create 8;
+      blacklist = Hashtbl.create 8; compile_fuel;
       install_pending = (fun _ _ -> ()) }
   in
   vm.code <- (fun m -> Hashtbl.find_opt t.code_cache m);
@@ -115,6 +145,26 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
               [ ("m", Int m); ("meth", String (meth_name m)); ("size", Int size) ])
       in
       t.install_pending <- (fun m body -> install m body (Ir.Fn.size body));
+      (* drop a method's installed code and send it back to the
+         interpreter to re-profile; shared by the spec-miss path and the
+         chaos invalidation storm *)
+      let invalidate m ~misses ~recompiled =
+        Hashtbl.remove t.code_cache m;
+        Runtime.Interp.invalidate_code vm m;
+        Hashtbl.replace t.recompile_counts m (recompiled + 1);
+        (match Hashtbl.find_opt t.miss_counts m with Some r -> r := 0 | None -> ());
+        Hashtbl.replace t.cooldown m
+          (Runtime.Profile.invocation_count vm.profiles m + config.hotness_threshold);
+        t.invalidations <- (m, vm.cycles) :: t.invalidations;
+        Obs.Trace.emit "invalidate" (fun () ->
+            Support.Json.
+              [
+                ("m", Int m);
+                ("meth", String (meth_name m));
+                ("misses", Int misses);
+                ("recompiles", Int (recompiled + 1));
+              ])
+      in
       vm.on_entry <-
         (fun m ->
           (* background compilations whose latency has elapsed install at
@@ -124,10 +174,37 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
               Hashtbl.remove t.pending m;
               install m body (Ir.Fn.size body)
           | _ -> ());
+          (* chaos: an invalidation storm throws away installed code, as a
+             burst of spec misses would. Bounded by [max_recompiles] like
+             real invalidations, so the engine still converges under
+             rate=1.0 — after the cap the code stays installed. *)
+          (if
+             Support.Chaos.enabled ()
+             && (not t.compiling)
+             && Hashtbl.mem t.code_cache m
+           then
+             let recompiled =
+               match Hashtbl.find_opt t.recompile_counts m with Some n -> n | None -> 0
+             in
+             if
+               recompiled < t.max_recompiles
+               && Support.Chaos.(roll Invalidation_storm)
+             then begin
+               Obs.Trace.emit "chaos" (fun () ->
+                   Support.Json.
+                     [
+                       ( "fault",
+                         String Support.Chaos.(fault_to_string Invalidation_storm) );
+                       ("m", Int m);
+                       ("meth", String (meth_name m));
+                     ]);
+               invalidate m ~misses:0 ~recompiled
+             end);
           if
             (not t.compiling)
             && (not (Hashtbl.mem t.code_cache m))
             && (not (Hashtbl.mem t.pending m))
+            && (not (Hashtbl.mem t.blacklist m))
             && (Ir.Program.meth prog m).body <> None
             &&
             let invocations = Runtime.Profile.invocation_count vm.profiles m in
@@ -147,28 +224,91 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
                         ( "invocations",
                           Int (Runtime.Profile.invocation_count vm.profiles m) );
                       ]);
-                match
+                (* chaos: decide this attempt's injected faults up front —
+                   a starved watchdog budget, a compiler crash before any
+                   work, or a verifier reject of the finished body. All
+                   three surface as contained exceptions on the bailout
+                   path below. *)
+                let inject fault =
+                  Obs.Trace.emit "chaos" (fun () ->
+                      Support.Json.
+                        [
+                          ("fault", String (Support.Chaos.fault_to_string fault));
+                          ("m", Int m);
+                          ("meth", String (meth_name m));
+                        ]);
+                  raise (Support.Chaos.Injected fault)
+                in
+                let fuel =
+                  if Support.Chaos.(roll Fuel_exhaustion) then
+                    Some (Support.Chaos.starved_fuel ())
+                  else t.compile_fuel
+                in
+                let attempt () =
+                  if Support.Chaos.(roll Compiler_crash) then
+                    inject Support.Chaos.Compiler_crash;
                   let body = compiler prog vm.profiles m in
+                  if Support.Chaos.(roll Verifier_reject) then
+                    inject Support.Chaos.Verifier_reject;
                   if config.verify then Ir.Verify.check body;
                   body
+                in
+                match
+                  match fuel with
+                  | None -> attempt ()
+                  | Some n -> Support.Fuel.with_budget n attempt
                 with
                 | exception e when containable e ->
                     (* the compilation died; the method stays interpreted
-                       (and keeps profiling) — an invalidation-style event
-                       records the failure, the run goes on *)
+                       (and keeps profiling). Charge the cycles the dead
+                       attempt burned, back off exponentially, and at the
+                       failure cap blacklist the method so a deterministic
+                       compiler bug stops consuming compile cycles. *)
                     let reason =
                       match e with
                       | Ir.Verify.Ill_formed msg -> "verify: " ^ msg
+                      | Support.Fuel.Exhausted -> "fuel exhausted"
+                      | Support.Chaos.Injected f ->
+                          "chaos: " ^ Support.Chaos.fault_to_string f
                       | Failure msg -> msg
                       | e -> Printexc.to_string e
                     in
-                    t.bailouts <- { bm = m; reason; at_cycles = vm.cycles } :: t.bailouts;
+                    let input_size =
+                      match (Ir.Program.meth prog m).body with
+                      | Some fn -> Ir.Fn.size fn
+                      | None -> 0
+                    in
+                    let charged = input_size * config.compile_cost_per_node in
+                    t.compile_cycles <- t.compile_cycles + charged;
+                    let failures =
+                      (match Hashtbl.find_opt t.failure_counts m with
+                      | Some n -> n
+                      | None -> 0)
+                      + 1
+                    in
+                    Hashtbl.replace t.failure_counts m failures;
+                    let blacklisted = failures >= t.max_compile_failures in
+                    if blacklisted then Hashtbl.replace t.blacklist m ()
+                    else
+                      (* exponential backoff: the retry gate doubles with
+                         every failure, measured in invocations past the
+                         current count *)
+                      Hashtbl.replace t.cooldown m
+                        (Runtime.Profile.invocation_count vm.profiles m
+                        + (config.hotness_threshold * (1 lsl (failures - 1))));
+                    t.bailouts <-
+                      { bm = m; reason; at_cycles = vm.cycles; failures; charged;
+                        blacklisted }
+                      :: t.bailouts;
                     Obs.Trace.emit "compile_bailout" (fun () ->
                         Support.Json.
                           [
                             ("m", Int m);
                             ("meth", String (meth_name m));
                             ("reason", String reason);
+                            ("failures", Int failures);
+                            ("charged", Int charged);
+                            ("blacklisted", Bool blacklisted);
                           ])
                 | body ->
                 let size = Ir.Fn.size body in
@@ -211,26 +351,10 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
             let recompiled =
               match Hashtbl.find_opt t.recompile_counts m with Some n -> n | None -> 0
             in
-            if !r >= t.spec_miss_threshold && recompiled < t.max_recompiles then begin
-              (* invalidate: drop the code, let the interpreter re-profile
-                 the shifted receiver distribution, recompile later *)
-              let misses = !r in
-              Hashtbl.remove t.code_cache m;
-              Runtime.Interp.invalidate_code vm m;
-              Hashtbl.replace t.recompile_counts m (recompiled + 1);
-              r := 0;
-              Hashtbl.replace t.cooldown m
-                (Runtime.Profile.invocation_count vm.profiles m + config.hotness_threshold);
-              t.invalidations <- (m, vm.cycles) :: t.invalidations;
-              Obs.Trace.emit "invalidate" (fun () ->
-                  Support.Json.
-                    [
-                      ("m", Int m);
-                      ("meth", String (meth_name m));
-                      ("misses", Int misses);
-                      ("recompiles", Int (recompiled + 1));
-                    ])
-            end
+            if !r >= t.spec_miss_threshold && recompiled < t.max_recompiles then
+              (* drop the code, let the interpreter re-profile the shifted
+                 receiver distribution, recompile later *)
+              invalidate m ~misses:!r ~recompiled
           end))
   ;
   t
@@ -288,3 +412,13 @@ let compiled_body (t : t) (name : string) : fn option =
   match Ir.Program.find_meth t.vm.prog name with
   | Some m -> Hashtbl.find_opt t.code_cache m
   | None -> None
+
+let blacklisted (t : t) (m : meth_id) : bool = Hashtbl.mem t.blacklist m
+
+let bailout_stats (t : t) : bailout_stats =
+  {
+    failed_attempts = List.length t.bailouts;
+    failed_methods = Hashtbl.length t.failure_counts;
+    blacklisted_methods =
+      Hashtbl.fold (fun m () acc -> m :: acc) t.blacklist [] |> List.sort compare;
+  }

@@ -23,10 +23,23 @@ val interpreter_config : config
 
 type compilation = { cm : meth_id; size : int; at_cycles : int }
 
-type bailout = { bm : meth_id; reason : string; at_cycles : int }
+type bailout = {
+  bm : meth_id;
+  reason : string;
+  at_cycles : int;
+  failures : int;     (** the method's failure count, including this one *)
+  charged : int;      (** compile cycles the dead attempt burned *)
+  blacklisted : bool; (** this failure hit the cap: permanently interpreted *)
+}
 (** One contained compilation failure: the compiler or verifier threw
     instead of producing an installable body; the method kept
     interpreting. *)
+
+type bailout_stats = {
+  failed_attempts : int;  (** bailouts recorded over the run *)
+  failed_methods : int;   (** distinct methods with at least one failure *)
+  blacklisted_methods : meth_id list;  (** ascending *)
+}
 
 val containable : exn -> bool
 (** Which exceptions a compiler invocation may fail with and be contained
@@ -50,6 +63,13 @@ type t = {
   mutable invalidations : (meth_id * int) list;  (** method, at_cycles *)
   mutable bailouts : bailout list;
   (** contained compile failures, most recent first; see {!containable} *)
+  max_compile_failures : int;
+  failure_counts : (meth_id, int) Hashtbl.t;
+  blacklist : (meth_id, unit) Hashtbl.t;
+  (** methods permanently retired to the interpreter after
+      [max_compile_failures] failed compilation attempts *)
+  compile_fuel : int option;
+  (** per-compilation watchdog budget in {!Support.Fuel} checkpoints *)
   mutable install_pending : meth_id -> fn -> unit;
   (** installs a pending body through the normal install path; wired by
       {!create} when a compiler is configured, used by {!flush_pending} *)
@@ -57,9 +77,23 @@ type t = {
 
 val create :
   ?cost:Runtime.Cost.t -> ?spec_miss_threshold:int -> ?max_recompiles:int ->
-  ?async_compile:bool -> program -> config -> t
+  ?async_compile:bool -> ?max_compile_failures:int -> ?compile_fuel:int ->
+  program -> config -> t
 (** Also runs {!Opt.Driver.prepare_program} so profiles are collected
     against prepared IR.
+
+    Failure handling: an exception escaping the compiler or verifier (any
+    {!containable} one) is a bailout — the method keeps interpreting, the
+    compile cycles already spent are charged, and retries back off
+    exponentially (the cooldown gate doubles per failure). After
+    [max_compile_failures] (default 3) failures the method is blacklisted:
+    permanently interpreted, never re-entering compilation. [compile_fuel]
+    installs a {!Support.Fuel} watchdog budget around every compilation;
+    exhaustion mid-compile returns the inliner's best completed round, or
+    fails the attempt (feeding the same backoff path) when not even one
+    round finished. When a {!Support.Chaos} plan is ambient, the engine
+    additionally injects deterministic compiler crashes, verifier rejects,
+    starved fuel budgets and invalidation storms at these same points.
 
     Speculation management (off unless [spec_miss_threshold] is given):
     when a compiled method's typeswitch fallback executes that many times —
@@ -102,3 +136,10 @@ val flush_pending : ?force:bool -> t -> int
     method was never re-entered after the latency elapsed. *)
 
 val compiled_body : t -> string -> fn option
+
+val blacklisted : t -> meth_id -> bool
+
+val bailout_stats : t -> bailout_stats
+(** Aggregate failure picture of the run: how many compilation attempts
+    bailed out, over how many methods, and which methods are permanently
+    blacklisted to the interpreter. *)

@@ -20,6 +20,9 @@ type run = {
   pending_code_size : int;
   timeline : (string * int * int) list;  (* method, size, at_cycles; chronological *)
   invalidated : (string * int) list;     (* method, at_cycles; chronological *)
+  bailed_out : (string * string * int) list;
+  (* method, reason, at_cycles; chronological compile failures *)
+  blacklisted : string list;  (* methods permanently retired to the interpreter *)
   output : string;          (* program output, for differential checking *)
   (* inline-cache totals over every site the run dispatched through *)
   ic_sites : int;
@@ -96,6 +99,11 @@ let run_benchmark ?(setup : string option) ~(iters : int) (engine : Engine.t)
         engine.compilations;
     invalidated =
       List.rev_map (fun (m, at) -> (meth_name m, at)) engine.invalidations;
+    bailed_out =
+      List.rev_map
+        (fun (b : Engine.bailout) -> (meth_name b.bm, b.reason, b.at_cycles))
+        engine.bailouts;
+    blacklisted = List.map meth_name (Engine.bailout_stats engine).blacklisted_methods;
     output = Engine.output engine;
     ic_sites = List.length ics;
     ic_hits = sum (fun st -> st.Runtime.Interp.st_hits);
@@ -129,6 +137,19 @@ let timeline_json (r : run) : Support.Json.t =
                    ("at_cycles", Support.Json.Int at);
                  ])
              r.invalidated) );
+      ( "bailouts",
+        Support.Json.List
+          (List.map
+             (fun (meth, reason, at) ->
+               Support.Json.Obj
+                 [
+                   ("meth", Support.Json.String meth);
+                   ("reason", Support.Json.String reason);
+                   ("at_cycles", Support.Json.Int at);
+                 ])
+             r.bailed_out) );
+      ( "blacklisted",
+        Support.Json.List (List.map (fun m -> Support.Json.String m) r.blacklisted) );
       ("code_size", Support.Json.Int r.code_size);
       ("compile_cycles", Support.Json.Int r.compile_cycles);
       ("pending_methods", Support.Json.Int r.pending_methods);

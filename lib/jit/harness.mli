@@ -23,6 +23,10 @@ type run = {
       (** each install as (method, size, at_cycles), chronological *)
   invalidated : (string * int) list;
       (** each invalidation as (method, at_cycles), chronological *)
+  bailed_out : (string * string * int) list;
+      (** each contained compile failure as (method, reason, at_cycles) *)
+  blacklisted : string list;
+      (** methods permanently retired to the interpreter *)
   output : string;
   ic_sites : int;  (** call sites dispatched through an inline cache *)
   ic_hits : int;

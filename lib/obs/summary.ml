@@ -15,6 +15,9 @@ type t = {
   mutable installs : compile_event list;    (* chronological *)
   mutable pending_installs : int;
   mutable invalidations : compile_event list;  (* size = misses at invalidation *)
+  mutable bailouts : (string * string * int) list;  (* meth, reason, at_cycles *)
+  mutable blacklisted : string list;  (* methods whose last bailout hit the cap *)
+  mutable chaos_faults : (string * int) list;  (* injected faults by kind *)
   mutable inline_yes : int;
   mutable inline_no : int;
   mutable expand_yes : int;
@@ -35,6 +38,9 @@ let empty () =
     installs = [];
     pending_installs = 0;
     invalidations = [];
+    bailouts = [];
+    blacklisted = [];
+    chaos_faults = [];
     inline_yes = 0;
     inline_no = 0;
     expand_yes = 0;
@@ -79,6 +85,23 @@ let add_event (s : t) (j : Support.Json.t) : unit =
       s.invalidations <-
         s.invalidations
         @ [ { meth = str_field j "meth"; size = int_field j "misses"; at_cycles = cycles } ]
+  | "compile_bailout" ->
+      let meth = str_field j "meth" in
+      s.bailouts <- s.bailouts @ [ (meth, str_field j "reason", cycles) ];
+      if
+        (match Support.Json.member "blacklisted" j with
+        | Some (Support.Json.Bool b) -> b
+        | _ -> false)
+        && not (List.mem meth s.blacklisted)
+      then s.blacklisted <- s.blacklisted @ [ meth ]
+  | "chaos" ->
+      let fault = str_field j "fault" in
+      s.chaos_faults <-
+        (if List.mem_assoc fault s.chaos_faults then
+           List.map
+             (fun (k, n) -> if k = fault then (k, n + 1) else (k, n))
+             s.chaos_faults
+         else s.chaos_faults @ [ (fault, 1) ])
   | "inline_decision" ->
       if str_field j "verdict" = "inline" then s.inline_yes <- s.inline_yes + 1
       else s.inline_no <- s.inline_no + 1
@@ -150,6 +173,19 @@ let render (s : t) : string =
       (fun (c : compile_event) ->
         pf "  @%-10d invalidate %-21s %d spec misses\n" c.at_cycles c.meth c.size)
       s.invalidations
+  end;
+  if s.bailouts <> [] then begin
+    pf "\ncompile bailouts:\n";
+    List.iter
+      (fun (meth, reason, at) -> pf "  @%-10d bailout %-24s %s\n" at meth reason)
+      s.bailouts;
+    if s.blacklisted <> [] then
+      pf "  blacklisted (permanently interpreted): %s\n"
+        (String.concat ", " s.blacklisted)
+  end;
+  if s.chaos_faults <> [] then begin
+    pf "\nchaos faults injected:\n";
+    List.iter (fun (k, n) -> pf "  %-18s %d\n" k n) s.chaos_faults
   end;
   if s.inline_yes + s.inline_no + s.expand_yes + s.expand_no > 0 then begin
     pf "\ninliner decisions:\n";

@@ -16,6 +16,12 @@ type t = {
   mutable installs : compile_event list;  (** chronological *)
   mutable pending_installs : int;
   mutable invalidations : compile_event list;
+  mutable bailouts : (string * string * int) list;
+      (** contained compile failures as (method, reason, at_cycles) *)
+  mutable blacklisted : string list;
+      (** methods whose bailout hit the failure cap *)
+  mutable chaos_faults : (string * int) list;
+      (** injected chaos faults by kind, first-seen order *)
   mutable inline_yes : int;
   mutable inline_no : int;
   mutable expand_yes : int;

@@ -71,9 +71,8 @@ let memory_sink () : sink * (unit -> string list) =
   in
   (s, fun () -> List.rev !lines)
 
-(* [with_file path f] traces [f] into [path] (JSONL), closing on exit. *)
+(* [with_file path f] traces [f] into [path] (JSONL). The write is
+   atomic (temp sibling + rename): an interrupted or failing run leaves
+   no truncated trace behind, only a complete one or none at all. *)
 let with_file (path : string) (f : unit -> 'a) : 'a =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> scoped (channel_sink oc) f)
+  Support.Io.with_atomic_out path (fun oc -> scoped (channel_sink oc) f)

@@ -47,6 +47,9 @@ let simplify ?(max_rounds = 10) (prog : program) (fn : fn) : stats =
   let stats = empty_stats () in
   let rec go round =
     if round < max_rounds then begin
+      (* watchdog checkpoint: a fixpoint round is the unit of work; the
+         fn is always structurally consistent here *)
+      Support.Fuel.spend 1;
       let changed = ref false in
       let cstats = Canonicalize.empty_stats () in
       if Canonicalize.run_once prog fn cstats then changed := true;
@@ -72,6 +75,9 @@ let simplify ?(max_rounds = 10) (prog : program) (fn : fn) : stats =
 let round_root_opts ?(rwelim = true) ?(scalar = true) ?(licm = true) ?(peel = true)
     (prog : program) (fn : fn) : stats =
   let stats = simplify prog fn in
+  (* watchdog checkpoint between the simplify fixpoint and the heavier
+     root passes; each pass below is atomic *)
+  Support.Fuel.spend 1;
   let rw = if rwelim then Rwelim.run prog fn else 0 in
   stats.rw_eliminated <- stats.rw_eliminated + rw;
   let scalar = if scalar then Scalarrepl.run prog fn else 0 in

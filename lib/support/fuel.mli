@@ -1,0 +1,30 @@
+(** An ambient compile-time fuel budget — the watchdog that bounds a
+    runaway compilation (pathological inliner expansion, endless
+    canonicalization) without threading a counter through every
+    signature.
+
+    With no budget installed every {!spend} is one [None] check, so the
+    plumbing costs nothing in production. Checkpoints sit at phase and
+    fixpoint-round boundaries only, so {!Exhausted} always fires between
+    consistent IR states; {!Inliner.Algorithm.compile} catches it and
+    returns the best body completed so far, or lets it escape to the
+    engine's bailout path when no round finished. *)
+
+exception Exhausted
+
+val enabled : unit -> bool
+(** Is a budget installed? Callers may pre-check to skip snapshot work
+    that only matters under a watchdog. *)
+
+val remaining : unit -> int option
+(** Units left in the ambient budget; [None] when disabled. *)
+
+val spend : int -> unit
+(** [spend n] charges [n] units.
+    @raise Exhausted once the ambient budget runs dry; no-op without
+    one. *)
+
+val with_budget : int -> (unit -> 'a) -> 'a
+(** [with_budget n f] runs [f] under a fresh budget of [n] units,
+    restoring the previous ambient budget on exit (exception-safe,
+    nestable). *)

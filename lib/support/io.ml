@@ -1,0 +1,31 @@
+(* Crash-safe file emission.
+
+   Results files (bench JSON, traces, saved profiles) are written to a
+   [path ^ ".tmp"] sibling and renamed into place only on success, so an
+   interrupted or failing run can never leave a truncated file behind —
+   consumers either see the complete old contents or the complete new
+   ones. Rename within a directory is atomic on POSIX. *)
+
+let tmp_path (path : string) : string = path ^ ".tmp"
+
+(* [with_atomic_out path f] runs [f] with a channel on the temp sibling;
+   on normal return the temp file replaces [path], on exception it is
+   removed and the exception rethrown. *)
+let with_atomic_out (path : string) (f : out_channel -> 'a) : 'a =
+  let tmp = tmp_path path in
+  let oc = open_out_bin tmp in
+  match
+    let v = f oc in
+    close_out oc;
+    v
+  with
+  | v ->
+      Sys.rename tmp path;
+      v
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
+
+let write_atomic (path : string) (contents : string) : unit =
+  with_atomic_out path (fun oc -> output_string oc contents)

@@ -1,0 +1,15 @@
+(** Crash-safe file emission: write-to-temp then rename, so interrupted
+    runs never leave truncated results files behind. *)
+
+val tmp_path : string -> string
+(** The temp sibling used during an atomic write ([path ^ ".tmp"]). *)
+
+val with_atomic_out : string -> (out_channel -> 'a) -> 'a
+(** [with_atomic_out path f] runs [f] with a channel on the temp sibling
+    of [path]; on return the temp file is renamed over [path] (atomic
+    within a directory on POSIX), on exception it is removed and the
+    exception rethrown — [path] is never left truncated. *)
+
+val write_atomic : string -> string -> unit
+(** [write_atomic path contents] is {!with_atomic_out} writing the whole
+    string. *)

@@ -230,6 +230,54 @@ let summary_tests =
                   (List.length s.Obs.Summary.installs);
                 Alcotest.(check int) "one invalidation" 1
                   (List.length s.Obs.Summary.invalidations)));
+    test "bailout and chaos events aggregate" (fun () ->
+        let lines =
+          [
+            {|{"ev":"compile_bailout","cycles":10,"m":1,"meth":"f","reason":"boom","failures":1,"charged":200,"blacklisted":false}|};
+            {|{"ev":"chaos","cycles":12,"fault":"compiler_crash","m":1,"meth":"f"}|};
+            {|{"ev":"chaos","cycles":13,"fault":"compiler_crash","m":1,"meth":"f"}|};
+            {|{"ev":"chaos","cycles":14,"fault":"invalidation_storm","m":2,"meth":"g"}|};
+            {|{"ev":"compile_bailout","cycles":20,"m":1,"meth":"f","reason":"verify: bad","failures":2,"charged":200,"blacklisted":true}|};
+          ]
+        in
+        match Obs.Summary.of_lines lines with
+        | Error e -> Alcotest.failf "summary rejected: %s" e
+        | Ok s ->
+            Alcotest.(check int) "bailouts" 2 (List.length s.Obs.Summary.bailouts);
+            Alcotest.(check (list string)) "blacklisted" [ "f" ]
+              s.Obs.Summary.blacklisted;
+            Alcotest.(check bool) "chaos faults counted" true
+              (s.Obs.Summary.chaos_faults
+              = [ ("compiler_crash", 2); ("invalidation_storm", 1) ]);
+            let rendered = Obs.Summary.render s in
+            Alcotest.(check bool) "render reports bailouts" true
+              (Util.contains_substring ~needle:"compile bailouts" rendered);
+            Alcotest.(check bool) "render reports the blacklist" true
+              (Util.contains_substring ~needle:"blacklisted" rendered);
+            Alcotest.(check bool) "render reports chaos faults" true
+              (Util.contains_substring ~needle:"chaos faults injected" rendered));
+    test "engine bailouts land in the trace end-to-end" (fun () ->
+        let sink, lines = Obs.Trace.memory_sink () in
+        Obs.Trace.scoped sink (fun () ->
+            let crashing : Jit.Engine.compiler = fun _ _ _ -> failwith "boom" in
+            let e =
+              Util.engine ~hotness:3
+                {|def f(x: Int): Int = x + 1
+def main(): Unit = {
+  var i = 0;
+  while (i < 30) { println(f(i)); i = i + 1; }
+}|}
+                (Some crashing) "bailout-trace"
+            in
+            ignore (Jit.Engine.run_main e);
+            match Obs.Summary.of_lines (lines ()) with
+            | Error err -> Alcotest.failf "summary rejected the trace: %s" err
+            | Ok s ->
+                Alcotest.(check int) "trace sees every bailout"
+                  (Jit.Engine.bailout_stats e).failed_attempts
+                  (List.length s.Obs.Summary.bailouts);
+                Alcotest.(check (list string)) "trace sees the blacklist" [ "f" ]
+                  s.Obs.Summary.blacklisted));
   ]
 
 let () =

@@ -230,6 +230,135 @@ let json_tests =
         Alcotest.(check bool) "non-object" true (member "x" (Int 1) = None));
   ]
 
+let fuel_tests =
+  [
+    test "disabled: spend is free, remaining is None" (fun () ->
+        Alcotest.(check bool) "disabled" false (Support.Fuel.enabled ());
+        Support.Fuel.spend 1_000_000;
+        Alcotest.(check bool) "no budget" true (Support.Fuel.remaining () = None));
+    test "budget exhausts exactly past its limit" (fun () ->
+        let spent = ref 0 in
+        (match
+           Support.Fuel.with_budget 3 (fun () ->
+               for _ = 1 to 10 do
+                 Support.Fuel.spend 1;
+                 incr spent
+               done)
+         with
+        | () -> Alcotest.fail "expected exhaustion"
+        | exception Support.Fuel.Exhausted -> ());
+        (* 3 paid checkpoints pass; the 4th drives remaining below zero *)
+        Alcotest.(check int) "checkpoints before abort" 3 !spent;
+        Alcotest.(check bool) "uninstalled after scope" false
+          (Support.Fuel.enabled ()));
+    test "nested budgets restore the outer one" (fun () ->
+        Support.Fuel.with_budget 100 (fun () ->
+            (match
+               Support.Fuel.with_budget 1 (fun () ->
+                   Support.Fuel.spend 5)
+             with
+            | () -> Alcotest.fail "inner should exhaust"
+            | exception Support.Fuel.Exhausted -> ());
+            Alcotest.(check bool) "outer budget intact" true
+              (Support.Fuel.remaining () = Some 100)));
+    test "sufficient budget returns the result" (fun () ->
+        let r = Support.Fuel.with_budget 5 (fun () -> Support.Fuel.spend 5; 42) in
+        Alcotest.(check int) "result" 42 r);
+  ]
+
+let chaos_plan_tests =
+  [
+    test "disabled: roll never fires" (fun () ->
+        Alcotest.(check bool) "disabled" false (Support.Chaos.enabled ());
+        for _ = 1 to 100 do
+          Alcotest.(check bool) "no fault" false
+            (Support.Chaos.roll Support.Chaos.Compiler_crash)
+        done;
+        Alcotest.(check int) "starved fuel is 0 when disabled" 0
+          (Support.Chaos.starved_fuel ()));
+    test "rate bounds are validated" (fun () ->
+        List.iter
+          (fun rate ->
+            match Support.Chaos.install ~seed:1 ~rate with
+            | () -> Alcotest.failf "accepted rate %f" rate
+            | exception Invalid_argument _ -> ())
+          [ -0.1; 1.5; Float.nan ]);
+    test "same seed replays the same roll sequence" (fun () ->
+        let draws seed =
+          Support.Chaos.scoped ~seed ~rate:0.5 (fun () ->
+              List.init 64 (fun _ -> Support.Chaos.roll Support.Chaos.Verifier_reject))
+        in
+        Alcotest.(check (list bool)) "deterministic" (draws 9) (draws 9);
+        Alcotest.(check bool) "rate 0 never fires" true
+          (Support.Chaos.scoped ~seed:9 ~rate:0.0 (fun () ->
+               List.for_all not
+                 (List.init 64 (fun _ ->
+                      Support.Chaos.roll Support.Chaos.Compiler_crash))));
+        Alcotest.(check bool) "rate 1 always fires" true
+          (Support.Chaos.scoped ~seed:9 ~rate:1.0 (fun () ->
+               List.for_all Fun.id
+                 (List.init 64 (fun _ ->
+                      Support.Chaos.roll Support.Chaos.Fuel_exhaustion)))));
+    test "plan counts rolls and injections" (fun () ->
+        Support.Chaos.scoped ~seed:3 ~rate:0.5 (fun () ->
+            for _ = 1 to 50 do
+              ignore (Support.Chaos.roll Support.Chaos.Invalidation_storm)
+            done;
+            match Support.Chaos.plan () with
+            | None -> Alcotest.fail "plan missing"
+            | Some p ->
+                Alcotest.(check int) "rolls" 50 p.rolls;
+                Alcotest.(check bool) "some injected" true (p.injected > 0);
+                Alcotest.(check bool) "not all injected" true (p.injected < 50)))
+  ]
+
+let io_tests =
+  [
+    test "write_atomic writes contents and leaves no temp" (fun () ->
+        let path = Filename.temp_file "selvm_io" ".json" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+          (fun () ->
+            Support.Io.write_atomic path "{\"ok\":true}\n";
+            let ic = open_in path in
+            let line = input_line ic in
+            close_in ic;
+            Alcotest.(check string) "contents" "{\"ok\":true}" line;
+            Alcotest.(check bool) "no temp file left" false
+              (Sys.file_exists (Support.Io.tmp_path path))));
+    test "a failing writer preserves the previous contents" (fun () ->
+        let path = Filename.temp_file "selvm_io" ".json" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+          (fun () ->
+            Support.Io.write_atomic path "old contents";
+            (match
+               Support.Io.with_atomic_out path (fun oc ->
+                   output_string oc "partial garbage";
+                   failwith "interrupted")
+             with
+            | () -> Alcotest.fail "expected failure"
+            | exception Failure _ -> ());
+            let ic = open_in path in
+            let line = input_line ic in
+            close_in ic;
+            Alcotest.(check string) "old contents intact" "old contents" line;
+            Alcotest.(check bool) "no temp file left" false
+              (Sys.file_exists (Support.Io.tmp_path path))));
+    test "a failing writer creates nothing when no file existed" (fun () ->
+        let dir = Filename.get_temp_dir_name () in
+        let path = Filename.concat dir "selvm_io_absent.json" in
+        (try Sys.remove path with Sys_error _ -> ());
+        (match
+           Support.Io.with_atomic_out path (fun _ -> failwith "interrupted")
+         with
+        | () -> Alcotest.fail "expected failure"
+        | exception Failure _ -> ());
+        Alcotest.(check bool) "target absent" false (Sys.file_exists path);
+        Alcotest.(check bool) "temp absent" false
+          (Sys.file_exists (Support.Io.tmp_path path)));
+  ]
+
 let () =
   Alcotest.run "support"
     [
@@ -237,4 +366,7 @@ let () =
       ("rng", rng_tests);
       ("stats", stats_tests);
       ("json", json_tests);
+      ("fuel", fuel_tests);
+      ("chaos", chaos_plan_tests);
+      ("io", io_tests);
     ]
