@@ -28,6 +28,11 @@ let run_workload (backend : Runtime.Interp.backend) (w : Workloads.Defs.t) :
   let prog = Workloads.Registry.compile w in
   let engine = Jit.Engine.create prog interp_config in
   engine.vm.backend <- backend;
+  (* metrics recording stays on here (enabled-but-unread): it costs
+     nothing on the step loop, so the speedup gate holds. Attribution is
+     NOT enabled on the gated runs — its per-invocation enter/leave
+     brackets are a deliberate opt-in profiling cost (~10% on the
+     prepared engine); the traced JIT run below exercises it instead. *)
   let t0 = Unix.gettimeofday () in
   let run =
     Jit.Harness.run_benchmark ~iters:w.iters engine ~entry:"bench" ~label:w.name
@@ -79,7 +84,7 @@ let workload_speedup (c : comparison) : float = c.c_ref_seconds /. c.c_prep_seco
 let traced_jit_run () =
   let w = List.hd Workloads.Registry.all in
   let sink, lines = Obs.Trace.memory_sink () in
-  let run =
+  let run, attrib, prog =
     Obs.Trace.scoped sink (fun () ->
         let prog = Workloads.Registry.compile w in
         let engine =
@@ -92,20 +97,31 @@ let traced_jit_run () =
               verify = false;
             }
         in
-        Jit.Harness.run_benchmark ~iters:w.iters engine ~entry:"bench" ~label:w.name)
+        (* per-method cycle attribution rides the traced run: the hot
+           methods land in BENCH_interp.json as a determinism anchor *)
+        let attrib = Runtime.Interp.enable_attribution engine.vm in
+        let run =
+          Jit.Harness.run_benchmark ~iters:w.iters engine ~entry:"bench"
+            ~label:w.name
+        in
+        (run, attrib, prog))
   in
   let summary =
     match Obs.Summary.of_lines (lines ()) with
     | Ok s -> s
     | Error e -> Fmt.failwith "trace self-check failed: %s" e
   in
-  (w.name, run, summary)
+  (w.name, run, summary, attrib, prog)
 
 let run () =
   let nworkloads = List.length Workloads.Registry.all in
   Common.print_header
     (Printf.sprintf "interp smoke: %d workloads, interpreter only, wall clock"
        nworkloads);
+  (* metrics recording on for the whole smoke — enabled-but-unread during
+     the measured runs, then exported into the results file *)
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
   let comparisons = List.map compare_workload Workloads.Registry.all in
   let sum f = List.fold_left (fun acc c -> acc + f c) 0 comparisons in
   let sumf f = List.fold_left (fun acc c -> acc +. f c) 0.0 comparisons in
@@ -169,11 +185,19 @@ let run () =
              ])
          comparisons)
   in
-  let traced_name, traced, summary = traced_jit_run () in
+  let traced_name, traced, summary, attrib, traced_prog = traced_jit_run () in
   Common.note "trace smoke: %s under incremental — %d events, %d installs, %d IR nodes"
     traced_name summary.Obs.Summary.total
     (List.length traced.Jit.Harness.timeline)
     traced.Jit.Harness.code_size;
+  (* compile-latency distribution of the traced JIT run, off the metrics
+     registry's log2 histogram (simulated cycles, so deterministic) *)
+  let latency = Obs.Metrics.histogram "jit.compile_latency_cycles" in
+  let lat_p50 = Obs.Metrics.percentile latency 0.5 in
+  let lat_p90 = Obs.Metrics.percentile latency 0.9 in
+  let lat_max = Obs.Metrics.percentile latency 1.0 in
+  Common.note "compile latency (cycles): p50=%d p90=%d max=%d" lat_p50 lat_p90
+    lat_max;
   let json =
     Support.Json.Obj
       [
@@ -206,9 +230,32 @@ let run () =
                      summary.Obs.Summary.kinds) );
               ("ic", Jit.Harness.ic_json traced);
               ("timeline", Jit.Harness.timeline_json traced);
+              ( "compile_latency",
+                Support.Json.Obj
+                  [
+                    ("p50", Support.Json.Int lat_p50);
+                    ("p90", Support.Json.Int lat_p90);
+                    ("max", Support.Json.Int lat_max);
+                  ] );
+              ( "hot_methods",
+                (* top of the traced run's attribution table — simulated
+                   cycles, so stable across runs *)
+                let name m = (Ir.Program.meth traced_prog m).Ir.Types.m_name in
+                Support.Json.List
+                  (List.filteri (fun i _ -> i < 5) (Runtime.Attribution.rows attrib)
+                  |> List.map (fun (r : Runtime.Attribution.row) ->
+                         Support.Json.Obj
+                           [
+                             ("meth", Support.Json.String (name r.r_meth));
+                             ("self_cycles", Support.Json.Int r.r_self);
+                             ("total_cycles", Support.Json.Int r.r_total);
+                             ("invocations", Support.Json.Int r.r_invocations);
+                           ])) );
             ] );
+        ("metrics", Obs.Metrics.to_json ());
       ]
   in
+  Obs.Metrics.set_enabled false;
   (* atomic: an interrupted run never leaves a truncated results file *)
   Support.Io.write_atomic "BENCH_interp.json" (Support.Json.to_string json ^ "\n");
   Common.note "wrote BENCH_interp.json"

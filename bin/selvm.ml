@@ -134,6 +134,17 @@ let trace_arg =
            the simulated cycle clock, so identical runs produce identical traces. \
            Summarize with `selvm events FILE`.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Record the metrics registry (counters, gauges, log2-bucketed \
+           histograms: compiles, compile latency, inline depth, IC hit rates, \
+           bailouts) and write it to FILE as JSON at exit. Values derive from \
+           the simulated clocks, so identical runs write identical files.")
+
 let chaos_seed_arg =
   Arg.(
     value
@@ -176,6 +187,21 @@ let with_optional_trace (path : string option) (f : unit -> 'a) : 'a =
       try Obs.Trace.with_file path f
       with Sys_error e -> fail ("cannot write --trace: " ^ e))
 
+(* Runs [f] with the metrics registry enabled when --metrics was given,
+   writing the registry as one JSON line to [path] afterwards (atomic,
+   like --trace). *)
+let with_optional_metrics (path : string option) (f : unit -> 'a) : 'a =
+  match path with
+  | None -> f ()
+  | Some path ->
+      Obs.Metrics.reset ();
+      let v = Obs.Metrics.scoped f in
+      (try
+         Support.Io.write_atomic path
+           (Support.Json.to_string (Obs.Metrics.to_json ()) ^ "\n")
+       with Sys_error e -> fail ("cannot write --metrics: " ^ e));
+      v
+
 (* Runs [f] under a chaos fault plan when --chaos-rate > 0. *)
 let with_optional_chaos ~(seed : int) ~(rate : float) (f : unit -> 'a) : 'a =
   if rate = 0.0 then f ()
@@ -186,8 +212,8 @@ let with_optional_chaos ~(seed : int) ~(rate : float) (f : unit -> 'a) : 'a =
 (* ---- run ---- *)
 
 let run_cmd =
-  let run file workload config hotness stats verify trace chaos_seed chaos_rate
-      compile_fuel =
+  let run file workload config hotness stats verify trace metrics chaos_seed
+      chaos_rate compile_fuel =
     match load_program ~file ~workload with
     | Error e -> fail e
     | Ok (prog, _) -> (
@@ -196,18 +222,21 @@ let run_cmd =
            the trace file only renames into place when the scope exits *)
         let outcome =
           with_optional_trace trace (fun () ->
-              with_optional_chaos ~seed:chaos_seed ~rate:chaos_rate (fun () ->
-                  match make_engine ?compile_fuel prog config hotness verify with
-                  | Error e -> Error e
-                  | Ok e -> (
-                      match Jit.Engine.run_main e with
-                      | _ ->
-                          print_string (Jit.Engine.output e);
-                          if stats then print_stats e;
-                          Ok ()
-                      | exception Runtime.Values.Trap msg ->
-                          print_string (Jit.Engine.output e);
-                          Error ("runtime trap: " ^ msg))))
+              with_optional_metrics metrics (fun () ->
+                  with_optional_chaos ~seed:chaos_seed ~rate:chaos_rate (fun () ->
+                      match make_engine ?compile_fuel prog config hotness verify with
+                      | Error e -> Error e
+                      | Ok e -> (
+                          match Jit.Engine.run_main e with
+                          | _ ->
+                              print_string (Jit.Engine.output e);
+                              if stats then print_stats e;
+                              if Obs.Metrics.enabled () then
+                                Jit.Engine.snapshot_metrics e;
+                              Ok ()
+                          | exception Runtime.Values.Trap msg ->
+                              print_string (Jit.Engine.output e);
+                              Error ("runtime trap: " ^ msg)))))
         in
         match outcome with Ok () -> () | Error e -> fail e)
   in
@@ -215,7 +244,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a Sel program's main under the JIT.")
     Term.(
       const run $ file_arg $ workload_arg $ config_arg $ hotness_arg $ stats_arg
-      $ verify_arg $ trace_arg $ chaos_seed_arg $ chaos_rate_arg $ compile_fuel_arg)
+      $ verify_arg $ trace_arg $ metrics_arg $ chaos_seed_arg $ chaos_rate_arg
+      $ compile_fuel_arg)
 
 (* ---- bench ---- *)
 
@@ -411,24 +441,186 @@ let parse_ir_cmd =
 
 (* ---- events ---- *)
 
+let trace_pos_arg =
+  Arg.(
+    required & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"JSONL trace recorded with --trace.")
+
 let events_cmd =
-  let trace_file_arg =
+  let strict_arg =
     Arg.(
-      required & pos 0 (some string) None
-      & info [] ~docv:"FILE" ~doc:"JSONL trace recorded with --trace.")
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit non-zero when the trace contains malformed lines (they are \
+                always warned about on stderr and skipped).")
   in
-  let events file =
-    match Obs.Summary.of_file file with
-    | Ok summary -> print_string (Obs.Summary.render summary)
-    | Error e -> fail (Printf.sprintf "bad trace %s: %s" file e)
-    | exception Sys_error e -> fail e
+  let events file strict =
+    let lines =
+      match read_file file with
+      | text -> String.split_on_char '\n' text
+      | exception Sys_error e -> fail e
+    in
+    let events, errors = Obs.Summary.parse_lines lines in
+    List.iter
+      (fun (lineno, e) ->
+        Printf.eprintf "selvm: %s:%d: skipping malformed event: %s\n" file lineno e)
+      errors;
+    let events = List.map snd events in
+    print_string (Obs.Summary.render (Obs.Summary.of_events events));
+    (match Obs.Summary.split_runs events with
+    | [] | [ _ ] -> ()  (* a single run reads the same as the overall summary *)
+    | runs ->
+        List.iteri
+          (fun i (label, s) ->
+            Printf.printf "\n=== run %d/%d: %s ===\n\n" (i + 1) (List.length runs)
+              label;
+            print_string (Obs.Summary.render s))
+          runs);
+    if strict && errors <> [] then exit 1
   in
   Cmd.v
     (Cmd.info "events"
        ~doc:
          "Summarize a JSONL telemetry trace: compile timeline, installed code, \
-          invalidations, inliner decisions, optimizer counters.")
-    Term.(const events $ trace_file_arg)
+          invalidations, inliner decisions, optimizer counters. Traces holding \
+          several harness runs additionally get per-run sections.")
+    Term.(const events $ trace_pos_arg $ strict_arg)
+
+(* ---- explain ---- *)
+
+let explain_cmd =
+  let why_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "why" ] ~docv:"METHOD[:SITE]"
+          ~doc:
+            "Print the full decision provenance (every expansion and inlining \
+             decision with its benefit/cost/penalty/threshold terms, per round) \
+             for callsites targeting METHOD, optionally narrowed to the site \
+             ordinal SITE.")
+  in
+  let explain file why =
+    match Obs.Explain.of_file file with
+    | Error e -> fail (Printf.sprintf "bad trace %s: %s" file e)
+    | exception Sys_error e -> fail e
+    | Ok comps -> (
+        match why with
+        | None -> print_string (Obs.Explain.render comps)
+        | Some spec ->
+            let meth, site =
+              match String.rindex_opt spec ':' with
+              | Some i -> (
+                  let m = String.sub spec 0 i in
+                  let s = String.sub spec (i + 1) (String.length spec - i - 1) in
+                  match int_of_string_opt s with
+                  | Some n -> (m, Some n)
+                  | None -> (spec, None))
+              | None -> (spec, None)
+            in
+            print_string (Obs.Explain.render_why comps ~meth ~site))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Reconstruct the inline trees from a recorded trace: per compiled \
+          method, the callsite tree with each decision's benefit, cost, \
+          penalty and threshold, and the round it was taken in.")
+    Term.(const explain $ trace_pos_arg $ why_arg)
+
+(* ---- report ---- *)
+
+let report_cmd =
+  let entry_arg =
+    Arg.(
+      value & opt string "bench"
+      & info [ "entry" ] ~docv:"METHOD" ~doc:"0-argument method to repeat.")
+  in
+  let iters_arg =
+    Arg.(value & opt int 40 & info [ "iters" ] ~docv:"N" ~doc:"Iterations to run.")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "top" ] ~docv:"N" ~doc:"Rows of the hot-method table to print.")
+  in
+  let folded_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:
+            "Write flamegraph-ready folded stacks (one `root;...;leaf cycles` \
+             line per calling context) to FILE.")
+  in
+  let report file workload config hotness entry iters top folded =
+    match load_program ~file ~workload with
+    | Error e -> fail e
+    | Ok (prog, label) -> (
+        match make_engine prog config hotness false with
+        | Error e -> fail e
+        | Ok e -> (
+            let attrib = Runtime.Interp.enable_attribution e.vm in
+            match
+              Jit.Harness.run_benchmark ~iters e ~entry ~label:(label ^ "/" ^ config)
+            with
+            | exception Runtime.Values.Trap msg -> fail ("runtime trap: " ^ msg)
+            | _run -> (
+                let name m = (Ir.Program.meth prog m).m_name in
+                let rows = Runtime.Attribution.rows attrib in
+                let total_self =
+                  List.fold_left
+                    (fun acc (r : Runtime.Attribution.row) -> acc + r.r_self)
+                    0 rows
+                in
+                let pct part =
+                  if total_self = 0 then 0.0
+                  else 100.0 *. float_of_int part /. float_of_int total_self
+                in
+                Printf.printf "# %s  entry=%s config=%s iters=%d\n" label entry
+                  config iters;
+                Printf.printf "# %d cycles attributed over %d methods\n\n" total_self
+                  (List.length rows);
+                Printf.printf "%-24s %12s %6s %12s %9s %7s %7s %7s %7s\n" "method"
+                  "self" "self%" "total" "invocs" "interp%" "prep%" "jit%" "deopts";
+                List.iteri
+                  (fun i (r : Runtime.Attribution.row) ->
+                    if i < top then begin
+                      let si, sp, sj = r.r_self_by_tier in
+                      let share part =
+                        if r.r_self = 0 then 0.0
+                        else 100.0 *. float_of_int part /. float_of_int r.r_self
+                      in
+                      Printf.printf
+                        "%-24s %12d %6.1f %12d %9d %7.1f %7.1f %7.1f %7d\n"
+                        (name r.r_meth) r.r_self (pct r.r_self) r.r_total
+                        r.r_invocations (share si) (share sp) (share sj) r.r_deopts
+                    end)
+                  rows;
+                if List.length rows > top then
+                  Printf.printf "... (%d more methods)\n" (List.length rows - top);
+                match folded with
+                | None -> ()
+                | Some path -> (
+                    let stacks = Runtime.Attribution.folded attrib ~name in
+                    match
+                      Support.Io.write_atomic path
+                        (String.concat "\n" stacks ^ if stacks = [] then "" else "\n")
+                    with
+                    | () -> Printf.eprintf "-- folded stacks written to %s\n" path
+                    | exception Sys_error msg ->
+                        fail ("cannot write --folded: " ^ msg)))))
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run a workload with per-method cycle attribution and print the \
+          hot-method table (self/total cycles, tier residency, invocation and \
+          deopt counts); optionally emit flamegraph-ready folded stacks. \
+          Deterministic: identical runs print identical reports.")
+    Term.(
+      const report $ file_arg $ workload_arg $ config_arg $ hotness_arg $ entry_arg
+      $ iters_arg $ top_arg $ folded_arg)
 
 (* ---- workloads ---- *)
 
@@ -498,6 +690,9 @@ let main_cmd =
        ~doc:
          "A JIT-compiled VM for the Sel language with the CGO'19 \
           optimization-driven incremental inline-substitution algorithm.")
-    [ run_cmd; bench_cmd; compile_cmd; parse_ir_cmd; events_cmd; workloads_cmd; synth_cmd ]
+    [
+      run_cmd; bench_cmd; compile_cmd; parse_ir_cmd; events_cmd; explain_cmd;
+      report_cmd; workloads_cmd; synth_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -31,6 +31,8 @@ let log_src = Logs.Src.create "inliner" ~doc:"incremental inliner"
 
 module Log = (val Logs.src_log log_src)
 
+let m_rounds = Obs.Metrics.histogram "inliner.rounds_per_compile"
+
 (* Compiles [root_meth]: returns the optimized root body with callees
    inlined per the algorithm. The method's interpreter body is left
    untouched; the caller installs the result in the code cache. *)
@@ -101,6 +103,7 @@ let compile ?trial_cache (prog : Ir.Types.program) (profiles : Runtime.Profile.t
                stats.opt_events )
      done;
      stats.final_size <- Ir.Fn.size t.root_fn;
+     Obs.Metrics.observe m_rounds stats.rounds;
      { body = t.root_fn; stats }
    with Support.Fuel.Exhausted -> (
      match !best with
@@ -119,4 +122,5 @@ let compile ?trial_cache (prog : Ir.Types.program) (profiles : Runtime.Profile.t
                  ("fuel_abort", Bool true);
                  ("root_size", Int (Ir.Fn.size body));
                ]);
+         Obs.Metrics.observe m_rounds rounds;
          { body; stats }))

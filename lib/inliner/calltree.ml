@@ -31,6 +31,8 @@ type kind =
 
 type node = {
   nid : int;
+  pnid : int;                          (* parent node id; -1 for root children *)
+  mutable tname : string;              (* target label: method name or selector *)
   mutable kind : kind;
   mutable call_vid : vid;
   mutable owner : fn;                  (* the IR that contains [call_vid] *)
@@ -255,9 +257,23 @@ let specialize ?(callee_m : meth_id option) (t : t) ~(enabled : bool)
 
 (* ---------- node creation ---------- *)
 
-let make_node (t : t) ~kind ~call_vid ~owner ~site ~freq ~prob ~recv_cls ~ancestors : node =
+let meth_name (t : t) (m : meth_id) : string = (Ir.Program.meth t.prog m).m_name
+
+(* Display label of a target: the method name, or the selector prefixed
+   with [?] while the receiver is unresolved. *)
+let target_label (t : t) : target -> string = function
+  | Known m -> meth_name t m
+  | Unknown sel -> "?" ^ sel
+
+(* Call-path depth of a node: 1 for direct children of the root. *)
+let node_depth (n : node) : int = List.length n.ancestors
+
+let make_node (t : t) ~pnid ~tname ~kind ~call_vid ~owner ~site ~freq ~prob ~recv_cls
+    ~ancestors : node =
   {
     nid = fresh_id t;
+    pnid;
+    tname;
     kind;
     call_vid;
     owner;
@@ -277,8 +293,8 @@ let make_node (t : t) ~kind ~call_vid ~owner ~site ~freq ~prob ~recv_cls ~ancest
 
 (* Creates cutoff children for every call in [body] (the specialized copy
    attached to an expanded node, or the root working IR). *)
-let scan_children (t : t) ~(owner : fn) ~(owner_meth : meth_id) ~(parent_freq : float)
-    ~(ancestors : meth_id list) : node list =
+let scan_children (t : t) ~(pnid : int) ~(owner : fn) ~(owner_meth : meth_id)
+    ~(parent_freq : float) ~(ancestors : meth_id list) : node list =
   let freqs = block_freqs t owner_meth owner in
   List.map
     (fun (call : instr) ->
@@ -289,8 +305,8 @@ let scan_children (t : t) ~(owner : fn) ~(owner_meth : meth_id) ~(parent_freq : 
           in
           let f = parent_freq *. freq_of_call freqs owner call.id in
           let n =
-            make_node t ~kind:(Cutoff target) ~call_vid:call.id ~owner ~site
-              ~freq:f ~prob:1.0 ~recv_cls:None ~ancestors
+            make_node t ~pnid ~tname:(target_label t target) ~kind:(Cutoff target)
+              ~call_vid:call.id ~owner ~site ~freq:f ~prob:1.0 ~recv_cls:None ~ancestors
           in
           (* a cutoff with const/refined args already has N_a > 0 *)
           (match target with
@@ -332,7 +348,7 @@ let create ?trial_cache (prog : program) (profiles : Runtime.Profile.t)
   (* the root method itself is the first link of every call path, so a
      direct self-recursive callsite already has recursion depth 1 *)
   t.children <-
-    scan_children t ~owner:t.root_fn ~owner_meth:root_meth ~parent_freq:1.0
+    scan_children t ~pnid:(-1) ~owner:t.root_fn ~owner_meth:root_meth ~parent_freq:1.0
       ~ancestors:[ root_meth ];
   t
 
@@ -396,7 +412,7 @@ let expand_cutoff (t : t) (n : node) : bool =
             n.n_args_refined <- n_a;
             n.spec_sig <- sg;
             n.children <-
-              scan_children t ~owner:body ~owner_meth:m ~parent_freq:n.freq
+              scan_children t ~pnid:n.nid ~owner:body ~owner_meth:m ~parent_freq:n.freq
                 ~ancestors:(m :: n.ancestors);
             true)
   | Cutoff (Unknown sel) -> (
@@ -409,9 +425,9 @@ let expand_cutoff (t : t) (n : node) : bool =
           n.children <-
             List.map
               (fun (c, m, p) ->
-                make_node t ~kind:(Cutoff (Known m)) ~call_vid:n.call_vid ~owner:n.owner
-                  ~site:n.site ~freq:(n.freq *. p) ~prob:p ~recv_cls:(Some c)
-                  ~ancestors:n.ancestors)
+                make_node t ~pnid:n.nid ~tname:(meth_name t m) ~kind:(Cutoff (Known m))
+                  ~call_vid:n.call_vid ~owner:n.owner ~site:n.site ~freq:(n.freq *. p)
+                  ~prob:p ~recv_cls:(Some c) ~ancestors:n.ancestors)
               targets;
           true)
   | _ -> invalid_arg "Calltree.expand_cutoff: not a cutoff"
@@ -432,11 +448,14 @@ let rec refresh_node (t : t) (n : node) : unit =
   end
   else begin
     (match (n.kind, Ir.Fn.kind n.owner n.call_vid) with
-    | Cutoff (Unknown _), Call { callee = Direct m; _ } -> n.kind <- Cutoff (Known m)
+    | Cutoff (Unknown _), Call { callee = Direct m; _ } ->
+        n.kind <- Cutoff (Known m);
+        n.tname <- meth_name t m
     | Poly _, Call { callee = Direct m; _ } ->
         (* the owner IR devirtualized the site out from under the
            speculation; restart the node as a plain direct cutoff *)
         n.kind <- Cutoff (Known m);
+        n.tname <- meth_name t m;
         n.children <- []
     | Expanded _, Call { callee = Direct m; _ } when t.params.deep_trials -> (
         (* re-specialize when the signature improved *)
@@ -453,7 +472,7 @@ let rec refresh_node (t : t) (n : node) : unit =
               n.n_args_refined <- n_a;
               n.spec_sig <- sg;
               n.children <-
-                scan_children t ~owner:body ~owner_meth:m ~parent_freq:n.freq
+                scan_children t ~pnid:n.nid ~owner:body ~owner_meth:m ~parent_freq:n.freq
                   ~ancestors:(m :: n.ancestors)
             end
         | None -> ())
@@ -487,8 +506,9 @@ let scan_orphans (t : t) : unit =
           in
           let f = freq_of_call (Lazy.force static_freqs) t.root_fn call.id in
           t.children <-
-            make_node t ~kind:(Cutoff target) ~call_vid:call.id ~owner:t.root_fn ~site
-              ~freq:f ~prob:1.0 ~recv_cls:None ~ancestors:[ t.root_meth ]
+            make_node t ~pnid:(-1) ~tname:(target_label t target) ~kind:(Cutoff target)
+              ~call_vid:call.id ~owner:t.root_fn ~site ~freq:f ~prob:1.0 ~recv_cls:None
+              ~ancestors:[ t.root_meth ]
             :: t.children
       | _ -> assert false)
     orphans

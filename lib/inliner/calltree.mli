@@ -21,6 +21,8 @@ type kind =
 
 type node = {
   nid : int;
+  pnid : int;                     (** parent node id; -1 for root children *)
+  mutable tname : string;         (** target label: method name or [?selector] *)
   mutable kind : kind;
   mutable call_vid : vid;         (** the callsite within [owner] *)
   mutable owner : fn;
@@ -60,6 +62,14 @@ val create :
 val fresh_syn_site : t -> site
 (** A synthetic (negative) site key for compiler-introduced control flow;
     never re-speculated and never profiled. *)
+
+val meth_name : t -> meth_id -> string
+
+val target_label : t -> target -> string
+(** The method name, or the selector prefixed with [?] while unresolved. *)
+
+val node_depth : node -> int
+(** Call-path depth: 1 for direct children of the root. *)
 
 (** {1 Metrics} *)
 

@@ -98,20 +98,37 @@ let may_expand (t : t) (n : node) : bool =
       let relative_benefit = local_benefit t n /. float_of_int size in
       relative_benefit >= exp ((float_of_int (tree_s_ir t) -. p.r1) /. p.r2)
 
+(* The numeric gate [may_expand] compares against, for telemetry: the
+   adaptive relative-benefit bound (Eq. 8) or the fixed tree-size budget
+   T_e (compared against [tree_size], not the benefit). *)
+let threshold_value (t : t) : float =
+  match t.params.threshold_policy with
+  | Params.Fixed { te; _ } -> float_of_int te
+  | Params.Adaptive -> exp ((float_of_int (tree_s_ir t) -. t.params.r1) /. t.params.r2)
+
+let m_expansions = Obs.Metrics.counter "inliner.expansions"
+
 (* One structured telemetry record per expansion-threshold decision:
-   which cutoff was at the head of the exploration, at what benefit, cost
-   and priority, and whether it was expanded or declined. *)
+   which cutoff was at the head of the exploration, at what benefit, cost,
+   penalty and priority, and whether it was expanded or declined. The
+   node/parent ids and target label let [Obs.Explain] rebuild the tree. *)
 let trace_decision (t : t) (n : node) ~(verdict : string) : unit =
   Obs.Trace.emit "expand_decision" (fun () ->
       Support.Json.
         [
           ("root", Int t.root_meth);
+          ("nid", Int n.nid);
+          ("parent", Int n.pnid);
+          ("depth", Int (node_depth n));
+          ("target", String n.tname);
           ("site_m", Int n.site.sm);
           ("site_idx", Int n.site.sidx);
           ("callsite", Int n.call_vid);
           ("benefit", Float (local_benefit t n));
           ("cost", Int (node_size t n));
+          ("penalty", Float (psi t n));
           ("priority", Float (priority t n));
+          ("threshold", Float (threshold_value t));
           ("tree_size", Int (tree_s_ir t));
           ("verdict", String verdict);
         ])
@@ -134,7 +151,10 @@ let run (t : t) : int =
     | Some n ->
         if may_expand t n then begin
           trace_decision t n ~verdict:"expand";
-          if expand_cutoff t n then incr expanded
+          if expand_cutoff t n then begin
+            incr expanded;
+            Obs.Metrics.incr m_expansions
+          end
           (* Generic outcomes make no progress but also leave no cutoff *)
         end
         else begin

@@ -19,23 +19,62 @@ let log_src = Logs.Src.create "inliner.inline" ~doc:"inlining phase decisions"
 
 module Log = (val Logs.src_log log_src)
 
-let can_inline (t : t) (n : node) : bool =
-  Ir.Fn.size t.root_fn < t.params.root_size_cap
-  &&
+(* The numeric gate [can_inline] compares against, for telemetry: the
+   adaptive ratio bound (Eq. 12) or the fixed root-size budget T_i
+   (compared against the root size, not the ratio). *)
+let threshold_value (t : t) (n : node) : float =
   match t.params.threshold_policy with
-  | Params.Fixed { ti; _ } -> Ir.Fn.size t.root_fn < ti
+  | Params.Fixed { ti; _ } -> float_of_int ti
   | Params.Adaptive ->
       let p = t.params in
       let root_size = float_of_int (Ir.Fn.size t.root_fn) in
       let _, cost = n.tuple in
-      let threshold = p.t1 *. (2.0 ** ((root_size +. cost -. p.t2) /. p.tscale)) in
-      Analysis.ratio n.tuple >= threshold
+      p.t1 *. (2.0 ** ((root_size +. cost -. p.t2) /. p.tscale))
+
+let can_inline (t : t) (n : node) : bool =
+  Ir.Fn.size t.root_fn < t.params.root_size_cap
+  &&
+  match t.params.threshold_policy with
+  | Params.Fixed _ -> float_of_int (Ir.Fn.size t.root_fn) < threshold_value t n
+  | Params.Adaptive -> Analysis.ratio n.tuple >= threshold_value t n
+
+let m_inlines = Obs.Metrics.counter "inliner.inlines"
+let m_inline_depth = Obs.Metrics.histogram "inliner.inline_depth"
+
+(* One structured telemetry record per inlining decision. Cluster members
+   spliced along with their parent carry [cluster = true]: they were
+   selected by the cluster analysis, not gated individually, so their
+   [threshold] is informational. *)
+let trace_decision (t : t) (n : node) ~(verdict : string) ~(cluster : bool) : unit =
+  Obs.Trace.emit "inline_decision" (fun () ->
+      Support.Json.
+        [
+          ("root", Int t.root_meth);
+          ("nid", Int n.nid);
+          ("parent", Int n.pnid);
+          ("depth", Int (node_depth n));
+          ("target", String n.tname);
+          ("site_m", Int n.site.sm);
+          ("site_idx", Int n.site.sidx);
+          ("callsite", Int n.call_vid);
+          ("benefit", Float (fst n.tuple));
+          ("cost", Float (snd n.tuple));
+          ("priority", Float (Analysis.ratio n.tuple));
+          ("threshold", Float (threshold_value t n));
+          ("root_size", Int (Ir.Fn.size t.root_fn));
+          ("cluster", Bool cluster);
+          ("verdict", String verdict);
+        ])
 
 (* Splices node [n] (anchored in the root) into the root, recursively
    splicing the members of its cluster. Returns the number of callsites
    inlined. *)
 let rec inline_node (t : t) (n : node) : int =
   assert (n.owner == t.root_fn);
+  let record () =
+    Obs.Metrics.incr m_inlines;
+    Obs.Metrics.observe m_inline_depth (node_depth n)
+  in
   match n.kind with
   | Expanded { body; _ } ->
       let remap = Ir.Splice.inline_call ~caller:t.root_fn ~call_vid:n.call_vid ~callee:body in
@@ -48,9 +87,14 @@ let rec inline_node (t : t) (n : node) : int =
               c.kind <- Deleted);
           c.owner <- t.root_fn)
         n.children;
+      record ();
       1 + inline_cluster_children t n
   | Poly _ ->
-      if Typeswitch.materialize t n then 1 + inline_cluster_children t n else 0
+      if Typeswitch.materialize t n then begin
+        record ();
+        1 + inline_cluster_children t n
+      end
+      else 0
   | Cutoff (Known m) -> (
       match prepared_body t m with
       | None -> 0
@@ -59,14 +103,17 @@ let rec inline_node (t : t) (n : node) : int =
           ignore (Ir.Splice.inline_call ~caller:t.root_fn ~call_vid:n.call_vid ~callee:copy);
           (* a cutoff has no children yet; new callsites surface via the
              orphan scan in the next round *)
+          record ();
           1)
   | Cutoff (Unknown _) | Generic _ | Deleted -> 0
 
 and inline_cluster_children (t : t) (n : node) : int =
   List.fold_left
     (fun acc (c : node) ->
-      if c.in_parent_cluster && Analysis.inlinable c && c.kind <> Deleted then
+      if c.in_parent_cluster && Analysis.inlinable c && c.kind <> Deleted then begin
+        trace_decision t c ~verdict:"inline" ~cluster:true;
         acc + inline_node t c
+      end
       else acc)
     0 n.children
 
@@ -94,19 +141,9 @@ let run (t : t) : int =
               (fst n.tuple) (snd n.tuple) (Analysis.ratio n.tuple)
               (Ir.Fn.size t.root_fn)
               (if can_inline t n then "inline" else "skip"));
-        Obs.Trace.emit "inline_decision" (fun () ->
-            Support.Json.
-              [
-                ("root", Int t.root_meth);
-                ("site_m", Int n.site.sm);
-                ("site_idx", Int n.site.sidx);
-                ("callsite", Int n.call_vid);
-                ("benefit", Float (fst n.tuple));
-                ("cost", Float (snd n.tuple));
-                ("priority", Float (Analysis.ratio n.tuple));
-                ("root_size", Int (Ir.Fn.size t.root_fn));
-                ("verdict", String (if can_inline t n then "inline" else "skip"));
-              ]);
+        trace_decision t n
+          ~verdict:(if can_inline t n then "inline" else "skip")
+          ~cluster:false;
         if Ir.Fn.size t.root_fn >= t.params.root_size_cap then continue_ := false
         else if can_inline t n then begin
           let k = inline_node t n in

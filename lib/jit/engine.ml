@@ -65,6 +65,16 @@ let containable = function
   | Out_of_memory | Sys.Break -> false
   | _ -> true
 
+(* Engine instruments (registered once; recording is a no-op while
+   [Obs.Metrics] is disabled, keeping the hot path clean). *)
+let m_compiles = Obs.Metrics.counter "jit.compiles"
+let m_installs = Obs.Metrics.counter "jit.installs"
+let m_invalidations = Obs.Metrics.counter "jit.invalidations"
+let m_bailouts = Obs.Metrics.counter "jit.compile_bailouts"
+let m_blacklisted = Obs.Metrics.counter "jit.blacklisted"
+let m_pending_installs = Obs.Metrics.counter "jit.pending_installs"
+let m_compile_latency = Obs.Metrics.histogram "jit.compile_latency_cycles"
+
 type t = {
   vm : Runtime.Interp.vm;
   config : config;
@@ -140,6 +150,7 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
            toward the new body's invalidation threshold *)
         Hashtbl.remove t.miss_counts m;
         t.compilations <- { cm = m; size; at_cycles = vm.cycles } :: t.compilations;
+        Obs.Metrics.incr m_installs;
         Obs.Trace.emit "install" (fun () ->
             Support.Json.
               [ ("m", Int m); ("meth", String (meth_name m)); ("size", Int size) ])
@@ -156,6 +167,8 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
         Hashtbl.replace t.cooldown m
           (Runtime.Profile.invocation_count vm.profiles m + config.hotness_threshold);
         t.invalidations <- (m, vm.cycles) :: t.invalidations;
+        Obs.Metrics.incr m_invalidations;
+        Runtime.Interp.record_deopt vm m;
         Obs.Trace.emit "invalidate" (fun () ->
             Support.Json.
               [
@@ -300,6 +313,8 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
                       { bm = m; reason; at_cycles = vm.cycles; failures; charged;
                         blacklisted }
                       :: t.bailouts;
+                    Obs.Metrics.incr m_bailouts;
+                    if blacklisted then Obs.Metrics.incr m_blacklisted;
                     Obs.Trace.emit "compile_bailout" (fun () ->
                         Support.Json.
                           [
@@ -314,6 +329,8 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
                 let size = Ir.Fn.size body in
                 let latency = size * config.compile_cost_per_node in
                 t.compile_cycles <- t.compile_cycles + latency;
+                Obs.Metrics.incr m_compiles;
+                Obs.Metrics.observe m_compile_latency latency;
                 Obs.Trace.emit "compile_done" (fun () ->
                     Support.Json.
                       [
@@ -325,6 +342,7 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
                       ]);
                 if t.async_compile then begin
                   Hashtbl.replace t.pending m (body, vm.cycles + latency);
+                  Obs.Metrics.incr m_pending_installs;
                   Obs.Trace.emit "pending_install" (fun () ->
                       Support.Json.
                         [
@@ -414,6 +432,42 @@ let compiled_body (t : t) (name : string) : fn option =
   | None -> None
 
 let blacklisted (t : t) (m : meth_id) : bool = Hashtbl.mem t.blacklist m
+
+(* End-of-run gauges: point-in-time state the counters above cannot carry.
+   Split from the counters so the caller decides when the snapshot is
+   meaningful (the CLI takes it after the workload finishes). *)
+let g_code_size = Obs.Metrics.gauge "jit.code_size"
+let g_compiled_methods = Obs.Metrics.gauge "jit.compiled_methods"
+let g_compile_cycles = Obs.Metrics.gauge "jit.compile_cycles"
+let g_vm_cycles = Obs.Metrics.gauge "vm.cycles"
+let g_vm_steps = Obs.Metrics.gauge "vm.steps"
+let g_ic_sites = Obs.Metrics.gauge "ic.sites"
+let g_ic_hits = Obs.Metrics.gauge "ic.hits"
+let g_ic_misses = Obs.Metrics.gauge "ic.misses"
+let g_ic_megamorphic = Obs.Metrics.gauge "ic.megamorphic"
+let m_ic_hit_rate = Obs.Metrics.histogram "ic.site_hit_rate_pct"
+
+let snapshot_metrics (t : t) : unit =
+  Obs.Metrics.set g_code_size (installed_code_size t);
+  Obs.Metrics.set g_compiled_methods (installed_methods t);
+  Obs.Metrics.set g_compile_cycles t.compile_cycles;
+  Obs.Metrics.set g_vm_cycles t.vm.cycles;
+  Obs.Metrics.set g_vm_steps t.vm.steps;
+  let stats = ic_stats t in
+  Obs.Metrics.set g_ic_sites (List.length stats);
+  let hits = ref 0 and misses = ref 0 and mega = ref 0 in
+  List.iter
+    (fun (s : Runtime.Interp.ic_stat) ->
+      hits := !hits + s.st_hits;
+      misses := !misses + s.st_misses;
+      mega := !mega + s.st_mega;
+      let dispatches = s.st_hits + s.st_misses + s.st_mega in
+      if dispatches > 0 then
+        Obs.Metrics.observe m_ic_hit_rate (100 * s.st_hits / dispatches))
+    stats;
+  Obs.Metrics.set g_ic_hits !hits;
+  Obs.Metrics.set g_ic_misses !misses;
+  Obs.Metrics.set g_ic_megamorphic !mega
 
 let bailout_stats (t : t) : bailout_stats =
   {

@@ -139,6 +139,14 @@ val compiled_body : t -> string -> fn option
 
 val blacklisted : t -> meth_id -> bool
 
+val snapshot_metrics : t -> unit
+(** Publishes end-of-run state into {!Obs.Metrics} gauges (installed code
+    size and method count, compile cycles, VM cycles/steps, aggregate IC
+    counters) and the per-site IC hit-rate histogram. Event-shaped
+    counters (compiles, installs, invalidations, bailouts, …) accrue
+    live; this snapshot covers the point-in-time values only. A no-op
+    while metrics are disabled. *)
+
 val bailout_stats : t -> bailout_stats
 (** Aggregate failure picture of the run: how many compilation attempts
     bailed out, over how many methods, and which methods are permanently

@@ -45,6 +45,11 @@ let ic_hit_rate (r : run) : float =
    bodies still in flight are reported separately in [pending_*]. *)
 let run_benchmark ?(setup : string option) ~(iters : int) (engine : Engine.t)
     ~(entry : string) ~(label : string) : run =
+  (* run boundary marker: [Obs.Summary.split_runs] keys per-run aggregates
+     on it when one trace holds several harness runs *)
+  Obs.Trace.emit "run_start" (fun () ->
+      Support.Json.
+        [ ("label", String label); ("entry", String entry); ("iters", Int iters) ]);
   (match setup with
   | Some s -> ignore (Engine.run_meth engine s [ Runtime.Values.Vunit ])
   | None -> ());

@@ -1,0 +1,185 @@
+(* A process-wide metrics registry: counters, gauges, and log2-bucketed
+   histograms over the simulated clocks.
+
+   Zero-cost when disabled, like [Trace]: a recording site holds a handle
+   obtained once (usually at module initialization) and every record call
+   is one boolean check before touching the handle. Registration is
+   idempotent — asking for an existing name returns the same handle — so
+   libraries can declare their instruments at top level and the registry
+   carries a stable set of names whether or not a run ever records.
+
+   Export is deterministic: [to_json] sorts every section by metric name
+   and histograms serialize only their populated buckets, so two runs of
+   the same program produce byte-identical metrics files (values derive
+   from the simulated cycle clock, never wall time). *)
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : int }
+
+(* Bucket [i] counts observed values [v] with [v <= 2^i - 1] and
+   [v > 2^(i-1) - 1]: 0 lands in bucket 0, 1 in bucket 1, 2–3 in bucket 2,
+   4–7 in bucket 3, … — the log2 bucketing the compile-latency and
+   inline-depth distributions want. 63 buckets cover every non-negative
+   OCaml int. *)
+let nbuckets = 63
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+  h_buckets : int array;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 32
+
+let enabled_flag = ref false
+
+let enabled () = !enabled_flag
+
+let set_enabled (b : bool) : unit = enabled_flag := b
+
+(* [scoped f] enables recording for the duration of [f], restoring the
+   previous state afterwards (exception-safe). *)
+let scoped (f : unit -> 'a) : 'a =
+  let saved = !enabled_flag in
+  enabled_flag := true;
+  Fun.protect ~finally:(fun () -> enabled_flag := saved) f
+
+let register (name : string) (fresh : unit -> metric) : metric =
+  match Hashtbl.find_opt registry name with
+  | Some m -> m
+  | None ->
+      let m = fresh () in
+      Hashtbl.replace registry name m;
+      m
+
+let counter (name : string) : counter =
+  match register name (fun () -> Counter { c_name = name; c_value = 0 }) with
+  | Counter c -> c
+  | _ -> invalid_arg (name ^ " is already registered as a different metric kind")
+
+let gauge (name : string) : gauge =
+  match register name (fun () -> Gauge { g_name = name; g_value = 0 }) with
+  | Gauge g -> g
+  | _ -> invalid_arg (name ^ " is already registered as a different metric kind")
+
+let histogram (name : string) : histogram =
+  match
+    register name (fun () ->
+        Histogram
+          {
+            h_name = name;
+            h_count = 0;
+            h_sum = 0;
+            h_min = 0;
+            h_max = 0;
+            h_buckets = Array.make nbuckets 0;
+          })
+  with
+  | Histogram h -> h
+  | _ -> invalid_arg (name ^ " is already registered as a different metric kind")
+
+let incr (c : counter) : unit = if !enabled_flag then c.c_value <- c.c_value + 1
+
+let add (c : counter) (n : int) : unit = if !enabled_flag then c.c_value <- c.c_value + n
+
+let set (g : gauge) (v : int) : unit = if !enabled_flag then g.g_value <- v
+
+(* Smallest [i] with [v <= 2^i - 1], i.e. the bit width of [v]. *)
+let bucket_of (v : int) : int =
+  let rec go i bound = if v <= bound then i else go (i + 1) ((bound * 2) + 1) in
+  go 0 0
+
+let bucket_le (i : int) : int = (1 lsl i) - 1
+
+let observe (h : histogram) (v : int) : unit =
+  if !enabled_flag then begin
+    let v = max 0 v in
+    if h.h_count = 0 || v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum + v;
+    let b = min (bucket_of v) (nbuckets - 1) in
+    h.h_buckets.(b) <- h.h_buckets.(b) + 1
+  end
+
+(* Quantile estimate from the buckets: the upper bound of the first bucket
+   whose cumulative count reaches [q * count], clamped by the exact
+   maximum. [q = 1.0] is the exact max. *)
+let percentile (h : histogram) (q : float) : int =
+  if h.h_count = 0 then 0
+  else begin
+    let want =
+      let w = int_of_float (ceil (q *. float_of_int h.h_count)) in
+      min (max w 1) h.h_count
+    in
+    let rec go i acc =
+      if i >= nbuckets then h.h_max
+      else
+        let acc = acc + h.h_buckets.(i) in
+        if acc >= want then min (bucket_le i) h.h_max else go (i + 1) acc
+    in
+    go 0 0
+  end
+
+(* Zeroes every registered metric but keeps the registrations (tests; a
+   fresh CLI process never needs it). *)
+let reset () : unit =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_value <- 0
+      | Histogram h ->
+          h.h_count <- 0;
+          h.h_sum <- 0;
+          h.h_min <- 0;
+          h.h_max <- 0;
+          Array.fill h.h_buckets 0 nbuckets 0)
+    registry
+
+let histogram_json (h : histogram) : Support.Json.t =
+  let buckets = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if h.h_buckets.(i) > 0 then
+      buckets :=
+        Support.Json.Obj
+          [ ("le", Support.Json.Int (bucket_le i)); ("n", Support.Json.Int h.h_buckets.(i)) ]
+        :: !buckets
+  done;
+  Support.Json.Obj
+    [
+      ("count", Support.Json.Int h.h_count);
+      ("sum", Support.Json.Int h.h_sum);
+      ("min", Support.Json.Int h.h_min);
+      ("max", Support.Json.Int h.h_max);
+      ("p50", Support.Json.Int (percentile h 0.5));
+      ("p90", Support.Json.Int (percentile h 0.9));
+      ("buckets", Support.Json.List !buckets);
+    ]
+
+let to_json () : Support.Json.t =
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) registry [] in
+  let names = List.sort compare names in
+  let section pick =
+    List.filter_map
+      (fun name -> Option.map (fun j -> (name, j)) (pick (Hashtbl.find registry name)))
+      names
+  in
+  Support.Json.Obj
+    [
+      ( "counters",
+        Support.Json.Obj
+          (section (function Counter c -> Some (Support.Json.Int c.c_value) | _ -> None))
+      );
+      ( "gauges",
+        Support.Json.Obj
+          (section (function Gauge g -> Some (Support.Json.Int g.g_value) | _ -> None)) );
+      ( "histograms",
+        Support.Json.Obj
+          (section (function Histogram h -> Some (histogram_json h) | _ -> None)) );
+    ]

@@ -118,6 +118,55 @@ let add_event (s : t) (j : Support.Json.t) : unit =
       s.ic_megamorphic <- s.ic_megamorphic + int_field j "ic_megamorphic"
   | _ -> ()
 
+(* Tolerant line scan: well-formed events with their 1-based line numbers,
+   plus the malformed lines as (lineno, error). Blank lines are skipped.
+   `selvm events` warns per error; [of_lines] stays strict for callers
+   that want a hard failure. *)
+let parse_lines (lines : string list) :
+    (int * Support.Json.t) list * (int * string) list =
+  let rec go lineno events errors = function
+    | [] -> (List.rev events, List.rev errors)
+    | line :: rest ->
+        if String.trim line = "" then go (lineno + 1) events errors rest
+        else (
+          match Support.Json.of_string line with
+          | Ok j -> go (lineno + 1) ((lineno, j) :: events) errors rest
+          | Error e -> go (lineno + 1) events ((lineno, e) :: errors) rest)
+  in
+  go 1 [] [] lines
+
+let of_events (events : Support.Json.t list) : t =
+  let s = empty () in
+  List.iter (add_event s) events;
+  s
+
+(* One summary per harness run, keyed on the run_start markers the harness
+   emits. Events before the first marker fold into a "(preamble)" segment;
+   [] when the trace has no markers at all (single anonymous stream). *)
+let split_runs (events : Support.Json.t list) : (string * t) list =
+  let runs = ref [] in
+  let current : (string * t) option ref = ref None in
+  let close () = match !current with Some r -> runs := r :: !runs | None -> () in
+  List.iter
+    (fun j ->
+      if str_field j "ev" = "run_start" then begin
+        close ();
+        current := Some (str_field j "label", empty ())
+      end
+      else begin
+        (match !current with
+        | None -> current := Some ("(preamble)", empty ())
+        | Some _ -> ());
+        match !current with
+        | Some (_, s) -> add_event s j
+        | None -> assert false
+      end)
+    events;
+  close ();
+  match List.rev !runs with
+  | [ ("(preamble)", _) ] -> []  (* no markers: nothing to split *)
+  | runs -> runs
+
 (* Folds trace lines into a summary; the error names the first malformed
    line (1-based). *)
 let of_lines (lines : string list) : (t, string) result =

@@ -41,6 +41,19 @@ val add_event : t -> Support.Json.t -> unit
 (** Folds one parsed event into the summary. Unknown kinds still count
     toward [total]/[kinds]. *)
 
+val parse_lines : string list -> (int * Support.Json.t) list * (int * string) list
+(** Tolerant scan: the well-formed events with their 1-based line numbers,
+    plus the malformed lines as (line, error). Blank lines are skipped.
+    [selvm events] warns per malformed line; {!of_lines} stays strict. *)
+
+val of_events : Support.Json.t list -> t
+
+val split_runs : Support.Json.t list -> (string * t) list
+(** One summary per harness run, split on the [run_start] markers the
+    benchmark harness emits and labelled by the marker's [label]. Events
+    before the first marker fold into a ["(preamble)"] segment. Returns
+    [[]] when the trace has no markers (single anonymous stream). *)
+
 val of_lines : string list -> (t, string) result
 (** Blank lines are skipped; the error names the first malformed line. *)
 

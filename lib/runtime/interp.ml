@@ -79,6 +79,8 @@ type vm = {
   mutable ic_enabled : bool;     (* inline caches on virtual dispatch *)
   ic_retired : (site, ic_stat) Hashtbl.t;
       (* counters of ICs retired with their code objects *)
+  mutable attrib : Attribution.t option;
+      (* per-method cycle attribution; None (default) costs nothing *)
 }
 
 let create ?(cost = Cost.default) ?(max_steps = 500_000_000)
@@ -101,9 +103,21 @@ let create ?(cost = Cost.default) ?(max_steps = 500_000_000)
     code_epoch = 0;
     ic_enabled = true;
     ic_retired = Hashtbl.create 16;
+    attrib = None;
   }
 
 let output vm = Buffer.contents vm.out
+
+let enable_attribution (vm : vm) : Attribution.t =
+  match vm.attrib with
+  | Some a -> a
+  | None ->
+      let a = Attribution.create () in
+      vm.attrib <- Some a;
+      a
+
+let record_deopt (vm : vm) (m : meth_id) : unit =
+  match vm.attrib with Some a -> Attribution.record_deopt a m | None -> ()
 
 let charge vm n = vm.cycles <- vm.cycles + n
 
@@ -232,24 +246,54 @@ let rec invoke (vm : vm) (m : meth_id) (args : value array) : value =
   vm.on_entry m;
   match vm.code m with
   | Some cfn -> (
-      match vm.backend with
-      | Reference -> exec_ref vm ~mode:Compiled ~meth:m cfn args
-      | Prepared ->
-          exec_code vm ~mode:Compiled ~meth:m
-            (prepared_for vm ~mode:Compiled m cfn)
-            args)
+      match vm.attrib with
+      | None -> exec_installed vm m cfn args
+      | Some a ->
+          (* enter/leave bracket the activation by hand (no closures, no
+             Fun.protect): this sits on the invocation path, and the
+             disabled path must stay one option check *)
+          Attribution.enter a ~meth:m ~tier:Attribution.Jit ~now:vm.cycles;
+          (match exec_installed vm m cfn args with
+          | v ->
+              Attribution.leave a ~now:vm.cycles;
+              v
+          | exception e ->
+              Attribution.leave a ~now:vm.cycles;
+              raise e))
   | None -> (
       let mm = Ir.Program.meth vm.prog m in
       match mm.body with
       | None -> trap "abstract method %s invoked" mm.m_name
       | Some fn -> (
           Profile.record_invocation vm.profiles m;
-          match vm.backend with
-          | Reference -> exec_ref vm ~mode:Interpreted ~meth:m fn args
-          | Prepared ->
-              exec_code vm ~mode:Interpreted ~meth:m
-                (prepared_for vm ~mode:Interpreted m fn)
-                args))
+          match vm.attrib with
+          | None -> exec_interp vm m fn args
+          | Some a ->
+              let tier =
+                match vm.backend with
+                | Reference -> Attribution.Interp
+                | Prepared -> Attribution.Prepared
+              in
+              Attribution.enter a ~meth:m ~tier ~now:vm.cycles;
+              (match exec_interp vm m fn args with
+              | v ->
+                  Attribution.leave a ~now:vm.cycles;
+                  v
+              | exception e ->
+                  Attribution.leave a ~now:vm.cycles;
+                  raise e)))
+
+and exec_installed (vm : vm) (m : meth_id) (cfn : fn) (args : value array) : value =
+  match vm.backend with
+  | Reference -> exec_ref vm ~mode:Compiled ~meth:m cfn args
+  | Prepared ->
+      exec_code vm ~mode:Compiled ~meth:m (prepared_for vm ~mode:Compiled m cfn) args
+
+and exec_interp (vm : vm) (m : meth_id) (fn : fn) (args : value array) : value =
+  match vm.backend with
+  | Reference -> exec_ref vm ~mode:Interpreted ~meth:m fn args
+  | Prepared ->
+      exec_code vm ~mode:Interpreted ~meth:m (prepared_for vm ~mode:Interpreted m fn) args
 
 and exec (vm : vm) ~(mode : mode) ~(meth : meth_id) (fn : fn) (args : value array) :
     value =

@@ -71,12 +71,27 @@ type vm = {
       enforces identical output, cycles, steps and folded profiles *)
   ic_retired : (site, ic_stat) Hashtbl.t;
   (** counters of inline caches retired with their dropped code objects *)
+  mutable attrib : Attribution.t option;
+  (** per-method cycle attribution ({!enable_attribution}); [None] (the
+      default) costs one option check per invocation *)
 }
 
 val create : ?cost:Cost.t -> ?max_steps:int -> ?backend:backend -> program -> vm
 (** [backend] defaults to [Prepared]. *)
 
 val output : vm -> string
+
+val enable_attribution : vm -> Attribution.t
+(** Installs (or returns the already-installed) per-method cycle
+    attribution: every invocation is then bracketed with enter/leave on
+    the simulated clock, split by tier — [Jit] for installed compiled
+    code, [Interp]/[Prepared] for the interpreted tier under the
+    respective backend. *)
+
+val record_deopt : vm -> meth_id -> unit
+(** Counts a deoptimization against the method when attribution is
+    enabled; a no-op otherwise. Called by the engine's invalidation
+    path. *)
 
 val invalidate_code : vm -> meth_id -> unit
 (** Drops any prepared code cached for the method (both tiers) — retiring

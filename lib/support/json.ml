@@ -34,7 +34,13 @@ let rec write (buf : Buffer.t) (j : t) : unit =
   | Int n -> Buffer.add_string buf (string_of_int n)
   | Float f ->
       (* JSON has no NaN/infinity; and %.17g round-trips doubles *)
-      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.17g" f)
+      if Float.is_finite f then begin
+        let s = Printf.sprintf "%.17g" f in
+        Buffer.add_string buf s;
+        (* keep a decimal point so the value re-parses as Float, not Int *)
+        if String.for_all (function '0' .. '9' | '-' -> true | _ -> false) s then
+          Buffer.add_string buf ".0"
+      end
       else Buffer.add_string buf "null"
   | String s ->
       Buffer.add_char buf '"';

@@ -280,5 +280,613 @@ def main(): Unit = {
                   s.Obs.Summary.blacklisted));
   ]
 
+(* ---------- per-run splitting and tolerant parsing ---------- *)
+
+let multirun_tests =
+  [
+    test "parse_lines keeps good events and numbers the bad ones" (fun () ->
+        let lines =
+          [
+            {|{"ev": "install", "cycles": 1, "meth": "f", "size": 3}|};
+            "{oops";
+            "";
+            {|{"ev": "install", "cycles": 2, "meth": "g", "size": 4}|};
+            "also not json";
+          ]
+        in
+        let events, errors = Obs.Summary.parse_lines lines in
+        Alcotest.(check (list int)) "event lines" [ 1; 4 ] (List.map fst events);
+        Alcotest.(check (list int)) "error lines" [ 2; 5 ] (List.map fst errors));
+    test "split_runs keys aggregates per run_start marker" (fun () ->
+        let ev s = Result.get_ok (Support.Json.of_string s) in
+        let events =
+          List.map ev
+            [
+              {|{"ev": "install", "cycles": 1, "meth": "pre", "size": 1}|};
+              {|{"ev": "run_start", "cycles": 2, "label": "first"}|};
+              {|{"ev": "install", "cycles": 3, "meth": "a", "size": 2}|};
+              {|{"ev": "install", "cycles": 4, "meth": "b", "size": 3}|};
+              {|{"ev": "run_start", "cycles": 5, "label": "second"}|};
+              {|{"ev": "install", "cycles": 6, "meth": "c", "size": 4}|};
+            ]
+        in
+        match Obs.Summary.split_runs events with
+        | [ (l0, s0); (l1, s1); (l2, s2) ] ->
+            Alcotest.(check string) "preamble" "(preamble)" l0;
+            Alcotest.(check int) "preamble installs" 1 (List.length s0.Obs.Summary.installs);
+            Alcotest.(check string) "first label" "first" l1;
+            Alcotest.(check int) "first installs" 2 (List.length s1.Obs.Summary.installs);
+            Alcotest.(check string) "second label" "second" l2;
+            Alcotest.(check int) "second installs" 1 (List.length s2.Obs.Summary.installs)
+        | runs -> Alcotest.failf "expected 3 runs, got %d" (List.length runs));
+    test "split_runs is empty for a markerless trace" (fun () ->
+        let ev s = Result.get_ok (Support.Json.of_string s) in
+        let events = [ ev {|{"ev": "install", "cycles": 1, "meth": "f", "size": 3}|} ] in
+        Alcotest.(check int) "no runs" 0 (List.length (Obs.Summary.split_runs events)));
+    test "the harness emits one run_start per benchmark run" (fun () ->
+        let sink, lines = Obs.Trace.memory_sink () in
+        Obs.Trace.scoped sink (fun () ->
+            let e =
+              engine ~hotness:3
+                {|def bench(): Int = 7
+                  def main(): Unit = println(bench())|}
+                None "runs"
+            in
+            ignore (Jit.Harness.run_benchmark ~iters:2 e ~entry:"bench" ~label:"lbl"));
+        let events, errors = Obs.Summary.parse_lines (lines ()) in
+        Alcotest.(check int) "no parse errors" 0 (List.length errors);
+        let markers =
+          List.filter (fun (_, j) -> kind_of (Support.Json.to_string j) = Some "run_start")
+            events
+        in
+        Alcotest.(check int) "one marker" 1 (List.length markers));
+  ]
+
+(* ---------- metrics registry ---------- *)
+
+let metrics_tests =
+  [
+    test "recording is a no-op while disabled" (fun () ->
+        Obs.Metrics.reset ();
+        let c = Obs.Metrics.counter "test.noop_counter" in
+        let h = Obs.Metrics.histogram "test.noop_hist" in
+        Obs.Metrics.incr c;
+        Obs.Metrics.observe h 42;
+        let j = Obs.Metrics.to_json () in
+        let counter_val =
+          Option.bind (Support.Json.member "counters" j) (Support.Json.member "test.noop_counter")
+        in
+        Alcotest.(check (option int)) "counter untouched" (Some 0)
+          (Option.bind counter_val Support.Json.to_int_opt));
+    test "counters, gauges and histograms round-trip through to_json" (fun () ->
+        Obs.Metrics.reset ();
+        let c = Obs.Metrics.counter "test.c" in
+        let g = Obs.Metrics.gauge "test.g" in
+        let h = Obs.Metrics.histogram "test.h" in
+        Obs.Metrics.scoped (fun () ->
+            Obs.Metrics.incr c;
+            Obs.Metrics.add c 4;
+            Obs.Metrics.set g 17;
+            List.iter (Obs.Metrics.observe h) [ 1; 2; 3; 100 ]);
+        let j = Obs.Metrics.to_json () in
+        let get section name =
+          Option.bind (Support.Json.member section j) (Support.Json.member name)
+        in
+        Alcotest.(check (option int)) "counter" (Some 5)
+          (Option.bind (get "counters" "test.c") Support.Json.to_int_opt);
+        Alcotest.(check (option int)) "gauge" (Some 17)
+          (Option.bind (get "gauges" "test.g") Support.Json.to_int_opt);
+        let hist = get "histograms" "test.h" in
+        let hfield k =
+          Option.bind (Option.bind hist (Support.Json.member k)) Support.Json.to_int_opt
+        in
+        Alcotest.(check (option int)) "count" (Some 4) (hfield "count");
+        Alcotest.(check (option int)) "sum" (Some 106) (hfield "sum");
+        Alcotest.(check (option int)) "min" (Some 1) (hfield "min");
+        Alcotest.(check (option int)) "max" (Some 100) (hfield "max");
+        (* bucket populations must sum back to the count *)
+        match Option.bind hist (Support.Json.member "buckets") with
+        | Some (Support.Json.List buckets) ->
+            let n =
+              List.fold_left
+                (fun acc b ->
+                  acc
+                  + Option.value ~default:0
+                      (Option.bind (Support.Json.member "n" b) Support.Json.to_int_opt))
+                0 buckets
+            in
+            Alcotest.(check int) "buckets sum to count" 4 n
+        | _ -> Alcotest.fail "no buckets list");
+    test "percentiles bracket the observations and p100 is the max" (fun () ->
+        Obs.Metrics.reset ();
+        let h = Obs.Metrics.histogram "test.pct" in
+        Obs.Metrics.scoped (fun () ->
+            for v = 1 to 1000 do
+              Obs.Metrics.observe h v
+            done);
+        let p50 = Obs.Metrics.percentile h 0.5 in
+        let p90 = Obs.Metrics.percentile h 0.9 in
+        (* log2 buckets: the estimate is the bucket's upper bound *)
+        Alcotest.(check bool) "p50 in range" true (p50 >= 500 && p50 <= 1023);
+        Alcotest.(check bool) "p90 in range" true (p90 >= 900 && p90 <= 1023);
+        Alcotest.(check bool) "monotone" true (p50 <= p90);
+        Alcotest.(check int) "p100 is exact max" 1000 (Obs.Metrics.percentile h 1.0));
+    test "registration is idempotent and kind-checked" (fun () ->
+        Obs.Metrics.reset ();
+        let a = Obs.Metrics.counter "test.same" in
+        let b = Obs.Metrics.counter "test.same" in
+        Obs.Metrics.scoped (fun () ->
+            Obs.Metrics.incr a;
+            Obs.Metrics.incr b);
+        let j = Obs.Metrics.to_json () in
+        Alcotest.(check (option int)) "same handle" (Some 2)
+          (Option.bind
+             (Option.bind (Support.Json.member "counters" j)
+                (Support.Json.member "test.same"))
+             Support.Json.to_int_opt);
+        match Obs.Metrics.gauge "test.same" with
+        | _ -> Alcotest.fail "kind mismatch accepted"
+        | exception Invalid_argument _ -> ());
+    test "a JIT run records compile metrics" (fun () ->
+        Obs.Metrics.reset ();
+        Obs.Metrics.scoped (fun () ->
+            let e =
+              engine ~hotness:3
+                {|def work(n: Int): Int = n + 1
+                  def bench(): Int = work(20)
+                  def main(): Unit = println(bench())|}
+                (Some (incremental ())) "metrics"
+            in
+            for _ = 1 to 20 do
+              ignore (Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ])
+            done;
+            Jit.Engine.snapshot_metrics e);
+        let j = Obs.Metrics.to_json () in
+        let get section name =
+          Option.bind
+            (Option.bind (Support.Json.member section j) (Support.Json.member name))
+            Support.Json.to_int_opt
+        in
+        Alcotest.(check bool) "compiles counted" true
+          (Option.value ~default:0 (get "counters" "jit.compiles") > 0);
+        Alcotest.(check bool) "installs counted" true
+          (Option.value ~default:0 (get "counters" "jit.installs") > 0);
+        Alcotest.(check bool) "code size gauge set" true
+          (Option.value ~default:0 (get "gauges" "jit.code_size") > 0);
+        let lat =
+          Option.bind (Support.Json.member "histograms" j)
+            (Support.Json.member "jit.compile_latency_cycles")
+        in
+        Alcotest.(check bool) "latency histogram populated" true
+          (Option.value ~default:0
+             (Option.bind (Option.bind lat (Support.Json.member "count"))
+                Support.Json.to_int_opt)
+          > 0));
+    test "exports are deterministic across identical runs" (fun () ->
+        let snap () =
+          Obs.Metrics.reset ();
+          Obs.Metrics.scoped (fun () ->
+              let e =
+                engine ~hotness:3
+                  {|def work(n: Int): Int = n * 2
+                    def bench(): Int = work(21)
+                    def main(): Unit = println(bench())|}
+                  (Some (incremental ())) "det"
+              in
+              for _ = 1 to 15 do
+                ignore (Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ])
+              done;
+              Jit.Engine.snapshot_metrics e);
+          Support.Json.to_string (Obs.Metrics.to_json ())
+        in
+        Alcotest.(check string) "byte-identical" (snap ()) (snap ()));
+  ]
+
+(* ---------- explain: inline-tree reconstruction ---------- *)
+
+let explain_tests =
+  [
+    test "explain reconstructs the inline tree with the inliner's own terms"
+      (fun () ->
+        let e, lines = traced_run () in
+        match Obs.Explain.of_lines lines with
+        | Error err -> Alcotest.failf "explain rejected the trace: %s" err
+        | Ok comps -> (
+            let bench =
+              List.filter (fun c -> c.Obs.Explain.c_meth = "bench") comps
+            in
+            Alcotest.(check bool) "bench compiled" true (bench <> []);
+            let c = List.hd bench in
+            Alcotest.(check bool) "outcome is compiled" true
+              (contains_substring ~needle:"compiled" c.Obs.Explain.c_outcome);
+            match
+              List.find_opt
+                (fun n -> n.Obs.Explain.x_target = "work")
+                c.Obs.Explain.c_roots
+            with
+            | None -> Alcotest.fail "no callsite for work in bench's tree"
+            | Some n ->
+                let inl =
+                  List.filter
+                    (fun d -> d.Obs.Explain.d_phase = Obs.Explain.Inline)
+                    n.Obs.Explain.x_decisions
+                in
+                Alcotest.(check bool) "inline decision recorded" true (inl <> []);
+                let d = List.nth inl (List.length inl - 1) in
+                Alcotest.(check string) "verdict" "inline" d.Obs.Explain.d_verdict;
+                (* the tree's terms are exactly what the inliner emitted *)
+                let raw =
+                  List.filter_map
+                    (fun l ->
+                      match Support.Json.of_string l with
+                      | Ok j
+                        when Option.bind (Support.Json.member "ev" j)
+                               Support.Json.to_string_opt
+                             = Some "inline_decision"
+                             && Option.bind (Support.Json.member "target" j)
+                                  Support.Json.to_string_opt
+                                = Some "work" -> Some j
+                      | _ -> None)
+                    lines
+                in
+                Alcotest.(check bool) "raw event exists" true (raw <> []);
+                let rawd = List.nth raw (List.length raw - 1) in
+                let num k =
+                  match Support.Json.member k rawd with
+                  | Some (Support.Json.Float f) -> f
+                  | Some (Support.Json.Int i) -> float_of_int i
+                  | _ -> nan
+                in
+                Alcotest.(check (float 1e-9)) "benefit" (num "benefit")
+                  d.Obs.Explain.d_benefit;
+                Alcotest.(check (float 1e-9)) "cost" (num "cost") d.Obs.Explain.d_cost;
+                Alcotest.(check (float 1e-9)) "threshold" (num "threshold")
+                  d.Obs.Explain.d_threshold;
+                Alcotest.(check (float 1e-9)) "priority" (num "priority")
+                  d.Obs.Explain.d_priority;
+                (* and the decision really happened: the installed body of
+                   bench has no calls left *)
+                let m = Option.get (Ir.Program.find_meth e.vm.prog "bench") in
+                let body = Hashtbl.find e.code_cache m in
+                Alcotest.(check int) "work was truly inlined" 0 (count_calls body)));
+    test "render and render_why are deterministic and name the terms" (fun () ->
+        let _, lines = traced_run () in
+        let _, lines2 = traced_run () in
+        let render l =
+          match Obs.Explain.of_lines l with
+          | Ok comps -> Obs.Explain.render comps
+          | Error e -> Alcotest.failf "explain: %s" e
+        in
+        let r = render lines in
+        Alcotest.(check string) "byte-identical" r (render lines2);
+        Alcotest.(check bool) "tree shows the callsite" true
+          (contains_substring ~needle:"work" r);
+        let why =
+          match Obs.Explain.of_lines lines with
+          | Ok comps -> Obs.Explain.render_why comps ~meth:"work" ~site:None
+          | Error e -> Alcotest.failf "explain: %s" e
+        in
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) (needle ^ " in why") true
+              (contains_substring ~needle why))
+          [ "expand"; "inline"; "B="; "psi="; "thr=" ]);
+    test "malformed lines fail of_lines with the line number" (fun () ->
+        match Obs.Explain.of_lines [ {|{"ev": "compile_start", "cycles": 1}|}; "{bad" ] with
+        | Ok _ -> Alcotest.fail "accepted a malformed line"
+        | Error e ->
+            Alcotest.(check bool) "names line 2" true
+              (contains_substring ~needle:"line 2" e));
+  ]
+
+(* ---------- per-method cycle attribution ---------- *)
+
+let attribution_tests =
+  [
+    test "self and total follow the stack discipline" (fun () ->
+        let a = Runtime.Attribution.create () in
+        Runtime.Attribution.enter a ~meth:0 ~tier:Runtime.Attribution.Interp ~now:0;
+        Runtime.Attribution.enter a ~meth:1 ~tier:Runtime.Attribution.Jit ~now:10;
+        Runtime.Attribution.leave a ~now:30;
+        Runtime.Attribution.leave a ~now:50;
+        match Runtime.Attribution.rows a with
+        | [ r0; r1 ] ->
+            (* hottest-first: meth 0 has self 30, meth 1 has self 20 *)
+            Alcotest.(check int) "caller meth" 0 r0.Runtime.Attribution.r_meth;
+            Alcotest.(check int) "caller self" 30 r0.Runtime.Attribution.r_self;
+            Alcotest.(check int) "caller total" 50 r0.Runtime.Attribution.r_total;
+            Alcotest.(check int) "callee self" 20 r1.Runtime.Attribution.r_self;
+            Alcotest.(check int) "callee total" 20 r1.Runtime.Attribution.r_total;
+            let _, _, jit = r1.Runtime.Attribution.r_self_by_tier in
+            Alcotest.(check int) "callee self is jit-tier" 20 jit
+        | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows));
+    test "recursion counts total once per method" (fun () ->
+        let a = Runtime.Attribution.create () in
+        Runtime.Attribution.enter a ~meth:5 ~tier:Runtime.Attribution.Interp ~now:0;
+        Runtime.Attribution.enter a ~meth:5 ~tier:Runtime.Attribution.Interp ~now:10;
+        Runtime.Attribution.leave a ~now:20;
+        Runtime.Attribution.leave a ~now:40;
+        match Runtime.Attribution.rows a with
+        | [ r ] ->
+            Alcotest.(check int) "invocations" 2 r.Runtime.Attribution.r_invocations;
+            Alcotest.(check int) "self covers both frames" 40
+              r.Runtime.Attribution.r_self;
+            Alcotest.(check int) "total not double-counted" 40
+              r.Runtime.Attribution.r_total
+        | rows -> Alcotest.failf "expected 1 row, got %d" (List.length rows));
+    test "folded stacks spell the full path from the root" (fun () ->
+        let a = Runtime.Attribution.create () in
+        Runtime.Attribution.enter a ~meth:0 ~tier:Runtime.Attribution.Interp ~now:0;
+        Runtime.Attribution.enter a ~meth:1 ~tier:Runtime.Attribution.Interp ~now:5;
+        Runtime.Attribution.leave a ~now:15;
+        Runtime.Attribution.enter a ~meth:2 ~tier:Runtime.Attribution.Interp ~now:20;
+        Runtime.Attribution.leave a ~now:26;
+        Runtime.Attribution.leave a ~now:30;
+        let name = function 0 -> "main" | 1 -> "a" | 2 -> "b" | _ -> "?" in
+        Alcotest.(check (list string)) "folded lines"
+          [ "main 14"; "main;a 10"; "main;b 6" ]
+          (Runtime.Attribution.folded a ~name));
+    test "an attributed VM run matches the engine's clocks" (fun () ->
+        let observe () =
+          let e =
+            engine ~hotness:3
+              {|def work(n: Int): Int = { var i = 0; var s = 0; while (i < n) { s = s + i; i = i + 1 }; s }
+                def bench(): Int = work(20)
+                def main(): Unit = println(bench())|}
+              (Some (incremental ())) "attr"
+          in
+          let a = Runtime.Interp.enable_attribution e.vm in
+          for _ = 1 to 20 do
+            ignore (Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ])
+          done;
+          (e, a)
+        in
+        let e, a = observe () in
+        let rows = Runtime.Attribution.rows a in
+        let self_sum =
+          List.fold_left (fun acc r -> acc + r.Runtime.Attribution.r_self) 0 rows
+        in
+        let bench_row =
+          List.find
+            (fun (r : Runtime.Attribution.row) ->
+              (Ir.Program.meth e.vm.prog r.r_meth).m_name = "bench")
+            rows
+        in
+        (* every attributed cycle sits inside the entry frames *)
+        Alcotest.(check int) "self cycles sum to bench's total" self_sum
+          bench_row.Runtime.Attribution.r_total;
+        Alcotest.(check bool) "bench ran in more than one tier" true
+          (bench_row.Runtime.Attribution.r_invocations = 20);
+        (* deterministic: a second identical run attributes identically *)
+        let _, a2 = observe () in
+        Alcotest.(check bool) "rows identical across runs" true
+          (rows = Runtime.Attribution.rows a2));
+    test "attribution does not perturb the simulated clocks" (fun () ->
+        let run attributed =
+          let e =
+            engine ~hotness:3
+              {|def work(n: Int): Int = n + 3
+                def bench(): Int = work(20)
+                def main(): Unit = println(bench())|}
+              (Some (incremental ())) "attr-clock"
+          in
+          if attributed then ignore (Runtime.Interp.enable_attribution e.vm);
+          for _ = 1 to 12 do
+            ignore (Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ])
+          done;
+          (e.vm.cycles, e.vm.steps, Jit.Engine.installed_code_size e)
+        in
+        let c1, s1, z1 = run false and c2, s2, z2 = run true in
+        Alcotest.(check int) "cycles identical" c1 c2;
+        Alcotest.(check int) "steps identical" s1 s2;
+        Alcotest.(check int) "code size identical" z1 z2);
+  ]
+
+(* ---------- golden trace-event schema ---------- *)
+
+(* The trace is a public interface ([selvm events]/[explain], CI jq
+   scripts, OBSERVABILITY.md): this pins every event kind's field names
+   and JSON types so schema drift fails the suite loudly. *)
+
+let json_type_name : Support.Json.t -> string = function
+  | Support.Json.Null -> "null"
+  | Support.Json.Bool _ -> "bool"
+  | Support.Json.Int _ -> "int"
+  | Support.Json.Float _ -> "float"
+  | Support.Json.String _ -> "string"
+  | Support.Json.List _ -> "list"
+  | Support.Json.Obj _ -> "obj"
+
+(* One schema line per event kind: "kind field:type field:type ..." with
+   fields sorted; the types of a field are unioned across instances. *)
+let schema_of_lines (lines : string list) : string list =
+  let kinds : (string, (string, string list) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun line ->
+      match Support.Json.of_string line with
+      | Error e -> Alcotest.failf "schema scan: bad line %S: %s" line e
+      | Ok (Support.Json.Obj fields as j) ->
+          let kind =
+            match Option.bind (Support.Json.member "ev" j) Support.Json.to_string_opt with
+            | Some k -> k
+            | None -> Alcotest.failf "event without ev: %S" line
+          in
+          let table =
+            match Hashtbl.find_opt kinds kind with
+            | Some t -> t
+            | None ->
+                let t = Hashtbl.create 8 in
+                Hashtbl.replace kinds kind t;
+                t
+          in
+          List.iter
+            (fun (name, v) ->
+              let ty = json_type_name v in
+              let seen = Option.value ~default:[] (Hashtbl.find_opt table name) in
+              if not (List.mem ty seen) then Hashtbl.replace table name (seen @ [ ty ]))
+            fields
+      | Ok _ -> Alcotest.failf "non-object event line: %S" line)
+    lines;
+  Hashtbl.fold
+    (fun kind table acc ->
+      let fields =
+        Hashtbl.fold (fun name tys acc -> (name, tys) :: acc) table []
+        |> List.sort compare
+        |> List.map (fun (name, tys) ->
+               Printf.sprintf "%s:%s" name (String.concat "|" (List.sort compare tys)))
+      in
+      Printf.sprintf "%s %s" kind (String.concat " " fields) :: acc)
+    kinds []
+  |> List.sort compare
+
+(* Deterministically produces every event kind the tracer knows: a JIT'd
+   harness run with virtual dispatch (run_start, ic_site, compile_start,
+   compile_done, install, inline_round, expand_decision, inline_decision,
+   opt_round), an async engine (pending_install), a phase-shifted
+   speculation (invalidate), a crashing compiler (compile_bailout), and a
+   chaos-injected run (chaos). *)
+let all_kind_lines () : string list =
+  let collect f =
+    let sink, lines = Obs.Trace.memory_sink () in
+    Obs.Trace.scoped sink f;
+    lines ()
+  in
+  let harness =
+    collect (fun () ->
+        let e =
+          engine ~hotness:3
+            {|abstract class A { def m(x: Int): Int }
+              class A1() extends A { def m(x: Int): Int = x + 1 }
+              class A2() extends A { def m(x: Int): Int = x * 2 }
+              def pick(i: Int): A = {
+                var p: A = new A1();
+                if (i % 2 == 1) { p = new A2() };
+                p
+              }
+              def work(n: Int): Int = { var i = 0; var s = 0; while (i < n) { s = s + pick(i).m(i); i = i + 1 }; s }
+              def bench(): Int = work(20)
+              def main(): Unit = println(bench())|}
+            (Some (incremental ())) "schema"
+        in
+        ignore (Jit.Harness.run_benchmark ~iters:20 e ~entry:"bench" ~label:"schema"))
+  in
+  let async =
+    collect (fun () ->
+        let prog =
+          compile
+            {|def work(n: Int): Int = n + 1
+              def bench(): Int = work(20)
+              def main(): Unit = println(bench())|}
+        in
+        let e =
+          Jit.Engine.create ~async_compile:true prog
+            { name = "schema-async"; compiler = Some (incremental ());
+              hotness_threshold = 3; compile_cost_per_node = 50; verify = false }
+        in
+        for _ = 1 to 10 do
+          ignore (Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ])
+        done)
+  in
+  let invalidation =
+    collect (fun () ->
+        let prog =
+          compile
+            {|abstract class A { def m(): Int }
+              class B() extends A { def m(): Int = 1 }
+              class C() extends A { def m(): Int = 2 }
+              def call(a: A): Int = a.m() + a.m() + a.m()
+              def main(): Unit = println(call(new B()) + call(new C()))|}
+        in
+        let e =
+          Jit.Engine.create ~spec_miss_threshold:50 prog
+            { name = "schema-spec"; compiler = Some (incremental ());
+              hotness_threshold = 4; compile_cost_per_node = 50; verify = true }
+        in
+        let mk name =
+          let cls =
+            let r = ref (-1) in
+            Ir.Program.iter_classes
+              (fun (c : Ir.Types.cls) -> if c.c_name = name then r := c.c_id)
+              prog;
+            !r
+          in
+          Runtime.Values.alloc_obj prog cls
+        in
+        let drive recv n =
+          for _ = 1 to n do
+            ignore (Jit.Engine.run_meth e "call" [ Runtime.Values.Vunit; recv ])
+          done
+        in
+        drive (mk "B") 30;
+        drive (mk "C") 60)
+  in
+  let bailouts =
+    collect (fun () ->
+        let crashing : Jit.Engine.compiler = fun _ _ _ -> failwith "boom" in
+        let e =
+          engine ~hotness:3
+            {|def f(x: Int): Int = x + 1
+              def main(): Unit = { var i = 0; while (i < 30) { println(f(i)); i = i + 1; } }|}
+            (Some crashing) "schema-bailout"
+        in
+        ignore (Jit.Engine.run_main e))
+  in
+  let chaos =
+    collect (fun () ->
+        Support.Chaos.scoped ~seed:7 ~rate:1.0 (fun () ->
+            let e =
+              engine ~hotness:3 ~verify:false
+                {|def f(x: Int): Int = x + 1
+                  def main(): Unit = { var i = 0; while (i < 30) { println(f(i)); i = i + 1; } }|}
+                (Some (incremental ())) "schema-chaos"
+            in
+            ignore (Jit.Engine.run_main e)))
+  in
+  harness @ async @ invalidation @ bailouts @ chaos
+
+let schema_tests =
+  [
+    test "trace event schema matches the golden file" (fun () ->
+        let actual = schema_of_lines (all_kind_lines ()) in
+        let golden_path = "golden/trace_schema.golden" in
+        let golden =
+          match open_in golden_path with
+          | ic ->
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () ->
+                  let lines = ref [] in
+                  (try
+                     while true do
+                       lines := input_line ic :: !lines
+                     done
+                   with End_of_file -> ());
+                  List.rev !lines)
+          | exception Sys_error _ ->
+              Alcotest.failf
+                "missing %s — expected schema:\n%s" golden_path
+                (String.concat "\n" actual)
+        in
+        if actual <> golden then
+          Alcotest.failf
+            "trace schema drifted from %s.\n\n--- expected ---\n%s\n\n--- actual \
+             ---\n%s\n\nIf the change is intentional, update the golden file and \
+             document it in docs/OBSERVABILITY.md."
+            golden_path
+            (String.concat "\n" golden)
+            (String.concat "\n" actual));
+  ]
+
 let () =
-  Alcotest.run "obs" [ ("trace", trace_tests); ("summary", summary_tests) ]
+  Alcotest.run "obs"
+    [
+      ("trace", trace_tests);
+      ("summary", summary_tests);
+      ("multirun", multirun_tests);
+      ("metrics", metrics_tests);
+      ("explain", explain_tests);
+      ("attribution", attribution_tests);
+      ("schema", schema_tests);
+    ]
