@@ -58,19 +58,24 @@ let load_program ~(file : string option) ~(workload : string option) :
   | Some _, Some _ -> Error "pass either a file or --workload, not both"
   | None, None -> Error "pass a .sel file or --workload NAME"
 
-let make_engine ?compile_fuel prog config hotness verify =
+let make_engine ?compile_fuel ?(threaded = true) prog config hotness verify =
   match compiler_of_config config with
   | Error e -> Error e
   | Ok compiler ->
-      Ok
-        (Jit.Engine.create ?compile_fuel prog
-           {
-             name = config;
-             compiler;
-             hotness_threshold = hotness;
-             compile_cost_per_node = 50;
-             verify;
-           })
+      let e =
+        Jit.Engine.create ?compile_fuel prog
+          {
+            name = config;
+            compiler;
+            hotness_threshold = hotness;
+            compile_cost_per_node = 50;
+            verify;
+          }
+      in
+      (* --no-threaded kill switch: drop the interpreted tier back to the
+         prepared dispatch-match engine (observably transparent) *)
+      if not threaded then e.vm.backend <- Runtime.Interp.Prepared;
+      Ok e
 
 let print_stats (e : Jit.Engine.t) =
   Printf.eprintf
@@ -85,6 +90,15 @@ let print_stats (e : Jit.Engine.t) =
     Printf.eprintf "-- bailouts: %d failed attempts over %d methods, %d blacklisted\n"
       bs.failed_attempts bs.failed_methods
       (List.length bs.blacklisted_methods);
+  (match Jit.Engine.superinst_stats e with
+  | [] -> ()
+  | ss ->
+      Printf.eprintf "-- superinstructions (%s dispatch): %d patterns, %d fused sites\n"
+        (Jit.Engine.dispatch_label e)
+        (List.length ss)
+        (List.fold_left
+           (fun a (s : Runtime.Interp.sstat) -> a + s.ss_sites)
+           0 ss));
   match Support.Chaos.plan () with
   | Some p ->
       Printf.eprintf "-- chaos: seed %d rate %.2f: %d faults injected over %d rolls\n"
@@ -163,6 +177,15 @@ let chaos_rate_arg =
            The same seed and rate replay the exact same fault sequence; program \
            output is unaffected — faulted methods degrade to the interpreter.")
 
+let no_threaded_arg =
+  Arg.(
+    value & flag
+    & info [ "no-threaded" ]
+        ~doc:
+          "Kill switch for the closure-threaded interpreted tier: fall back to \
+           the prepared dispatch-match engine. Output, simulated cycles, steps \
+           and profiles are identical either way; only wall-clock differs.")
+
 let compile_fuel_arg =
   Arg.(
     value
@@ -213,7 +236,7 @@ let with_optional_chaos ~(seed : int) ~(rate : float) (f : unit -> 'a) : 'a =
 
 let run_cmd =
   let run file workload config hotness stats verify trace metrics chaos_seed
-      chaos_rate compile_fuel =
+      chaos_rate compile_fuel no_threaded =
     match load_program ~file ~workload with
     | Error e -> fail e
     | Ok (prog, _) -> (
@@ -224,7 +247,10 @@ let run_cmd =
           with_optional_trace trace (fun () ->
               with_optional_metrics metrics (fun () ->
                   with_optional_chaos ~seed:chaos_seed ~rate:chaos_rate (fun () ->
-                      match make_engine ?compile_fuel prog config hotness verify with
+                      match
+                        make_engine ?compile_fuel ~threaded:(not no_threaded)
+                          prog config hotness verify
+                      with
                       | Error e -> Error e
                       | Ok e -> (
                           match Jit.Engine.run_main e with
@@ -245,7 +271,7 @@ let run_cmd =
     Term.(
       const run $ file_arg $ workload_arg $ config_arg $ hotness_arg $ stats_arg
       $ verify_arg $ trace_arg $ metrics_arg $ chaos_seed_arg $ chaos_rate_arg
-      $ compile_fuel_arg)
+      $ compile_fuel_arg $ no_threaded_arg)
 
 (* ---- bench ---- *)
 
@@ -273,7 +299,7 @@ let bench_cmd =
                 timeline) to FILE as JSON.")
   in
   let bench file workload config hotness entry iters save_profiles json trace
-      chaos_seed chaos_rate compile_fuel =
+      chaos_seed chaos_rate compile_fuel no_threaded =
     match load_program ~file ~workload with
     | Error e -> fail e
     | Ok (prog, label) -> (
@@ -282,7 +308,10 @@ let bench_cmd =
         let outcome =
           with_optional_trace trace (fun () ->
               with_optional_chaos ~seed:chaos_seed ~rate:chaos_rate (fun () ->
-                  match make_engine ?compile_fuel prog config hotness false with
+                  match
+                    make_engine ?compile_fuel ~threaded:(not no_threaded) prog
+                      config hotness false
+                  with
                   | Error e -> Error e
                   | Ok e -> (
                       match
@@ -341,7 +370,7 @@ let bench_cmd =
     Term.(
       const bench $ file_arg $ workload_arg $ config_arg $ hotness_arg $ entry_arg
       $ iters_arg $ save_profiles_arg $ json_arg $ trace_arg $ chaos_seed_arg
-      $ chaos_rate_arg $ compile_fuel_arg)
+      $ chaos_rate_arg $ compile_fuel_arg $ no_threaded_arg)
 
 (* ---- compile ---- *)
 

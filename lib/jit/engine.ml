@@ -395,6 +395,18 @@ let installed_methods (t : t) : int = Hashtbl.length t.code_cache
    and the bench smoke's hit-rate reporting. *)
 let ic_stats (t : t) : Runtime.Interp.ic_stat list = Runtime.Interp.ic_stats t.vm
 
+let superinst_stats (t : t) : Runtime.Interp.sstat list =
+  Runtime.Interp.superinst_stats t.vm
+
+(* How the interpreted tier dispatches, for reports: the threaded tier's
+   closure chains, the prepared tier's dispatch match, or the reference
+   walker. *)
+let dispatch_label (t : t) : string =
+  match t.vm.backend with
+  | Runtime.Interp.Threaded -> "threaded"
+  | Runtime.Interp.Prepared -> "match"
+  | Runtime.Interp.Reference -> "walker"
+
 (* Async-compilation accounting: a pending body whose method is never
    re-entered would otherwise stay invisible to [installed_code_size] and
    [compilations], under-reporting the Table I code-size metric. *)
@@ -446,6 +458,9 @@ let g_ic_hits = Obs.Metrics.gauge "ic.hits"
 let g_ic_misses = Obs.Metrics.gauge "ic.misses"
 let g_ic_megamorphic = Obs.Metrics.gauge "ic.megamorphic"
 let m_ic_hit_rate = Obs.Metrics.histogram "ic.site_hit_rate_pct"
+let g_superinst_patterns = Obs.Metrics.gauge "superinst.patterns"
+let g_superinst_sites = Obs.Metrics.gauge "superinst.fused_sites"
+let g_superinst_weight = Obs.Metrics.gauge "superinst.fused_weight"
 
 let snapshot_metrics (t : t) : unit =
   Obs.Metrics.set g_code_size (installed_code_size t);
@@ -467,7 +482,23 @@ let snapshot_metrics (t : t) : unit =
     stats;
   Obs.Metrics.set g_ic_hits !hits;
   Obs.Metrics.set g_ic_misses !misses;
-  Obs.Metrics.set g_ic_megamorphic !mega
+  Obs.Metrics.set g_ic_megamorphic !mega;
+  (* the mined superinstruction table: aggregate gauges plus one gauge
+     per pattern (deterministic for a given program + workload, so the
+     export byte-compares across identical runs) *)
+  let sstats = superinst_stats t in
+  Obs.Metrics.set g_superinst_patterns (List.length sstats);
+  let sites = ref 0 and weight = ref 0 in
+  List.iter
+    (fun (s : Runtime.Interp.sstat) ->
+      sites := !sites + s.ss_sites;
+      weight := !weight + s.ss_weight;
+      Obs.Metrics.set
+        (Obs.Metrics.gauge ("superinst.pattern." ^ s.ss_pattern))
+        s.ss_sites)
+    sstats;
+  Obs.Metrics.set g_superinst_sites !sites;
+  Obs.Metrics.set g_superinst_weight !weight
 
 let bailout_stats (t : t) : bailout_stats =
   {

@@ -121,6 +121,15 @@ val ic_stats : t -> Runtime.Interp.ic_stat list
 (** Per-site inline-cache statistics, live caches merged with counters
     retired by installs/invalidations (see {!Runtime.Interp.ic_stats}). *)
 
+val superinst_stats : t -> Runtime.Interp.sstat list
+(** The threaded tier's mined superinstruction table, sorted by pattern
+    (see {!Runtime.Interp.superinst_stats}). Empty under the other
+    backends or before any method crossed the fusion threshold. *)
+
+val dispatch_label : t -> string
+(** How the interpreted tier dispatches: ["threaded"], ["match"]
+    (prepared) or ["walker"] (reference). *)
+
 val pending_methods : t -> int
 (** Compilations produced but not yet installed (async mode). *)
 
@@ -142,7 +151,8 @@ val blacklisted : t -> meth_id -> bool
 val snapshot_metrics : t -> unit
 (** Publishes end-of-run state into {!Obs.Metrics} gauges (installed code
     size and method count, compile cycles, VM cycles/steps, aggregate IC
-    counters) and the per-site IC hit-rate histogram. Event-shaped
+    counters, the mined superinstruction table as [superinst.*] gauges)
+    and the per-site IC hit-rate histogram. Event-shaped
     counters (compiles, installs, invalidations, bailouts, …) accrue
     live; this snapshot covers the point-in-time values only. A no-op
     while metrics are disabled. *)

@@ -29,11 +29,19 @@ type run = {
   ic_hits : int;
   ic_misses : int;
   ic_megamorphic : int;
+  dispatch : string;        (* interpreted-tier dispatch: threaded/match/walker *)
+  superinst : Runtime.Interp.sstat list;  (* mined fusion table at end of run *)
 }
 
-let ic_hit_rate (r : run) : float =
+(* [None] when the run dispatched through no virtual sites at all — a
+   0.0 "hit rate" there would be indistinguishable from a pathological
+   all-miss run, so reports emit null instead. *)
+let ic_hit_rate_opt (r : run) : float option =
   let d = r.ic_hits + r.ic_misses + r.ic_megamorphic in
-  if d = 0 then 0.0 else float_of_int r.ic_hits /. float_of_int d
+  if d = 0 then None else Some (float_of_int r.ic_hits /. float_of_int d)
+
+let ic_hit_rate (r : run) : float =
+  match ic_hit_rate_opt r with Some rate -> rate | None -> 0.0
 
 (* Runs [entry] (a 0-argument Sel function returning Int or Unit) [iters]
    times on a fresh engine. A [setup] entry, when present, runs once
@@ -114,6 +122,8 @@ let run_benchmark ?(setup : string option) ~(iters : int) (engine : Engine.t)
     ic_hits = sum (fun st -> st.Runtime.Interp.st_hits);
     ic_misses = sum (fun st -> st.Runtime.Interp.st_misses);
     ic_megamorphic = sum (fun st -> st.Runtime.Interp.st_mega);
+    dispatch = Engine.dispatch_label engine;
+    superinst = Engine.superinst_stats engine;
   }
 
 (* The compile-timeline section of a BENCH_*.json result: when code was
@@ -161,7 +171,8 @@ let timeline_json (r : run) : Support.Json.t =
       ("pending_code_size", Support.Json.Int r.pending_code_size);
     ]
 
-(* Inline-cache totals of a run. *)
+(* Inline-cache totals of a run. A run without virtual dispatches
+   reports hit_rate null, not 0.0 — there was nothing to hit. *)
 let ic_json (r : run) : Support.Json.t =
   Support.Json.Obj
     [
@@ -169,7 +180,37 @@ let ic_json (r : run) : Support.Json.t =
       ("hits", Support.Json.Int r.ic_hits);
       ("misses", Support.Json.Int r.ic_misses);
       ("megamorphic", Support.Json.Int r.ic_megamorphic);
-      ("hit_rate", Support.Json.Float (ic_hit_rate r));
+      ( "hit_rate",
+        match ic_hit_rate_opt r with
+        | Some rate -> Support.Json.Float rate
+        | None -> Support.Json.Null );
+    ]
+
+(* The mined superinstruction table of a run: which op sequences were
+   fused, at how many sites, over how much block hotness. *)
+let superinst_json (r : run) : Support.Json.t =
+  Support.Json.Obj
+    [
+      ("patterns", Support.Json.Int (List.length r.superinst));
+      ( "fused_sites",
+        Support.Json.Int
+          (List.fold_left (fun a (s : Runtime.Interp.sstat) -> a + s.ss_sites) 0
+             r.superinst) );
+      ( "fused_weight",
+        Support.Json.Int
+          (List.fold_left (fun a (s : Runtime.Interp.sstat) -> a + s.ss_weight) 0
+             r.superinst) );
+      ( "table",
+        Support.Json.List
+          (List.map
+             (fun (s : Runtime.Interp.sstat) ->
+               Support.Json.Obj
+                 [
+                   ("pattern", Support.Json.String s.ss_pattern);
+                   ("sites", Support.Json.Int s.ss_sites);
+                   ("weight", Support.Json.Int s.ss_weight);
+                 ])
+             r.superinst) );
     ]
 
 (* The complete run as JSON — the shared emitter behind `selvm bench
@@ -192,6 +233,8 @@ let run_json (r : run) : Support.Json.t =
                    ("compiled_methods", Support.Json.Int it.compiled_methods);
                  ])
              r.iterations) );
+      ("dispatch", Support.Json.String r.dispatch);
       ("ic", ic_json r);
+      ("superinst", superinst_json r);
       ("timeline", timeline_json r);
     ]

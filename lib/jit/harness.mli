@@ -33,10 +33,19 @@ type run = {
   ic_misses : int;
   ic_megamorphic : int;
       (** dispatches taken by a megamorphic cache's fallback path *)
+  dispatch : string;
+      (** the interpreted tier's dispatch strategy for this run:
+          ["threaded"], ["match"] or ["walker"] *)
+  superinst : Runtime.Interp.sstat list;
+      (** the mined superinstruction table at end of run *)
 }
 
 val ic_hit_rate : run -> float
 (** Hits over total inline-cached dispatches; [0.0] when none ran. *)
+
+val ic_hit_rate_opt : run -> float option
+(** [None] when the run had no inline-cached dispatches at all — reports
+    should show null there, not a 0% hit rate. *)
 
 val run_benchmark :
   ?setup:string -> iters:int -> Engine.t -> entry:string -> label:string -> run
@@ -52,9 +61,13 @@ val timeline_json : run -> Support.Json.t
 
 val ic_json : run -> Support.Json.t
 (** The run's inline-cache totals: sites, hits, misses, megamorphic
-    dispatches, hit rate. *)
+    dispatches, hit rate (null when the run had no virtual dispatches). *)
+
+val superinst_json : run -> Support.Json.t
+(** The run's mined superinstruction table: pattern/site/weight rows plus
+    aggregate fused-site and weight totals. *)
 
 val run_json : run -> Support.Json.t
 (** The complete run as JSON — shared by `selvm bench --json` and the
     bench smoke's per-run sections: name, iteration summary and series,
-    {!ic_json}, {!timeline_json}. *)
+    dispatch strategy, {!ic_json}, {!superinst_json}, {!timeline_json}. *)

@@ -97,3 +97,12 @@ let call_overhead (c : t) ~(virtual_ : bool) ~(targets : int) : int =
   else c.call_megamorphic
 
 let alloc_fields_cost (c : t) n = n * c.alloc_per_field
+
+(* Total cycles a fused superinstruction charges: the sum of its
+   constituents' (dispatch + static cost) — fusing never changes the
+   charged total, only how many dispatch rounds the host pays for it.
+   This is the cost-equivalence invariant the threaded tier's fused
+   handlers maintain (each constituent still charges itself, so cycle
+   counts agree with the reference at every observable point). *)
+let fused_cost ~(dispatch : int) (static_costs : int list) : int =
+  List.fold_left (fun acc sc -> acc + dispatch + sc) 0 static_costs

@@ -41,3 +41,10 @@ val call_overhead : t -> virtual_:bool -> targets:int -> int
     site; 3 or more models an inline-cache miss (megamorphic). *)
 
 val alloc_fields_cost : t -> int -> int
+
+val fused_cost : dispatch:int -> int list -> int
+(** [fused_cost ~dispatch static_costs] is the total the threaded tier
+    charges for a fused superinstruction: the sum over its constituents
+    of [dispatch + static cost]. Fusion is cost-transparent — the charged
+    total (and every intermediate observable value of the clock) equals
+    what the unfused sequence charges. *)

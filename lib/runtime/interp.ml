@@ -33,17 +33,47 @@ open Values
 
 type mode = Interpreted | Compiled
 
-type backend = Prepared | Reference
+type backend = Threaded | Prepared | Reference
+
+(* Threaded-tier activation state: the only values a handler closure
+   cannot capture at lowering time (they are per-call, the closures are
+   per-method). Everything else — operand registers, static costs, bound
+   profile cells, jump targets as pc indices — lives in the closure
+   environments. *)
+type tstate = {
+  t_frame : value array;
+  t_args : value array;
+  mutable t_ret : value;
+}
+
+type thandler = tstate -> unit
+(* A handler executes one pre-decoded instruction (or one fused
+   superinstruction) and tail-calls the next handler directly — the
+   classic direct-threading transition, with OCaml's guaranteed tail-call
+   elimination standing in for computed goto. A method-return handler
+   simply returns, unwinding the whole (frameless) chain. *)
+
+type tcode = {
+  t_handlers : thandler array;
+  t_entry : int;
+  t_nregs : int;
+  t_fname : string;
+  t_stage : int;  (* 0 = lowered cold (no fusion), 1 = fusion planned *)
+}
 
 (* A cache entry remembers the physical body it was translated from plus
    the profile (identity and generation) its baked counter cells and IC
    receiver cells point into: a body replacement, a profile swap or a
-   [Profile.clear] each invalidate the entry at the next lookup. *)
+   [Profile.clear] each invalidate the entry at the next lookup. The
+   threaded lowering of the same [pcode] is cached alongside it (sharing
+   its profile-cell holders and inline caches) and is re-derived when the
+   method crosses the fusion threshold. *)
 type prepared_entry = {
   src : fn;
   prof : Profile.t;
   gen : int;
   pcode : Prepared.code;
+  mutable tcode : tcode option;
 }
 
 (* Accumulated counters of inline caches whose code object was dropped
@@ -55,6 +85,14 @@ type ic_stat = {
   mutable st_hits : int;
   mutable st_misses : int;
   mutable st_mega : int;
+}
+
+(* Accumulated mining results of one superinstruction pattern, summed
+   over every threaded lowering this VM performed. *)
+type sstat = {
+  ss_pattern : string;
+  mutable ss_sites : int;   (* fused sites emitted *)
+  mutable ss_weight : int;  (* summed hotness of the owning blocks *)
 }
 
 type vm = {
@@ -73,18 +111,24 @@ type vm = {
   mutable depth : int;
   max_depth : int;
   mutable backend : backend;
-  (* prepared-code cache, keyed by meth_id * 2 + tier *)
-  prepared_cache : (int, prepared_entry) Hashtbl.t;
+  (* prepared-code cache, a dense array indexed by meth_id * 2 + tier —
+     this lookup sits on every single method invocation, so it is a
+     bounds-checked array read, not a hash probe *)
+  mutable prepared_cache : prepared_entry option array;
   mutable code_epoch : int;      (* bumped by every [invalidate_code] *)
   mutable ic_enabled : bool;     (* inline caches on virtual dispatch *)
   ic_retired : (site, ic_stat) Hashtbl.t;
       (* counters of ICs retired with their code objects *)
   mutable attrib : Attribution.t option;
       (* per-method cycle attribution; None (default) costs nothing *)
+  mutable fusion : Prepared.fusion_config;
+      (* superinstruction thresholds for the threaded tier *)
+  superinst : (string, sstat) Hashtbl.t;
+      (* mined pattern table, accumulated across threaded lowerings *)
 }
 
 let create ?(cost = Cost.default) ?(max_steps = 500_000_000)
-    ?(backend = Prepared) (prog : program) : vm =
+    ?(backend = Threaded) (prog : program) : vm =
   {
     prog;
     profiles = Profile.create ();
@@ -99,11 +143,13 @@ let create ?(cost = Cost.default) ?(max_steps = 500_000_000)
     depth = 0;
     max_depth = 10_000;
     backend;
-    prepared_cache = Hashtbl.create 64;
+    prepared_cache = Array.make (max 16 (2 * Ir.Program.num_meths prog)) None;
     code_epoch = 0;
     ic_enabled = true;
     ic_retired = Hashtbl.create 16;
     attrib = None;
+    fusion = Prepared.default_fusion;
+    superinst = Hashtbl.create 16;
   }
 
 let output vm = Buffer.contents vm.out
@@ -124,10 +170,27 @@ let charge vm n = vm.cycles <- vm.cycles + n
 let cache_key (m : meth_id) (mode : mode) : int =
   (m * 2) + match mode with Interpreted -> 0 | Compiled -> 1
 
+let cache_slot (vm : vm) (key : int) : prepared_entry option =
+  let c = vm.prepared_cache in
+  if key < Array.length c then Array.unsafe_get c key else None
+
+(* Methods can be added after the VM was created (tests do); the dense
+   cache grows on demand. *)
+let cache_set (vm : vm) (key : int) (e : prepared_entry option) : unit =
+  let n = Array.length vm.prepared_cache in
+  if key >= n then begin
+    let c' = Array.make (max (key + 1) (2 * n)) None in
+    Array.blit vm.prepared_cache 0 c' 0 n;
+    vm.prepared_cache <- c'
+  end;
+  vm.prepared_cache.(key) <- e
+
 (* Folds a dropped code object's IC counters into [vm.ic_retired] so
    install/invalidate cannot erase the dispatch statistics, then zeroes
-   them (a second retirement of the same object is a no-op). *)
+   them (a second retirement of the same object is a no-op). Methods
+   without virtual call sites have no ICs and skip retirement outright. *)
 let retire_ics (vm : vm) (pcode : Prepared.code) : unit =
+  if Array.length pcode.ics > 0 then
   Array.iter
     (fun (ic : Ic.t) ->
       if Ic.dispatches ic > 0 then begin
@@ -151,10 +214,10 @@ let retire_ics (vm : vm) (pcode : Prepared.code) : unit =
 
 let invalidate_code (vm : vm) (m : meth_id) : unit =
   let drop key =
-    match Hashtbl.find_opt vm.prepared_cache key with
+    match cache_slot vm key with
     | Some e ->
         retire_ics vm e.pcode;
-        Hashtbl.remove vm.prepared_cache key
+        cache_set vm key None
     | None -> ()
   in
   drop (cache_key m Interpreted);
@@ -165,20 +228,62 @@ let invalidate_code (vm : vm) (m : meth_id) : unit =
    an install slipped past [invalidate_code], a replaced body can never
    execute stale prepared code) and by profile identity + generation (a
    swapped or cleared profile invalidates the baked counter cells). *)
-let prepared_for (vm : vm) ~(mode : mode) (m : meth_id) (fn : fn) : Prepared.code =
+let entry_for (vm : vm) ~(mode : mode) (m : meth_id) (fn : fn) : prepared_entry =
   let key = cache_key m mode in
-  match Hashtbl.find_opt vm.prepared_cache key with
+  match cache_slot vm key with
   | Some e
     when e.src == fn && e.prof == vm.profiles
          && e.gen = Profile.generation vm.profiles ->
-      e.pcode
+      e
   | stale ->
       (match stale with Some e -> retire_ics vm e.pcode | None -> ());
       let pcode = Prepared.prepare ~cost:vm.cost vm.prog fn in
-      Hashtbl.replace vm.prepared_cache key
+      let e =
         { src = fn; prof = vm.profiles;
-          gen = Profile.generation vm.profiles; pcode };
-      pcode
+          gen = Profile.generation vm.profiles; pcode; tcode = None }
+      in
+      cache_set vm key (Some e);
+      e
+
+let prepared_for (vm : vm) ~(mode : mode) (m : meth_id) (fn : fn) : Prepared.code =
+  (entry_for vm ~mode m fn).pcode
+
+(* ---------- superinstruction bookkeeping ---------- *)
+
+let note_superinst (vm : vm) (pattern : string) ~(sites : int) ~(weight : int) :
+    unit =
+  match Hashtbl.find_opt vm.superinst pattern with
+  | Some s ->
+      s.ss_sites <- s.ss_sites + sites;
+      s.ss_weight <- s.ss_weight + weight
+  | None ->
+      Hashtbl.replace vm.superinst pattern
+        { ss_pattern = pattern; ss_sites = sites; ss_weight = weight }
+
+(* The mined pattern table, sorted by pattern — a deterministic function
+   of the program, workload and thresholds (counts accumulate over every
+   threaded lowering, including re-lowerings after invalidation). *)
+let superinst_stats (vm : vm) : sstat list =
+  Hashtbl.fold (fun _ s acc -> s :: acc) vm.superinst []
+  |> List.sort (fun a b -> compare a.ss_pattern b.ss_pattern)
+
+(* Lowering stage wanted for a method right now: fused once the method is
+   warm. Installed compiled code is hot by construction and always fuses
+   (it does not profile, so invocation counters have stopped moving). *)
+let stage_for (vm : vm) ~(mode : mode) (m : meth_id) : int =
+  match mode with
+  | Compiled -> 1
+  | Interpreted ->
+      if Profile.invocation_count vm.profiles m >= vm.fusion.fuse_invocations
+      then 1
+      else 0
+
+(* Shared Vbool results (structurally compared everywhere, so interning
+   is unobservable); saves an allocation per comparison in the threaded
+   tier. *)
+let vtrue = Vbool true
+let vfalse = Vbool false
+let vbool b = if b then vtrue else vfalse
 
 (* Per-site IC statistics: live caches plus retired counters, merged by
    site, ordered by (method, site ordinal). A site can contribute from
@@ -202,11 +307,14 @@ let ic_stats (vm : vm) : ic_stat list =
     (fun site (st : ic_stat) ->
       fold site st.st_selector st.st_hits st.st_misses st.st_mega)
     vm.ic_retired;
-  Hashtbl.iter
-    (fun _ (e : prepared_entry) ->
-      Array.iter
-        (fun (ic : Ic.t) -> fold ic.ic_site ic.selector ic.hits ic.misses ic.mega)
-        e.pcode.ics)
+  Array.iter
+    (function
+      | Some (e : prepared_entry) ->
+          Array.iter
+            (fun (ic : Ic.t) ->
+              fold ic.ic_site ic.selector ic.hits ic.misses ic.mega)
+            e.pcode.ics
+      | None -> ())
     vm.prepared_cache;
   Hashtbl.fold (fun _ st acc -> st :: acc) acc []
   |> List.sort (fun a b ->
@@ -272,7 +380,9 @@ let rec invoke (vm : vm) (m : meth_id) (args : value array) : value =
               let tier =
                 match vm.backend with
                 | Reference -> Attribution.Interp
-                | Prepared -> Attribution.Prepared
+                (* the threaded tier is the prepared representation with a
+                   different dispatch strategy; attribution buckets agree *)
+                | Prepared | Threaded -> Attribution.Prepared
               in
               Attribution.enter a ~meth:m ~tier ~now:vm.cycles;
               (match exec_interp vm m fn args with
@@ -288,12 +398,14 @@ and exec_installed (vm : vm) (m : meth_id) (cfn : fn) (args : value array) : val
   | Reference -> exec_ref vm ~mode:Compiled ~meth:m cfn args
   | Prepared ->
       exec_code vm ~mode:Compiled ~meth:m (prepared_for vm ~mode:Compiled m cfn) args
+  | Threaded -> exec_threaded vm (threaded_for vm ~mode:Compiled m cfn) args
 
 and exec_interp (vm : vm) (m : meth_id) (fn : fn) (args : value array) : value =
   match vm.backend with
   | Reference -> exec_ref vm ~mode:Interpreted ~meth:m fn args
   | Prepared ->
       exec_code vm ~mode:Interpreted ~meth:m (prepared_for vm ~mode:Interpreted m fn) args
+  | Threaded -> exec_threaded vm (threaded_for vm ~mode:Interpreted m fn) args
 
 and exec (vm : vm) ~(mode : mode) ~(meth : meth_id) (fn : fn) (args : value array) :
     value =
@@ -303,6 +415,29 @@ and exec (vm : vm) ~(mode : mode) ~(meth : meth_id) (fn : fn) (args : value arra
       (* one-shot bodies (tests pinning a tier on a synthetic fn) are
          prepared per call; cached paths go through [invoke] *)
       exec_code vm ~mode ~meth (Prepared.prepare ~cost:vm.cost vm.prog fn) args
+  | Threaded ->
+      let pcode = Prepared.prepare ~cost:vm.cost vm.prog fn in
+      let t = lower_threaded vm ~mode ~meth pcode ~stage:(stage_for vm ~mode meth) in
+      exec_threaded vm t args
+
+(* Cached threaded code for a method: shares the prepared-cache entry
+   (and hence the pcode's profile-cell holders and inline caches) and is
+   re-lowered when the wanted fusion stage changes — i.e. once, when the
+   invocation counter crosses [fusion.fuse_invocations]. *)
+and threaded_for (vm : vm) ~(mode : mode) (m : meth_id) (fn : fn) : tcode =
+  let entry = entry_for vm ~mode m fn in
+  match entry.tcode with
+  (* stage 1 is terminal — no need to consult the invocation counter
+     again on the hot invocation path *)
+  | Some t when t.t_stage = 1 -> t
+  | cached -> (
+      let stage = stage_for vm ~mode m in
+      match cached with
+      | Some t when t.t_stage = stage -> t
+      | _ ->
+          let t = lower_threaded vm ~mode ~meth:m entry.pcode ~stage in
+          entry.tcode <- Some t;
+          t)
 
 (* ---------- prepared backend ---------- *)
 
@@ -468,6 +603,569 @@ and exec_code (vm : vm) ~(mode : mode) ~(meth : meth_id) (code : Prepared.code)
   let result = run code.entry (-1) in
   vm.depth <- vm.depth - 1;
   result
+
+(* ---------- threaded backend: closures instead of a dispatch match ----
+
+   [lower_threaded] turns a [Prepared.code] into a flat array of handler
+   closures indexed by pc — one per block prologue, body segment and
+   terminator. Each handler performs its instruction and tail-calls the
+   successor handler directly (direct threading: control never returns
+   to a dispatch loop mid-method), with [exec_code]'s per-step
+   [match pi.op], operand-field loads and cost additions all paid once
+   at lowering: operands, the summed dispatch+static cost, the bound
+   profile holders and jump-target handlers live in the closure
+   environments. A handler is bookkeeping ∘ effect ∘ goto-next, where
+   the effect ([op_effect]) is the instruction's bare semantic action.
+
+   Superinstructions go one step further: a fused segment's handler
+   ([fused_handler], the Deegen-style combinator) strings the
+   constituents' *effect* closures behind a single batched
+   step/budget/cycle preamble that charges [Cost.fused_cost] — one
+   budget check and two counter updates for the whole run instead of one
+   per op.
+
+   Observable equivalence: no fusable op can call out, profile or
+   otherwise observe the counters mid-segment ([Prepared.fusable]
+   excludes calls), so batching is invisible on the non-trapping path —
+   the totals at every call, profile record and method exit are
+   bit-identical to [exec_code] and [exec_ref]. On the trapping paths
+   the handler re-aligns the counters to exactly the stepwise state
+   before re-raising, and a step budget that would die mid-segment is
+   replayed stepwise so the trap lands on the precise constituent. The
+   differential suite pins all of this. *)
+
+and lower_threaded (vm : vm) ~(mode : mode) ~(meth : meth_id)
+    (pcode : Prepared.code) ~(stage : int) : tcode =
+  let cfg = vm.fusion in
+  let profiling = mode = Interpreted in
+  let plan =
+    if stage = 0 then Prepared.trivial_plan pcode
+    else begin
+      let hotness =
+        match mode with
+        | Compiled ->
+            (* compiled code does not profile; treat every block as
+               exactly threshold-hot so optimized bodies fuse throughout *)
+            fun (_ : Prepared.pblock) -> cfg.Prepared.min_block_count
+        | Interpreted ->
+            let hot : (int, int) Hashtbl.t = Hashtbl.create 16 in
+            List.iter
+              (fun (b, c) -> Hashtbl.replace hot b c)
+              (Profile.hot_blocks vm.profiles meth
+                 ~threshold:cfg.Prepared.min_block_count);
+            fun (b : Prepared.pblock) -> (
+              match Hashtbl.find_opt hot b.Prepared.src_bid with
+              | Some c -> c
+              | None -> 0)
+      in
+      let plan = Prepared.plan_fusion cfg ~hotness pcode in
+      List.iter
+        (fun (p, sites, weight) -> note_superinst vm p ~sites ~weight)
+        plan.Prepared.fp_patterns;
+      plan
+    end
+  in
+  let dispatch =
+    match mode with
+    | Interpreted -> vm.cost.interp_dispatch
+    | Compiled -> vm.cost.compiled_dispatch
+  in
+  let phi_cost = dispatch + vm.cost.phi in
+  let blocks = pcode.blocks in
+  let nb = Array.length blocks in
+  (* pc layout per block: one prologue per incoming edge when the block
+     has phis (the parallel move is specialized per edge), a single
+     shared prologue otherwise; then one pc per body segment; then the
+     terminator. The entry block gets an extra prologue for the edgeless
+     initial entry when it has phis (reaching a phi with no input is the
+     same internal error the other backends report). *)
+  let npcs = ref 0 in
+  let alloc k =
+    let p = !npcs in
+    npcs := p + k;
+    p
+  in
+  let prologue_base = Array.make nb 0 in
+  let entry_prologue = ref (-1) in
+  let seg_base = Array.make nb 0 in
+  let term_pc = Array.make nb 0 in
+  Array.iteri
+    (fun bi (b : Prepared.pblock) ->
+      let nphis = Array.length b.phi_dests in
+      let nedges = Array.length b.pred_bids in
+      prologue_base.(bi) <- alloc (if nphis = 0 then 1 else max nedges 1);
+      if bi = pcode.entry && nphis > 0 then entry_prologue := alloc 1;
+      seg_base.(bi) <- alloc (Array.length plan.Prepared.fp_segments.(bi));
+      term_pc.(bi) <- alloc 1)
+    blocks;
+  let pc_of_edge (target : int) (edge : int) : int =
+    let tb = blocks.(target) in
+    if Array.length tb.phi_dests = 0 || Array.length tb.pred_bids = 0 then
+      prologue_base.(target)
+    else prologue_base.(target) + edge
+  in
+  let entry_pc =
+    if !entry_prologue >= 0 then !entry_prologue
+    else prologue_base.(pcode.entry)
+  in
+  let handlers : thandler array = Array.make !npcs (fun _ -> ()) in
+  (* one pre-decoded op -> its bare semantic action on the frame, no
+     bookkeeping, no dispatch. The int/int binop fast paths fold the
+     operator match into the closure; anything else falls back to
+     [eval_binop], which reproduces the reference trap behavior
+     exactly. *)
+  let op_effect (pi : Prepared.pinstr) : tstate -> unit =
+    let dest = pi.dest in
+    match pi.op with
+    | Pconst v -> fun st -> Array.unsafe_set st.t_frame dest v
+    | Pparam k ->
+        fun st ->
+          let args = st.t_args in
+          if k >= Array.length args then trap "internal: missing argument %d" k;
+          Array.unsafe_set st.t_frame dest (Array.unsafe_get args k)
+    | Punop (Neg, a) ->
+        fun st ->
+          let f = st.t_frame in
+          Array.unsafe_set f dest (Vint (-as_int (Array.unsafe_get f a)))
+    | Punop (Not, a) ->
+        fun st ->
+          let f = st.t_frame in
+          Array.unsafe_set f dest (vbool (not (as_bool (Array.unsafe_get f a))))
+    | Pbinop (op, a, b) -> (
+        match op with
+        | Add ->
+            fun st ->
+              let f = st.t_frame in
+              (match (Array.unsafe_get f a, Array.unsafe_get f b) with
+              | Vint x, Vint y -> Array.unsafe_set f dest (Vint (x + y))
+              | va, vb -> Array.unsafe_set f dest (eval_binop Add va vb))
+        | Sub ->
+            fun st ->
+              let f = st.t_frame in
+              (match (Array.unsafe_get f a, Array.unsafe_get f b) with
+              | Vint x, Vint y -> Array.unsafe_set f dest (Vint (x - y))
+              | va, vb -> Array.unsafe_set f dest (eval_binop Sub va vb))
+        | Mul ->
+            fun st ->
+              let f = st.t_frame in
+              (match (Array.unsafe_get f a, Array.unsafe_get f b) with
+              | Vint x, Vint y -> Array.unsafe_set f dest (Vint (x * y))
+              | va, vb -> Array.unsafe_set f dest (eval_binop Mul va vb))
+        | Div ->
+            fun st ->
+              let f = st.t_frame in
+              (match (Array.unsafe_get f a, Array.unsafe_get f b) with
+              | Vint x, Vint y ->
+                  if y = 0 then trap "division by zero"
+                  else Array.unsafe_set f dest (Vint (x / y))
+              | va, vb -> Array.unsafe_set f dest (eval_binop Div va vb))
+        | Rem ->
+            fun st ->
+              let f = st.t_frame in
+              (match (Array.unsafe_get f a, Array.unsafe_get f b) with
+              | Vint x, Vint y ->
+                  if y = 0 then trap "remainder by zero"
+                  else Array.unsafe_set f dest (Vint (x mod y))
+              | va, vb -> Array.unsafe_set f dest (eval_binop Rem va vb))
+        | Lt ->
+            fun st ->
+              let f = st.t_frame in
+              (match (Array.unsafe_get f a, Array.unsafe_get f b) with
+              | Vint x, Vint y -> Array.unsafe_set f dest (vbool (x < y))
+              | va, vb -> Array.unsafe_set f dest (eval_binop Lt va vb))
+        | Le ->
+            fun st ->
+              let f = st.t_frame in
+              (match (Array.unsafe_get f a, Array.unsafe_get f b) with
+              | Vint x, Vint y -> Array.unsafe_set f dest (vbool (x <= y))
+              | va, vb -> Array.unsafe_set f dest (eval_binop Le va vb))
+        | Gt ->
+            fun st ->
+              let f = st.t_frame in
+              (match (Array.unsafe_get f a, Array.unsafe_get f b) with
+              | Vint x, Vint y -> Array.unsafe_set f dest (vbool (x > y))
+              | va, vb -> Array.unsafe_set f dest (eval_binop Gt va vb))
+        | Ge ->
+            fun st ->
+              let f = st.t_frame in
+              (match (Array.unsafe_get f a, Array.unsafe_get f b) with
+              | Vint x, Vint y -> Array.unsafe_set f dest (vbool (x >= y))
+              | va, vb -> Array.unsafe_set f dest (eval_binop Ge va vb))
+        | Eq ->
+            fun st ->
+              let f = st.t_frame in
+              Array.unsafe_set f dest
+                (vbool (value_eq (Array.unsafe_get f a) (Array.unsafe_get f b)))
+        | Ne ->
+            fun st ->
+              let f = st.t_frame in
+              Array.unsafe_set f dest
+                (vbool
+                   (not (value_eq (Array.unsafe_get f a) (Array.unsafe_get f b))))
+        | (Shl | Shr | Band | Bor | Bxor | Andb | Orb | Xorb | Eqb) as op ->
+            fun st ->
+              let f = st.t_frame in
+              Array.unsafe_set f dest
+                (eval_binop op (Array.unsafe_get f a) (Array.unsafe_get f b)))
+    | Pcall { callee; cargs; site; ic } ->
+        let n = Array.length cargs in
+        fun st ->
+          let f = st.t_frame in
+          let vals = Array.make n Vunit in
+          for j = 0 to n - 1 do
+            Array.unsafe_set vals j
+              (Array.unsafe_get f (Array.unsafe_get cargs j))
+          done;
+          Array.unsafe_set f dest
+            (do_call vm ?ic ~profiling ~meth ~callee ~site vals)
+    | Pnew { cls; defaults } ->
+        fun st ->
+          Array.unsafe_set st.t_frame dest
+            (Vobj { o_cls = cls; fields = Array.copy defaults })
+    | Pgetfield { obj; slot; fname } ->
+        fun st ->
+          let f = st.t_frame in
+          let o = as_obj (Array.unsafe_get f obj) in
+          if slot >= Array.length o.fields then
+            trap "internal: bad field slot for %s" fname;
+          Array.unsafe_set f dest o.fields.(slot)
+    | Psetfield { obj; slot; fname; value } ->
+        fun st ->
+          let f = st.t_frame in
+          let o = as_obj (Array.unsafe_get f obj) in
+          if slot >= Array.length o.fields then
+            trap "internal: bad field slot for %s" fname;
+          o.fields.(slot) <- Array.unsafe_get f value;
+          Array.unsafe_set f dest Vunit
+    | Pnewarray { ety; len } ->
+        fun st ->
+          let f = st.t_frame in
+          let n = as_int (Array.unsafe_get f len) in
+          vm.cycles <- vm.cycles + Cost.alloc_fields_cost vm.cost n;
+          Array.unsafe_set f dest (alloc_array ety n)
+    | Parrayget { arr; idx } ->
+        fun st ->
+          let f = st.t_frame in
+          let a = as_arr (Array.unsafe_get f arr) in
+          let i = as_int (Array.unsafe_get f idx) in
+          if i < 0 || i >= Array.length a.elems then
+            trap "array index %d out of bounds" i;
+          Array.unsafe_set f dest (Array.unsafe_get a.elems i)
+    | Parrayset { arr; idx; value } ->
+        fun st ->
+          let f = st.t_frame in
+          let a = as_arr (Array.unsafe_get f arr) in
+          let i = as_int (Array.unsafe_get f idx) in
+          if i < 0 || i >= Array.length a.elems then
+            trap "array index %d out of bounds" i;
+          Array.unsafe_set a.elems i (Array.unsafe_get f value);
+          Array.unsafe_set f dest Vunit
+    | Parraylen a ->
+        fun st ->
+          let f = st.t_frame in
+          Array.unsafe_set f dest
+            (Vint (Array.length (as_arr (Array.unsafe_get f a)).elems))
+    | Ptypetest { obj; cls } ->
+        fun st ->
+          let f = st.t_frame in
+          (match Array.unsafe_get f obj with
+          | Vobj o ->
+              Array.unsafe_set f dest
+                (vbool (Ir.Program.is_subclass vm.prog ~sub:o.o_cls ~sup:cls))
+          | Vnull -> Array.unsafe_set f dest vfalse
+          | _ -> trap "typetest on a non-object")
+    | Pintrinsic (intr, ia) ->
+        fun st ->
+          let f = st.t_frame in
+          let a k = f.(ia.(k)) in
+          let result =
+            match intr with
+            | Iprint_int ->
+                Buffer.add_string vm.out (string_of_int (as_int (a 0)));
+                Vunit
+            | Iprint_bool ->
+                Buffer.add_string vm.out (string_of_bool (as_bool (a 0)));
+                Vunit
+            | Iprint_str ->
+                Buffer.add_string vm.out (as_str (a 0));
+                Vunit
+            | Istr_len -> Vint (String.length (as_str (a 0)))
+            | Istr_get ->
+                let s = as_str (a 0) and i = as_int (a 1) in
+                if i < 0 || i >= String.length s then
+                  trap "string index %d out of bounds" i;
+                Vint (Char.code s.[i])
+            | Istr_eq -> vbool (as_str (a 0) = as_str (a 1))
+            | Iabs -> Vint (abs (as_int (a 0)))
+            | Imin -> Vint (min (as_int (a 0)) (as_int (a 1)))
+            | Imax -> Vint (max (as_int (a 0)) (as_int (a 1)))
+          in
+          Array.unsafe_set f dest result
+  in
+  (* a singleton handler: step, budget check, charge, effect, fall
+     through to the successor handler (a tail call — the dispatch loop
+     is entered once per activation, not once per op). Straight-line
+     successors are wired bottom-up, so [nexth] is the successor closure
+     itself, not an index. *)
+  let op_handler ~(nexth : thandler) (pi : Prepared.pinstr) : thandler =
+    let c = dispatch + pi.static_cost in
+    let eff = op_effect pi in
+    fun st ->
+      vm.steps <- vm.steps + 1;
+      if vm.steps > vm.max_steps then trap "step budget exceeded";
+      vm.cycles <- vm.cycles + c;
+      eff st;
+      nexth st
+  in
+  (* the Deegen-style superinstruction builder: the fused handler is
+     composed from the constituents' effect closures — never hand-written
+     per pattern — behind one batched step/budget/cycle preamble that
+     charges [Cost.fused_cost] for the whole run. Nothing inside a
+     fusable run can observe the counters ([Prepared.fusable] excludes
+     calls, and profiling happens at block entries and branches), so the
+     only places the batching could show are the trapping paths, which
+     re-align the counters to the exact stepwise state: a budget that
+     would die mid-segment is replayed stepwise so the trap fires on the
+     precise constituent, and an effect trap un-charges the constituents
+     that never ran before re-raising. *)
+  let fused_handler ~(nexth : thandler) (pis : Prepared.pinstr array) : thandler =
+    let n = Array.length pis in
+    let effs = Array.map op_effect pis in
+    let costs =
+      Array.map (fun (pi : Prepared.pinstr) -> dispatch + pi.static_cost) pis
+    in
+    let total =
+      Cost.fused_cost ~dispatch
+        (Array.to_list
+           (Array.map (fun (pi : Prepared.pinstr) -> pi.static_cost) pis))
+    in
+    (* prefix.(j): what the stepwise engines have charged after the
+       first j constituents (static parts only — dynamic charges, e.g.
+       allocation, always go straight to [vm.cycles]) *)
+    let prefix = Array.make (n + 1) 0 in
+    for i = 0 to n - 1 do
+      prefix.(i + 1) <- prefix.(i) + costs.(i)
+    done;
+    fun st ->
+      if vm.steps + n > vm.max_steps then begin
+        (* the step budget dies inside this segment: replay stepwise *)
+        let i = ref 0 in
+        while !i < n do
+          vm.steps <- vm.steps + 1;
+          if vm.steps > vm.max_steps then trap "step budget exceeded";
+          vm.cycles <- vm.cycles + costs.(!i);
+          effs.(!i) st;
+          incr i
+        done;
+        nexth st
+      end
+      else begin
+        vm.steps <- vm.steps + n;
+        vm.cycles <- vm.cycles + total;
+        let i = ref 0 in
+        (try
+           while !i < n do
+             (Array.unsafe_get effs !i) st;
+             incr i
+           done
+         with e ->
+           (* constituent !i trapped: un-charge the ones that never ran
+              (their dynamic charges never happened either) *)
+           vm.steps <- vm.steps - (n - !i - 1);
+           vm.cycles <- vm.cycles - (total - prefix.(!i + 1));
+           raise e);
+        nexth st
+      end
+  in
+  (* block-entry prologue: the block step/budget tick, the profiling
+     tier's lazily-bound block-counter tick, then the phi parallel move
+     specialized for one incoming edge *)
+  let prologue_handler (b : Prepared.pblock) ~(edge : int) ~(nexth : thandler) :
+      thandler =
+    let holder = b.prof in
+    let src_bid = b.src_bid in
+    let nphis = Array.length b.phi_dests in
+    let tick_block () =
+      vm.steps <- vm.steps + 1;
+      if vm.steps > vm.max_steps then trap "step budget exceeded";
+      if profiling then
+        match holder.cell with
+        | Some c -> incr c
+        | None ->
+            let c = Profile.block_cell vm.profiles meth src_bid in
+            holder.cell <- Some c;
+            incr c
+    in
+    (* the common no-phi prologues inline the tick — they run once per
+       block entry, squarely on the hot path *)
+    if nphis = 0 then
+      if profiling then fun st ->
+        vm.steps <- vm.steps + 1;
+        if vm.steps > vm.max_steps then trap "step budget exceeded";
+        (match holder.cell with
+        | Some c -> incr c
+        | None ->
+            let c = Profile.block_cell vm.profiles meth src_bid in
+            holder.cell <- Some c;
+            incr c);
+        nexth st
+      else fun st ->
+        vm.steps <- vm.steps + 1;
+        if vm.steps > vm.max_steps then trap "step budget exceeded";
+        nexth st
+    else begin
+      let srcs, prev =
+        if edge < 0 then (Array.make nphis (-1), -1)
+        else (b.phi_srcs.(edge), b.pred_bids.(edge))
+      in
+      let dests = b.phi_dests in
+      let clean = Array.for_all (fun s -> s >= 0) srcs in
+      if clean && nphis = 1 then begin
+        let d0 = dests.(0) and s0 = srcs.(0) in
+        fun st ->
+          tick_block ();
+          vm.steps <- vm.steps + 1;
+          vm.cycles <- vm.cycles + phi_cost;
+          let f = st.t_frame in
+          Array.unsafe_set f d0 (Array.unsafe_get f s0);
+          nexth st
+      end
+      else if clean then begin
+        (* simultaneous assignment through a scratch row; sharing the
+           scratch across activations is safe — nothing re-enters this
+           code object mid-move *)
+        let tmp = Array.make nphis Vunit in
+        fun st ->
+          tick_block ();
+          vm.steps <- vm.steps + nphis;
+          vm.cycles <- vm.cycles + (nphis * phi_cost);
+          let f = st.t_frame in
+          for i = 0 to nphis - 1 do
+            Array.unsafe_set tmp i
+              (Array.unsafe_get f (Array.unsafe_get srcs i))
+          done;
+          for i = 0 to nphis - 1 do
+            Array.unsafe_set f (Array.unsafe_get dests i)
+              (Array.unsafe_get tmp i)
+          done;
+          nexth st
+      end
+      else
+        (* a phi with no input for this edge (the edgeless initial entry,
+           or ill-formed SSA): replicate the stepwise trap *)
+        let vids = b.phi_vids in
+        fun st ->
+          tick_block ();
+          let f = st.t_frame in
+          let tmp = Array.make nphis Vunit in
+          for i = 0 to nphis - 1 do
+            vm.steps <- vm.steps + 1;
+            vm.cycles <- vm.cycles + phi_cost;
+            let s = srcs.(i) in
+            if s < 0 then
+              trap "internal: phi v%d has no input for edge b%d" vids.(i) prev;
+            tmp.(i) <- f.(s)
+          done;
+          for i = 0 to nphis - 1 do
+            f.(dests.(i)) <- tmp.(i)
+          done;
+          nexth st
+    end
+  in
+  let term_handler (b : Prepared.pblock) : thandler =
+    let tc = b.term_cost in
+    match b.term with
+    | Preturn r ->
+        fun st ->
+          vm.cycles <- vm.cycles + tc;
+          st.t_ret <- Array.unsafe_get st.t_frame r
+    | Pgoto { target; edge } ->
+        let next = pc_of_edge target edge in
+        fun st ->
+          vm.cycles <- vm.cycles + tc;
+          (Array.unsafe_get handlers next) st
+    | Pif { cond; site; tb; tedge; fb; fedge; bprof } ->
+        let tpc = pc_of_edge tb tedge and fpc = pc_of_edge fb fedge in
+        if profiling then fun st ->
+          vm.cycles <- vm.cycles + tc;
+          let taken = as_bool (Array.unsafe_get st.t_frame cond) in
+          (match bprof.brec with
+          | Some br -> Profile.brec_record br ~taken
+          | None ->
+              let br = Profile.branch_cell vm.profiles site in
+              bprof.brec <- Some br;
+              Profile.brec_record br ~taken);
+          if taken then (Array.unsafe_get handlers tpc) st
+          else (Array.unsafe_get handlers fpc) st
+        else fun st ->
+          vm.cycles <- vm.cycles + tc;
+          if as_bool (Array.unsafe_get st.t_frame cond) then
+            (Array.unsafe_get handlers tpc) st
+          else (Array.unsafe_get handlers fpc) st
+    | Punreachable ->
+        fun _st ->
+          vm.cycles <- vm.cycles + tc;
+          trap "reached an unreachable block in %s" pcode.fname
+    | Pdead b' ->
+        fun _st ->
+          vm.cycles <- vm.cycles + tc;
+          invalid_arg
+            (Printf.sprintf "Fn.block: dead block b%d in %s" b' pcode.fname)
+  in
+  (* wire each block bottom-up — terminator, then body segments in
+     reverse, then the prologues — so every straight-line transition
+     captures its successor closure directly; only branch targets (and
+     call returns) go back through the pc-indexed array *)
+  Array.iteri
+    (fun bi (b : Prepared.pblock) ->
+      let segs = plan.Prepared.fp_segments.(bi) in
+      let nsegs = Array.length segs in
+      let first = if nsegs = 0 then term_pc.(bi) else seg_base.(bi) in
+      handlers.(term_pc.(bi)) <- term_handler b;
+      for si = nsegs - 1 downto 0 do
+        let seg = segs.(si) in
+        let nexth =
+          handlers.(if si = nsegs - 1 then term_pc.(bi) else seg_base.(bi) + si + 1)
+        in
+        handlers.(seg_base.(bi) + si) <-
+          (if seg.Prepared.seg_len = 1 then
+             op_handler ~nexth b.body.(seg.Prepared.seg_start)
+           else
+             fused_handler ~nexth
+               (Array.sub b.body seg.Prepared.seg_start seg.Prepared.seg_len))
+      done;
+      let firsth = handlers.(first) in
+      let nphis = Array.length b.phi_dests in
+      let nedges = Array.length b.pred_bids in
+      if nphis = 0 || nedges = 0 then
+        handlers.(prologue_base.(bi)) <-
+          prologue_handler b ~edge:(-1) ~nexth:firsth
+      else
+        for e = 0 to nedges - 1 do
+          handlers.(prologue_base.(bi) + e) <-
+            prologue_handler b ~edge:e ~nexth:firsth
+        done;
+      if bi = pcode.entry && nphis > 0 then
+        handlers.(!entry_prologue) <-
+          prologue_handler b ~edge:(-1) ~nexth:firsth)
+    blocks;
+  {
+    t_handlers = handlers;
+    t_entry = entry_pc;
+    t_nregs = pcode.nregs;
+    t_fname = pcode.fname;
+    t_stage = stage;
+  }
+
+and exec_threaded (vm : vm) (t : tcode) (args : value array) : value =
+  vm.depth <- vm.depth + 1;
+  if vm.depth > vm.max_depth then trap "call stack overflow in %s" t.t_fname;
+  let st = { t_frame = Array.make t.t_nregs Vunit; t_args = args; t_ret = Vunit } in
+  (* one entry into the handler chain; every transition inside is a tail
+     call, and the return handler's plain return unwinds it *)
+  (Array.unsafe_get t.t_handlers t.t_entry) st;
+  vm.depth <- vm.depth - 1;
+  st.t_ret
 
 (* ---------- reference backend: the direct IR walker ---------- *)
 

@@ -23,18 +23,45 @@ open Values
 
 type mode = Interpreted | Compiled
 
-type backend = Prepared | Reference
+type backend = Threaded | Prepared | Reference
+(** [Threaded] (the default): subroutine-threaded closures over prepared
+    code, with profile-guided superinstruction fusion. [Prepared]: the
+    dispatch-match walker over the same pre-decoded form. [Reference]:
+    the direct IR walker. All three implement identical observable
+    semantics. *)
+
+type tstate
+(** Threaded-tier activation state (frame, arguments, return slot). *)
+
+type thandler = tstate -> unit
+(** One handler closure: executes one pre-decoded instruction (or one
+    fused superinstruction) and tail-calls the successor handler —
+    direct threading, with OCaml's tail-call elimination standing in for
+    computed goto. The method-return handler simply returns. *)
+
+type tcode = {
+  t_handlers : thandler array;
+  t_entry : int;
+  t_nregs : int;
+  t_fname : string;
+  t_stage : int;  (** 0 = lowered cold (no fusion), 1 = fusion planned *)
+}
+(** A method lowered for the threaded tier: a flat pc-indexed array of
+    handler closures (block prologues, body segments, terminators). *)
 
 type prepared_entry = {
   src : fn;
   prof : Profile.t;
   gen : int;
   pcode : Prepared.code;
+  mutable tcode : tcode option;
 }
 (** A cache entry remembers the physical body it was translated from and
     the profile (identity + generation) its baked counter cells point
     into; entries whose [src] is not the current body, or whose profile
-    was swapped or cleared, are ignored and replaced. *)
+    was swapped or cleared, are ignored and replaced. The threaded
+    lowering is cached alongside the pcode it was derived from and is
+    re-derived when the method crosses the fusion threshold. *)
 
 type ic_stat = {
   st_site : site;
@@ -44,6 +71,14 @@ type ic_stat = {
   mutable st_mega : int;
 }
 (** Accumulated inline-cache counters of one call site (see {!ic_stats}). *)
+
+type sstat = {
+  ss_pattern : string;
+  mutable ss_sites : int;   (** fused sites emitted *)
+  mutable ss_weight : int;  (** summed hotness of the owning blocks *)
+}
+(** Accumulated mining results of one superinstruction pattern (see
+    {!superinst_stats}). *)
 
 type vm = {
   prog : program;
@@ -61,8 +96,9 @@ type vm = {
   mutable depth : int;
   max_depth : int;
   mutable backend : backend;
-  prepared_cache : (int, prepared_entry) Hashtbl.t;
-  (** prepared code per method and tier, keyed [meth_id * 2 + tier] *)
+  mutable prepared_cache : prepared_entry option array;
+  (** prepared code per method and tier, a dense array indexed by
+      [meth_id * 2 + tier] — this lookup sits on every invocation *)
   mutable code_epoch : int;
   (** bumped by every {!invalidate_code}; a cheap staleness witness *)
   mutable ic_enabled : bool;
@@ -74,10 +110,14 @@ type vm = {
   mutable attrib : Attribution.t option;
   (** per-method cycle attribution ({!enable_attribution}); [None] (the
       default) costs one option check per invocation *)
+  mutable fusion : Prepared.fusion_config;
+  (** superinstruction thresholds for the threaded tier *)
+  superinst : (string, sstat) Hashtbl.t;
+  (** mined pattern table, accumulated across threaded lowerings *)
 }
 
 val create : ?cost:Cost.t -> ?max_steps:int -> ?backend:backend -> program -> vm
-(** [backend] defaults to [Prepared]. *)
+(** [backend] defaults to [Threaded]. *)
 
 val output : vm -> string
 
@@ -103,6 +143,12 @@ val ic_stats : vm -> ic_stat list
 (** Per-site inline-cache statistics: live caches merged with retired
     counters, ordered by (method, site ordinal). Sites with zero
     dispatches are omitted. *)
+
+val superinst_stats : vm -> sstat list
+(** The mined superinstruction table, sorted by pattern — a
+    deterministic function of the program, workload and thresholds.
+    Counts accumulate over every threaded lowering, including
+    re-lowerings of recompiled or invalidated methods. *)
 
 val invoke : vm -> meth_id -> value array -> value
 (** Runs a method through the tier dispatch (compiled body if installed,

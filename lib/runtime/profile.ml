@@ -186,6 +186,23 @@ let block_count t m b =
     | _ -> 0
   else 0
 
+(* The mining frontier for superinstruction fusion: every block of the
+   method whose execution count has reached [threshold], with its count,
+   in block-id order. One pass over the method's dense block slots. *)
+let hot_blocks t m ~(threshold : int) : (bid * int) list =
+  if m >= 0 && m < Array.length t.mprofs then
+    match t.mprofs.(m) with
+    | Some mp ->
+        let acc = ref [] in
+        for b = Array.length mp.blocks - 1 downto 0 do
+          match mp.blocks.(b) with
+          | Some c when !c >= threshold -> acc := (b, !c) :: !acc
+          | _ -> ()
+        done;
+        !acc
+    | None -> []
+  else []
+
 let find_branch (t : t) (site : site) : brec option =
   if site.sidx < 0 then Hashtbl.find_opt t.synth_branches (site.sm, site.sidx)
   else if site.sm >= 0 && site.sm < Array.length t.mprofs then

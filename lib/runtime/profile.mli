@@ -59,6 +59,11 @@ val rsite_distinct : rsite -> int
 val invocation_count : t -> meth_id -> int
 val block_count : t -> meth_id -> bid -> int
 
+val hot_blocks : t -> meth_id -> threshold:int -> (bid * int) list
+(** The sequence-mining frontier for superinstruction fusion: blocks of
+    the method whose execution count is at least [threshold], with their
+    counts, in block-id order. *)
+
 val receiver_count : t -> site -> int
 (** Number of distinct receiver classes observed at a site, in O(1) —
     equal to [List.length (receiver_profile t site)] whenever the site has

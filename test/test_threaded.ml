@@ -1,0 +1,445 @@
+(* Differential tests for the threaded execution tier: the [Threaded]
+   backend — subroutine-threaded handler closures with profile-guided
+   superinstruction fusion — must be observationally identical to both
+   the [Reference] IR walker and the [Prepared] dispatch-match walker:
+   same output, same results, same simulated cycles, same step counts,
+   same folded profiles. Fusion batches the bookkeeping of a linear run
+   of ops into one handler, so these tests deliberately push methods
+   across the fusion thresholds and then look for drift at every
+   observable point, including traps landing mid-segment. *)
+
+open Util
+
+type snap = {
+  output : string;
+  results : string list;
+  cycles : int;
+  steps : int;
+  profile : string;
+  installed : int;
+}
+
+let check_same what (ref_ : snap) (thr : snap) =
+  let s = Alcotest.(check string) and i = Alcotest.(check int) in
+  s (what ^ ": output") ref_.output thr.output;
+  Alcotest.(check (list string)) (what ^ ": results") ref_.results thr.results;
+  i (what ^ ": cycles") ref_.cycles thr.cycles;
+  i (what ^ ": steps") ref_.steps thr.steps;
+  s (what ^ ": profiles") ref_.profile thr.profile;
+  i (what ^ ": installed methods") ref_.installed thr.installed
+
+(* Aggressive thresholds: fuse after a handful of invocations so short
+   test runs exercise the stage-0 -> stage-1 re-lowering and the fused
+   fast path, not just the cold lowering. Fusion is threshold-transparent
+   by design, so any thresholds must produce identical observables. *)
+let eager : Runtime.Prepared.fusion_config =
+  { fuse_invocations = 3; min_block_count = 2; max_fused_len = 8 }
+
+let run_workload ?compiler ?spec_miss_threshold ?fusion ~(hotness : int)
+    ~(iters : int) (backend : Runtime.Interp.backend) (w : Workloads.Defs.t) :
+    snap =
+  let prog = Workloads.Registry.compile w in
+  let engine =
+    Jit.Engine.create ?spec_miss_threshold prog
+      {
+        name = "thr-diff";
+        compiler;
+        hotness_threshold = hotness;
+        compile_cost_per_node = 50;
+        verify = false;
+      }
+  in
+  engine.vm.backend <- backend;
+  (match fusion with Some f -> engine.vm.fusion <- f | None -> ());
+  let results = ref [] in
+  let record v = results := Runtime.Values.to_string v :: !results in
+  record (Jit.Engine.run_main engine);
+  for _ = 1 to iters do
+    record (Jit.Engine.run_meth engine "bench" [ Runtime.Values.Vunit ])
+  done;
+  {
+    output = Jit.Engine.output engine;
+    results = List.rev !results;
+    cycles = engine.vm.cycles;
+    steps = engine.vm.steps;
+    profile = Runtime.Profile.to_text engine.vm.profiles;
+    installed = Jit.Engine.installed_methods engine;
+  }
+
+(* ---------- every workload, three-way, interpreter only ---------- *)
+
+let test_workloads_threaded () =
+  List.iter
+    (fun (w : Workloads.Defs.t) ->
+      (* enough bench invocations to cross [eager.fuse_invocations] *)
+      let run ?fusion b = run_workload ?fusion ~hotness:max_int ~iters:6 b w in
+      let ref_ = run Runtime.Interp.Reference in
+      let pre = run Runtime.Interp.Prepared in
+      let thr = run ~fusion:eager Runtime.Interp.Threaded in
+      check_same (w.name ^ " ref=thr") ref_ thr;
+      check_same (w.name ^ " pre=thr") pre thr)
+    Workloads.Registry.all
+
+(* ---------- tiered: compile, install, invalidate under threading ---------- *)
+
+let test_workloads_tiered_threaded () =
+  let subset =
+    List.filteri (fun i _ -> i mod 3 = 0) Workloads.Registry.all
+  in
+  List.iter
+    (fun (w : Workloads.Defs.t) ->
+      let run ?fusion b =
+        run_workload ?fusion
+          ~compiler:(Util.incremental ())
+          ~spec_miss_threshold:4 ~hotness:3 ~iters:(min w.iters 12) b w
+      in
+      let ref_ = run Runtime.Interp.Reference in
+      let thr = run ~fusion:eager Runtime.Interp.Threaded in
+      check_same (w.name ^ " (tiered)") ref_ thr)
+    subset
+
+(* ---------- random programs ---------- *)
+
+(* A compact generator biased toward what the threaded tier specializes:
+   straight-line fusable runs inside hot loops, phi-carrying loop headers,
+   heap and array traffic, and virtual dispatch (which breaks fusable
+   runs at the call). Deterministic and trap-free by construction. *)
+
+let prelude =
+  {|class Cell(v: Int) {}
+abstract class P { def m(x: Int): Int }
+class P1() extends P { def m(x: Int): Int = x + 1 }
+class P2() extends P { def m(x: Int): Int = x * 2 }
+def poly(i: Int, x: Int): Int = {
+  var p: P = new P1();
+  if (i % 2 == 1) { p = new P2() };
+  p.m(x)
+}
+|}
+
+let gen_line ~vars : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  let atom =
+    oneof
+      [ map string_of_int (int_range 0 9);
+        (if vars = [] then return "1" else oneofl vars) ]
+  in
+  frequency
+    [
+      ( 4,
+        (* a straight fusable run: chained arithmetic *)
+        let* a = atom and* b = atom and* c = atom in
+        let* o1 = oneofl [ "+"; "-"; "*" ] and* o2 = oneofl [ "+"; "*" ] in
+        return (Printf.sprintf "acc = acc + ((%s %s %s) %s (%s / 3));" a o1 b o2 c) );
+      ( 2,
+        let* a = atom and* b = atom in
+        return (Printf.sprintf "acc = acc + (if (%s < %s) { 1 } else { 2 });" a b) );
+      ( 1,
+        let* a = atom and* x = atom in
+        return (Printf.sprintf "acc = acc + poly(%s, %s);" a x) );
+      ( 1,
+        let* e = atom in
+        return (Printf.sprintf "cell.v = cell.v + %s; acc = acc + cell.v;" e) );
+      ( 1,
+        let* e = atom and* i = atom in
+        return
+          (Printf.sprintf "ar[abs(%s) %% 4] = %s; acc = acc + ar[abs(acc) %% 4];" i e)
+      );
+    ]
+
+let gen_program : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* n = int_range 2 6 in
+  let* lines = list_repeat n (gen_line ~vars:[ "a"; "i"; "acc" ]) in
+  let* bound = int_range 3 9 in
+  let f =
+    Printf.sprintf
+      {|def f(a: Int): Int = {
+  var acc = 0;
+  val cell = new Cell(a);
+  val ar = new Array[Int](4);
+  var i = 0;
+  while (i < %d) {
+    %s
+    i = i + 1;
+  };
+  acc
+}|}
+      bound
+      (String.concat "\n    " lines)
+  in
+  let main =
+    {|def main(): Unit = {
+  var i = 0;
+  while (i < 10) { println(f(i)); i = i + 1; }
+}|}
+  in
+  return (prelude ^ f ^ "\n" ^ main)
+
+let program_arbitrary = QCheck.make ~print:(fun s -> s) gen_program
+
+let compile_ok src =
+  match Frontend.Pipeline.compile src with
+  | Ok prog -> prog
+  | Error e ->
+      QCheck.Test.fail_reportf "generated program does not compile: %s@.%s"
+        (Frontend.Pipeline.error_to_string e)
+        src
+
+let vm_snap ?fusion (backend : Runtime.Interp.backend) (src : string) : snap =
+  let prog = compile_ok src in
+  let vm = Runtime.Interp.create ~backend prog in
+  (match fusion with Some f -> vm.fusion <- f | None -> ());
+  let v = Runtime.Interp.run_main vm in
+  {
+    output = Runtime.Interp.output vm;
+    results = [ Runtime.Values.to_string v ];
+    cycles = vm.cycles;
+    steps = vm.steps;
+    profile = Runtime.Profile.to_text vm.profiles;
+    installed = 0;
+  }
+
+let same what (ref_ : snap) (thr : snap) =
+  if ref_ <> thr then
+    QCheck.Test.fail_reportf
+      "%s diverged:@.cycles %d vs %d, steps %d vs %d@.output %S vs %S" what
+      ref_.cycles thr.cycles ref_.steps thr.steps ref_.output thr.output;
+  true
+
+let prop_threaded_interp =
+  QCheck.Test.make ~name:"threaded = reference on random programs (interp)"
+    ~count:50 program_arbitrary (fun src ->
+      let thr = vm_snap ~fusion:eager Runtime.Interp.Threaded src in
+      ignore (same "thr=ref" (vm_snap Runtime.Interp.Reference src) thr);
+      same "thr=pre" (vm_snap Runtime.Interp.Prepared src) thr)
+
+let engine_snap ?fusion (backend : Runtime.Interp.backend) (src : string) : snap =
+  let prog = compile_ok src in
+  let engine =
+    Jit.Engine.create prog
+      {
+        name = "thr-diff";
+        compiler = Some (Util.incremental ());
+        hotness_threshold = 2;
+        compile_cost_per_node = 50;
+        verify = false;
+      }
+  in
+  engine.vm.backend <- backend;
+  (match fusion with Some f -> engine.vm.fusion <- f | None -> ());
+  let v = Jit.Engine.run_main engine in
+  {
+    output = Jit.Engine.output engine;
+    results = [ Runtime.Values.to_string v ];
+    cycles = engine.vm.cycles;
+    steps = engine.vm.steps;
+    profile = Runtime.Profile.to_text engine.vm.profiles;
+    installed = Jit.Engine.installed_methods engine;
+  }
+
+let prop_threaded_tiered =
+  QCheck.Test.make ~name:"threaded = reference on random programs (tiered)"
+    ~count:25 program_arbitrary (fun src ->
+      same "tiered"
+        (engine_snap Runtime.Interp.Reference src)
+        (engine_snap ~fusion:eager Runtime.Interp.Threaded src))
+
+(* ---------- fusion regression: block-entry profile cells ---------- *)
+
+(* A hot loop whose body is one long fusable run. Once past the fusion
+   thresholds the whole run lowers to a single fused handler sitting
+   right behind the block-entry profile cell. The regression this pins:
+   the fused segment must still count every constituent op (steps), must
+   charge exactly [Cost.fused_cost] (= the unfused sum, so the clock
+   agrees with the reference at every call boundary), and the block
+   profile counts must keep ticking identically. *)
+
+let hot_src =
+  {|def bench(): Int = {
+  var acc = 0;
+  var i = 0;
+  while (i < 25) {
+    acc = acc + i * 3 - (i / 2) + (acc % 7);
+    acc = acc + (i - 1) * 2;
+    i = i + 1;
+  };
+  acc
+}
+def main(): Unit = { println(bench()) }|}
+
+let warm_vm (backend : Runtime.Interp.backend) ~(calls : int) :
+    Runtime.Interp.vm * int list =
+  let prog = Util.compile hot_src in
+  let vm = Runtime.Interp.create ~backend prog in
+  ignore (Runtime.Interp.run_main vm);
+  let deltas = ref [] in
+  for _ = 1 to calls do
+    let c0 = vm.cycles in
+    ignore (Runtime.Interp.run_meth vm "bench" [ Runtime.Values.Vunit ]);
+    deltas := (vm.cycles - c0) :: !deltas
+  done;
+  (vm, List.rev !deltas)
+
+let test_fused_block_profile () =
+  (* default thresholds: fuse_invocations = 32, so the first ~31 calls run
+     the cold (unfused) lowering and the rest run fused — the per-call
+     cycle delta must not move across that boundary, and must equal the
+     reference walker's delta for every call *)
+  let calls = 50 in
+  let rvm, rdeltas = warm_vm Runtime.Interp.Reference ~calls in
+  let tvm, tdeltas = warm_vm Runtime.Interp.Threaded ~calls in
+  Alcotest.(check (list int))
+    "per-call cycle deltas identical across the fusion boundary" rdeltas tdeltas;
+  Alcotest.(check int) "steps" rvm.steps tvm.steps;
+  Alcotest.(check int) "cycles" rvm.cycles tvm.cycles;
+  Alcotest.(check string) "folded profiles"
+    (Runtime.Profile.to_text rvm.profiles)
+    (Runtime.Profile.to_text tvm.profiles);
+  let stats = Runtime.Interp.superinst_stats tvm in
+  Alcotest.(check bool) "superinstructions were mined" true (stats <> []);
+  Alcotest.(check bool) "some fused pattern has >= 2 constituents" true
+    (List.exists
+       (fun (s : Runtime.Interp.sstat) -> String.contains s.ss_pattern ';')
+       stats);
+  Alcotest.(check bool) "reference mines nothing" true
+    (Runtime.Interp.superinst_stats rvm = [])
+
+(* The fused total is definitionally the unfused sum — pin the arithmetic
+   the handler's trap fix-up path relies on (prefix sums over this). *)
+let test_fused_cost_identity () =
+  let dispatch = 7 and costs = [ 3; 0; 11; 2 ] in
+  Alcotest.(check int) "fused_cost = sum of dispatch + static"
+    (List.fold_left (fun a c -> a + dispatch + c) 0 costs)
+    (Runtime.Cost.fused_cost ~dispatch costs)
+
+(* ---------- traps landing mid-segment ---------- *)
+
+(* The fused handler batches its step/cycle bookkeeping, then unwinds it
+   when a constituent traps. Sweep the step budget across a window that
+   straddles fused segments: every landing point must report the same
+   message, steps, cycles and output as the reference walker. *)
+
+let budget_snap (backend : Runtime.Interp.backend) (extra : int) :
+    string * int * int * string =
+  let prog = Util.compile hot_src in
+  let vm = Runtime.Interp.create ~backend prog in
+  if backend = Runtime.Interp.Threaded then
+    vm.fusion <- { eager with fuse_invocations = 2 };
+  ignore (Runtime.Interp.run_main vm);
+  (* warm past the (eager) threshold so the next call runs fused *)
+  for _ = 1 to 4 do
+    ignore (Runtime.Interp.run_meth vm "bench" [ Runtime.Values.Vunit ])
+  done;
+  vm.max_steps <- vm.steps + extra;
+  let msg =
+    match Runtime.Interp.run_meth vm "bench" [ Runtime.Values.Vunit ] with
+    | v -> "no trap: " ^ Runtime.Values.to_string v
+    | exception Runtime.Values.Trap m -> m
+  in
+  (msg, vm.steps, vm.cycles, Runtime.Interp.output vm)
+
+let test_budget_mid_segment () =
+  for extra = 1 to 40 do
+    let rmsg, rsteps, rcycles, rout = budget_snap Runtime.Interp.Reference extra in
+    let tmsg, tsteps, tcycles, tout = budget_snap Runtime.Interp.Threaded extra in
+    let what = Printf.sprintf "budget +%d" extra in
+    Alcotest.(check string) (what ^ ": message") rmsg tmsg;
+    Alcotest.(check int) (what ^ ": steps") rsteps tsteps;
+    Alcotest.(check int) (what ^ ": cycles") rcycles tcycles;
+    Alcotest.(check string) (what ^ ": output") rout tout
+  done
+
+(* Division by zero inside what fuses into a segment: the trap must
+   surface at the exact same steps/cycles as stepwise execution. *)
+let test_trap_mid_segment () =
+  let src =
+    {|def bench(d: Int): Int = {
+  var acc = 0;
+  var i = 0;
+  while (i < 6) {
+    acc = acc + i * 2;
+    acc = acc + 100 / (d - i);
+    acc = acc - 1;
+    i = i + 1;
+  };
+  acc
+}
+def main(): Unit = { println(bench(100)) }|}
+  in
+  let snap backend =
+    let prog = Util.compile src in
+    let vm = Runtime.Interp.create ~backend prog in
+    if backend = Runtime.Interp.Threaded then
+      vm.fusion <- { eager with fuse_invocations = 2 };
+    ignore (Runtime.Interp.run_main vm);
+    for _ = 1 to 4 do
+      ignore
+        (Runtime.Interp.run_meth vm "bench"
+           [ Runtime.Values.Vunit; Runtime.Values.Vint 100 ])
+    done;
+    (* now trap mid-loop: d = 3 divides by zero on iteration i = 3 *)
+    let msg =
+      match
+        Runtime.Interp.run_meth vm "bench"
+          [ Runtime.Values.Vunit; Runtime.Values.Vint 3 ]
+      with
+      | v -> "no trap: " ^ Runtime.Values.to_string v
+      | exception Runtime.Values.Trap m -> m
+    in
+    (msg, vm.steps, vm.cycles, Runtime.Profile.to_text vm.profiles)
+  in
+  let rmsg, rsteps, rcycles, rprof = snap Runtime.Interp.Reference in
+  let tmsg, tsteps, tcycles, tprof = snap Runtime.Interp.Threaded in
+  Alcotest.(check string) "message" rmsg tmsg;
+  Alcotest.(check int) "steps at trap" rsteps tsteps;
+  Alcotest.(check int) "cycles at trap" rcycles tcycles;
+  Alcotest.(check string) "profiles at trap" rprof tprof
+
+(* ---------- mined-table determinism ---------- *)
+
+let table_text (stats : Runtime.Interp.sstat list) : string =
+  String.concat "\n"
+    (List.map
+       (fun (s : Runtime.Interp.sstat) ->
+         Printf.sprintf "%s sites=%d weight=%d" s.ss_pattern s.ss_sites
+           s.ss_weight)
+       stats)
+
+let test_superinst_determinism () =
+  let mine () =
+    let vm, _ = warm_vm Runtime.Interp.Threaded ~calls:50 in
+    table_text (Runtime.Interp.superinst_stats vm)
+  in
+  let t1 = mine () and t2 = mine () in
+  Alcotest.(check bool) "table nonempty" true (t1 <> "");
+  Alcotest.(check string) "same run, same mined table" t1 t2
+
+let () =
+  Alcotest.run "threaded"
+    [
+      ( "workloads",
+        [
+          test "all workloads, three-way, interpreter only" test_workloads_threaded;
+          test "workload subset, tiered with invalidation"
+            test_workloads_tiered_threaded;
+        ] );
+      ( "random",
+        [
+          QCheck_alcotest.to_alcotest prop_threaded_interp;
+          QCheck_alcotest.to_alcotest prop_threaded_tiered;
+        ] );
+      ( "fusion",
+        [
+          test "fused segments keep block profiles and costs exact"
+            test_fused_block_profile;
+          test "fused_cost is the unfused sum" test_fused_cost_identity;
+        ] );
+      ( "traps",
+        [
+          test "step budget lands identically mid-segment" test_budget_mid_segment;
+          test "constituent traps unwind batched bookkeeping" test_trap_mid_segment;
+        ] );
+      ( "determinism",
+        [ test "mined superinstruction table is deterministic" test_superinst_determinism ] );
+    ]
