@@ -153,6 +153,62 @@ let traced_jit_run () =
   in
   (w.name, run, summary, attrib, prog)
 
+(* Time-to-peak: the simulated cycle at which a long-running loop first
+   executes as compiled code. With OSR armed the running invocation
+   transfers at the loop header — the first [osr_enter] event for the
+   method. With OSR off the method only runs compiled from its next
+   invocation, after the backedge-driven promotion installs it — the
+   first [install] event. Both marks come off the same deterministic
+   clock, so the collapse ratio (no-OSR over OSR) is stable and gateable
+   in CI. *)
+type ttp = { t_name : string; t_osr : int; t_no_osr : int }
+
+let collapse (t : ttp) : float = float_of_int t.t_no_osr /. float_of_int t.t_osr
+
+let osr_workload_names = [ "long-loop"; "nested-loop" ]
+
+let time_to_peak (w : Workloads.Defs.t) : ttp =
+  let run_one ~(osr : bool) : string list =
+    (* a fresh compiler (and trial cache) per engine: each run compiles
+       its own program instance *)
+    let jit_config : Jit.Engine.config =
+      {
+        name = "incremental";
+        compiler = Some (Common.incremental ());
+        hotness_threshold = Common.hotness_threshold;
+        compile_cost_per_node = Common.compile_cost_per_node;
+        verify = false;
+      }
+    in
+    let sink, lines = Obs.Trace.memory_sink () in
+    Obs.Trace.scoped sink (fun () ->
+        let prog = Workloads.Registry.compile w in
+        let engine = Jit.Engine.create ~osr prog jit_config in
+        ignore
+          (Jit.Harness.run_benchmark ~iters:w.iters engine ~entry:"bench"
+             ~label:w.name));
+    lines ()
+  in
+  let first_cycles ~(kind : string) (lines : string list) : int =
+    let mark l =
+      match Support.Json.of_string l with
+      | Error _ -> None
+      | Ok j ->
+          let str k = Option.bind (Support.Json.member k j) Support.Json.to_string_opt in
+          let int k = Option.bind (Support.Json.member k j) Support.Json.to_int_opt in
+          if str "ev" = Some kind && str "meth" = Some "bench" then int "cycles"
+          else None
+    in
+    match List.filter_map mark lines with
+    | c :: _ -> c
+    | [] -> Fmt.failwith "%s: no %s event for method bench" w.name kind
+  in
+  {
+    t_name = w.name;
+    t_osr = first_cycles ~kind:"osr_enter" (run_one ~osr:true);
+    t_no_osr = first_cycles ~kind:"install" (run_one ~osr:false);
+  }
+
 let run () =
   let nworkloads = List.length Workloads.Registry.all in
   Common.print_header
@@ -245,6 +301,42 @@ let run () =
     traced.Jit.Harness.code_size;
   (* compile-latency distribution of the traced JIT run, off the metrics
      registry's log2 histogram (simulated cycles, so deterministic) *)
+  let ttps =
+    List.map
+      (fun name ->
+        match Workloads.Registry.find name with
+        | Some w -> time_to_peak w
+        | None -> Fmt.failwith "unknown OSR workload %s" name)
+      osr_workload_names
+  in
+  Common.print_table
+    ~columns:[ "workload"; "peak w/ OSR"; "peak w/o OSR"; "collapse" ]
+    ~rows:
+      (List.map
+         (fun t ->
+           [
+             t.t_name;
+             string_of_int t.t_osr;
+             string_of_int t.t_no_osr;
+             Printf.sprintf "%.1fx" (collapse t);
+           ])
+         ttps);
+  Common.note
+    "OSR time-to-peak: cycles until the hot loop runs compiled, \
+     mid-invocation transfer vs next-invocation promotion";
+  let ttp_json =
+    Support.Json.List
+      (List.map
+         (fun t ->
+           Support.Json.Obj
+             [
+               ("name", Support.Json.String t.t_name);
+               ("osr_cycles", Support.Json.Int t.t_osr);
+               ("no_osr_cycles", Support.Json.Int t.t_no_osr);
+               ("collapse", Support.Json.Float (collapse t));
+             ])
+         ttps)
+  in
   let latency = Obs.Metrics.histogram "jit.compile_latency_cycles" in
   let lat_p50 = Obs.Metrics.percentile latency 0.5 in
   let lat_p90 = Obs.Metrics.percentile latency 0.9 in
@@ -275,6 +367,7 @@ let run () =
                 else Support.Json.Float ic_hit_rate );
             ] );
         ("per_workload", per_workload_json);
+        ("osr_time_to_peak", ttp_json);
         ( "trace",
           Support.Json.Obj
             [

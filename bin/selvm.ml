@@ -58,12 +58,13 @@ let load_program ~(file : string option) ~(workload : string option) :
   | Some _, Some _ -> Error "pass either a file or --workload, not both"
   | None, None -> Error "pass a .sel file or --workload NAME"
 
-let make_engine ?compile_fuel ?(threaded = true) prog config hotness verify =
+let make_engine ?compile_fuel ?(threaded = true) ?(osr = true) prog config
+    hotness verify =
   match compiler_of_config config with
   | Error e -> Error e
   | Ok compiler ->
       let e =
-        Jit.Engine.create ?compile_fuel prog
+        Jit.Engine.create ?compile_fuel ~osr prog
           {
             name = config;
             compiler;
@@ -186,6 +187,17 @@ let no_threaded_arg =
            the prepared dispatch-match engine. Output, simulated cycles, steps \
            and profiles are identical either way; only wall-clock differs.")
 
+let no_osr_arg =
+  Arg.(
+    value & flag
+    & info [ "no-osr" ]
+        ~doc:
+          "Kill switch for loop-entry on-stack replacement: long-running \
+           interpreted loops wait for their next invocation instead of \
+           transferring into compiled code mid-invocation. Program output is \
+           identical either way; only warmup latency differs. The \
+           backedge-driven hotness trigger at method entry stays active.")
+
 let compile_fuel_arg =
   Arg.(
     value
@@ -236,7 +248,7 @@ let with_optional_chaos ~(seed : int) ~(rate : float) (f : unit -> 'a) : 'a =
 
 let run_cmd =
   let run file workload config hotness stats verify trace metrics chaos_seed
-      chaos_rate compile_fuel no_threaded =
+      chaos_rate compile_fuel no_threaded no_osr =
     match load_program ~file ~workload with
     | Error e -> fail e
     | Ok (prog, _) -> (
@@ -249,7 +261,7 @@ let run_cmd =
                   with_optional_chaos ~seed:chaos_seed ~rate:chaos_rate (fun () ->
                       match
                         make_engine ?compile_fuel ~threaded:(not no_threaded)
-                          prog config hotness verify
+                          ~osr:(not no_osr) prog config hotness verify
                       with
                       | Error e -> Error e
                       | Ok e -> (
@@ -271,7 +283,7 @@ let run_cmd =
     Term.(
       const run $ file_arg $ workload_arg $ config_arg $ hotness_arg $ stats_arg
       $ verify_arg $ trace_arg $ metrics_arg $ chaos_seed_arg $ chaos_rate_arg
-      $ compile_fuel_arg $ no_threaded_arg)
+      $ compile_fuel_arg $ no_threaded_arg $ no_osr_arg)
 
 (* ---- bench ---- *)
 
@@ -299,7 +311,7 @@ let bench_cmd =
                 timeline) to FILE as JSON.")
   in
   let bench file workload config hotness entry iters save_profiles json trace
-      chaos_seed chaos_rate compile_fuel no_threaded =
+      chaos_seed chaos_rate compile_fuel no_threaded no_osr =
     match load_program ~file ~workload with
     | Error e -> fail e
     | Ok (prog, label) -> (
@@ -309,8 +321,8 @@ let bench_cmd =
           with_optional_trace trace (fun () ->
               with_optional_chaos ~seed:chaos_seed ~rate:chaos_rate (fun () ->
                   match
-                    make_engine ?compile_fuel ~threaded:(not no_threaded) prog
-                      config hotness false
+                    make_engine ?compile_fuel ~threaded:(not no_threaded)
+                      ~osr:(not no_osr) prog config hotness false
                   with
                   | Error e -> Error e
                   | Ok e -> (
@@ -370,7 +382,7 @@ let bench_cmd =
     Term.(
       const bench $ file_arg $ workload_arg $ config_arg $ hotness_arg $ entry_arg
       $ iters_arg $ save_profiles_arg $ json_arg $ trace_arg $ chaos_seed_arg
-      $ chaos_rate_arg $ compile_fuel_arg $ no_threaded_arg)
+      $ chaos_rate_arg $ compile_fuel_arg $ no_threaded_arg $ no_osr_arg)
 
 (* ---- compile ---- *)
 

@@ -1,0 +1,34 @@
+(** Loop extraction for on-stack replacement.
+
+    Outlines the continuation of a function at a loop header into a
+    standalone function (Mosaner-style loop extraction): the extracted body
+    contains every block reachable from the header — remaining loop
+    iterations and the post-loop tail — and returns the original function's
+    result, so a transfer into it is one-way. *)
+
+open Types
+
+type extraction = {
+  x_fn : fn;
+      (** The extracted continuation. Parameters are the live-ins followed
+          by the header's loop-carried phis; [fname] and the result type
+          are inherited from the source function. *)
+  x_live_ins : vid array;
+      (** Frame mapping for parameters [0 .. n-1]: source-function vids
+          (ascending) whose slots hold each live-in at the header. *)
+  x_phis : vid array;
+      (** Frame mapping for parameters [n ..]: the header phi vids, in
+          block order; their slots hold the current loop-carried values
+          once the header's phis have been evaluated. *)
+}
+
+exception Not_extractable of string
+
+val extract_loop : fn -> header:bid -> extraction
+(** [extract_loop fn ~header] extracts the continuation of [fn] at
+    [header]. [fn] itself is not modified ({!Fn.copy} runs first, so vids
+    in the metadata arrays are valid in both functions).
+    @raise Not_extractable when [header] is not a live block, or when a
+    parameter read is reachable from it (the extracted method's arguments
+    are the live-ins and phis, so a region [Param] would read the wrong
+    frame). *)

@@ -65,6 +65,18 @@ let containable = function
   | Out_of_memory | Sys.Break -> false
   | _ -> true
 
+(* Exponential-backoff retry distance after [failures] failed compile
+   attempts: hotness * 2^(failures-1), saturating. The naive shift
+   overflows once failures exceeds the word size — a negative cooldown
+   un-gates recompilation of a method that should be backing off — so
+   both the shift and the product clamp to a huge-but-positive value. *)
+let backoff_cooldown ~(hotness : int) ~(failures : int) : int =
+  if hotness <= 0 then 0
+  else
+    let shift = min (max 0 (failures - 1)) 40 in
+    let mult = 1 lsl shift in
+    if hotness > max_int / mult then max_int / 2 else hotness * mult
+
 (* Engine instruments (registered once; recording is a no-op while
    [Obs.Metrics] is disabled, keeping the hot path clean). *)
 let m_compiles = Obs.Metrics.counter "jit.compiles"
@@ -74,6 +86,14 @@ let m_bailouts = Obs.Metrics.counter "jit.compile_bailouts"
 let m_blacklisted = Obs.Metrics.counter "jit.blacklisted"
 let m_pending_installs = Obs.Metrics.counter "jit.pending_installs"
 let m_compile_latency = Obs.Metrics.histogram "jit.compile_latency_cycles"
+let m_osr_enters = Obs.Metrics.counter "osr.enters"
+let m_osr_exits = Obs.Metrics.counter "osr.exits"
+
+(* Where a synthetic OSR continuation came from: the source method, the
+   loop header it was extracted at, and its extraction generation (an
+   exit continuation of an enter continuation is depth 2, and so on —
+   capped so invalidation/re-enter cycles cannot mint methods forever). *)
+type osr_origin = { od_src : meth_id; od_bid : bid; od_depth : int }
 
 type t = {
   vm : Runtime.Interp.vm;
@@ -113,15 +133,50 @@ type t = {
      (code cache + prepared-code invalidation + accounting + telemetry);
      set when a compiler is configured, used by [flush_pending] *)
   mutable install_pending : meth_id -> fn -> unit;
+  (* --- on-stack replacement (the long-running-loop path) --- *)
+  osr : bool;                      (* enter/exit machinery armed *)
+  osr_threshold : int;
+  (* block (≈ backedge) count that makes a loop hot: OSR-enters an
+     interpreted frame mid-invocation and, folded into [on_entry]'s
+     trigger, promotes a single-invocation hot-loop method at its next
+     call. Finite even when [osr] is off (the trigger fix stands alone). *)
+  osr_sites : (meth_id * bid, Runtime.Interp.osr_transfer) Hashtbl.t;
+  (* (source, header) -> registered enter transfer; one per site, ever *)
+  osr_meta : (meth_id, osr_origin) Hashtbl.t;      (* synthetic -> origin *)
+  osr_no : (meth_id * bid, unit) Hashtbl.t;        (* memoized refusals *)
+  osr_cooldown : (meth_id * bid, int) Hashtbl.t;
+  (* block count gating the next enter/compile attempt at a site *)
+  loop_cache : (meth_id, (fn * Ir.Loops.t) list) Hashtbl.t;
+  (* loop forests per method, matched by physical body (a method has at
+     most a handful of live bodies: interpreted, installed, stale) *)
+  exit_conts : (meth_id * bid, (fn * Runtime.Interp.osr_transfer option) list) Hashtbl.t;
+  (* per (method, header): exit continuations keyed by the physical stale
+     body; [None] memoizes "not extractable — keep running stale code" *)
+  mutable osr_uid : int;           (* synthetic-name uniquifier *)
+  mutable osr_enters : int;
+  mutable osr_exits : int;
 }
+
+(* A loop is OSR-hot well before this many header visits in one
+   invocation would have crossed the invocation-hotness bar; 64 iterations
+   per crossing keeps ordinary short loops promoting through the normal
+   per-call trigger. *)
+let default_osr_threshold (config : config) : int =
+  if config.hotness_threshold > max_int / 64 then max_int
+  else max 1 (config.hotness_threshold * 64)
 
 let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
     ?(max_recompiles = 2) ?(async_compile = false) ?(max_compile_failures = 3)
-    ?compile_fuel (prog : program) (config : config) : t =
+    ?compile_fuel ?(osr = true) ?osr_threshold (prog : program) (config : config) : t =
   (* parse-time canonicalization: prepared bodies are what gets profiled,
      specialized and inlined (idempotent; safe if already prepared) *)
   Opt.Driver.prepare_program prog;
   let vm = Runtime.Interp.create ~cost prog in
+  let osr_threshold =
+    match osr_threshold with
+    | Some n -> max 1 n
+    | None -> default_osr_threshold config
+  in
   let t =
     { vm; config; code_cache = Hashtbl.create 32; compiling = false;
       compile_cycles = 0; compilations = [];
@@ -131,7 +186,13 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
       cooldown = Hashtbl.create 8; invalidations = []; bailouts = [];
       max_compile_failures; failure_counts = Hashtbl.create 8;
       blacklist = Hashtbl.create 8; compile_fuel;
-      install_pending = (fun _ _ -> ()) }
+      install_pending = (fun _ _ -> ());
+      osr = osr && config.compiler <> None && osr_threshold < max_int;
+      osr_threshold;
+      osr_sites = Hashtbl.create 8; osr_meta = Hashtbl.create 8;
+      osr_no = Hashtbl.create 8; osr_cooldown = Hashtbl.create 8;
+      loop_cache = Hashtbl.create 8; exit_conts = Hashtbl.create 8;
+      osr_uid = 0; osr_enters = 0; osr_exits = 0 }
   in
   vm.code <- (fun m -> Hashtbl.find_opt t.code_cache m);
   (* stamp the ambient trace sink (if any) with this engine's simulated
@@ -169,6 +230,19 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
         t.invalidations <- (m, vm.cycles) :: t.invalidations;
         Obs.Metrics.incr m_invalidations;
         Runtime.Interp.record_deopt vm m;
+        (* OSR: wake running compiled frames of this method at their next
+           loop header (they re-validate against the moved epoch and take
+           the OSR-exit path); a synthetic continuation additionally backs
+           its enter site off so the loop does not thrash re-entering *)
+        if t.osr then begin
+          vm.deopt_epoch <- vm.deopt_epoch + 1;
+          match Hashtbl.find_opt t.osr_meta m with
+          | Some o ->
+              Hashtbl.replace t.osr_cooldown (o.od_src, o.od_bid)
+                (Runtime.Profile.block_count vm.profiles o.od_src o.od_bid
+                + t.osr_threshold)
+          | None -> ()
+        end;
         Obs.Trace.emit "invalidate" (fun () ->
             Support.Json.
               [
@@ -178,53 +252,12 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
                 ("recompiles", Int (recompiled + 1));
               ])
       in
-      vm.on_entry <-
-        (fun m ->
-          (* background compilations whose latency has elapsed install at
-             the next entry of their method *)
-          (match Hashtbl.find_opt t.pending m with
-          | Some (body, ready_at) when vm.cycles >= ready_at ->
-              Hashtbl.remove t.pending m;
-              install m body (Ir.Fn.size body)
-          | _ -> ());
-          (* chaos: an invalidation storm throws away installed code, as a
-             burst of spec misses would. Bounded by [max_recompiles] like
-             real invalidations, so the engine still converges under
-             rate=1.0 — after the cap the code stays installed. *)
-          (if
-             Support.Chaos.enabled ()
-             && (not t.compiling)
-             && Hashtbl.mem t.code_cache m
-           then
-             let recompiled =
-               match Hashtbl.find_opt t.recompile_counts m with Some n -> n | None -> 0
-             in
-             if
-               recompiled < t.max_recompiles
-               && Support.Chaos.(roll Invalidation_storm)
-             then begin
-               Obs.Trace.emit "chaos" (fun () ->
-                   Support.Json.
-                     [
-                       ( "fault",
-                         String Support.Chaos.(fault_to_string Invalidation_storm) );
-                       ("m", Int m);
-                       ("meth", String (meth_name m));
-                     ]);
-               invalidate m ~misses:0 ~recompiled
-             end);
-          if
-            (not t.compiling)
-            && (not (Hashtbl.mem t.code_cache m))
-            && (not (Hashtbl.mem t.pending m))
-            && (not (Hashtbl.mem t.blacklist m))
-            && (Ir.Program.meth prog m).body <> None
-            &&
-            let invocations = Runtime.Profile.invocation_count vm.profiles m in
-            invocations + 1 >= config.hotness_threshold
-            && invocations + 1
-               >= (match Hashtbl.find_opt t.cooldown m with Some c -> c | None -> 0)
-          then begin
+      (* the compile pipeline, shared by the invocation-hotness trigger
+         below and the OSR machinery (which compiles the extracted loop
+         continuations through exactly the same chaos / fuel / bailout /
+         blacklist path) *)
+      let compile_now (m : meth_id) : unit =
+          begin
             t.compiling <- true;
             Fun.protect
               ~finally:(fun () -> t.compiling <- false)
@@ -305,10 +338,12 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
                     else
                       (* exponential backoff: the retry gate doubles with
                          every failure, measured in invocations past the
-                         current count *)
+                         current count (saturating — see
+                         [backoff_cooldown]) *)
                       Hashtbl.replace t.cooldown m
                         (Runtime.Profile.invocation_count vm.profiles m
-                        + (config.hotness_threshold * (1 lsl (failures - 1))));
+                        + backoff_cooldown ~hotness:config.hotness_threshold
+                            ~failures);
                     t.bailouts <-
                       { bm = m; reason; at_cycles = vm.cycles; failures; charged;
                         blacklisted }
@@ -353,7 +388,303 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
                         ])
                 end
                 else install m body size)
-          end);
+          end
+      in
+      (* ---------- on-stack replacement ---------- *)
+      let open Runtime.Interp in
+      let max_osr_depth = 3 in
+      (* loop forests per (method, physical body): a method has at most a
+         handful of live bodies (interpreted, installed, stale) *)
+      let loops_for (m : meth_id) (body : fn) : Ir.Loops.t =
+        let cached = try Hashtbl.find t.loop_cache m with Not_found -> [] in
+        match List.find_opt (fun (f, _) -> f == body) cached with
+        | Some (_, li) -> li
+        | None ->
+            let li = Ir.Loops.compute body in
+            Hashtbl.replace t.loop_cache m
+              ((body, li) :: List.filteri (fun i _ -> i < 3) cached);
+            li
+      in
+      (* registers an extracted continuation as a first-class method of
+         the program — compiled, profiled, invalidated and blacklisted by
+         the very same machinery as source methods — and seeds its block
+         profile from the source's, so the inliner sees the loop as hot
+         as it really is *)
+      let register_extraction ~(src_m : meth_id) ~(header : bid)
+          ~(depth : int) ~(kind : string) (x : Ir.Osr.extraction) :
+          meth_id * osr_transfer =
+        t.osr_uid <- t.osr_uid + 1;
+        let name =
+          Printf.sprintf "%s@%s%d.b%d" (meth_name src_m) kind t.osr_uid header
+        in
+        let om =
+          Ir.Program.add_meth prog ~name ~selector:name ~owner:None
+            ~param_tys:x.Ir.Osr.x_fn.param_tys ~rty:x.Ir.Osr.x_fn.rty
+        in
+        Ir.Program.set_body prog om x.Ir.Osr.x_fn;
+        Ir.Fn.iter_blocks
+          (fun b ->
+            let n = Runtime.Profile.block_count vm.profiles src_m b.b_id in
+            if n > 0 then begin
+              let c = Runtime.Profile.block_cell vm.profiles om b.b_id in
+              c := !c + n
+            end)
+          x.Ir.Osr.x_fn;
+        Hashtbl.replace t.osr_meta om
+          { od_src = src_m; od_bid = header; od_depth = depth };
+        ( om,
+          { osr_target = om;
+            osr_live_ins = x.Ir.Osr.x_live_ins;
+            osr_phis = x.Ir.Osr.x_phis } )
+      in
+      let refuse key =
+        Hashtbl.replace t.osr_no key ();
+        Osr_no
+      in
+      let below_cooldown key m b =
+        match Hashtbl.find_opt t.osr_cooldown key with
+        | Some gate -> Runtime.Profile.block_count vm.profiles m b < gate
+        | None -> false
+      in
+      (* a failed continuation compile backs the site off in block counts,
+         doubling with the continuation's failure count *)
+      let arm_cooldown key m b om =
+        let failures =
+          match Hashtbl.find_opt t.failure_counts om with Some n -> n | None -> 1
+        in
+        Hashtbl.replace t.osr_cooldown key
+          (Runtime.Profile.block_count vm.profiles m b
+          + backoff_cooldown ~hotness:t.osr_threshold ~failures)
+      in
+      let enter (m, b) (tr : osr_transfer) =
+        let om = tr.osr_target in
+        t.osr_enters <- t.osr_enters + 1;
+        Obs.Metrics.incr m_osr_enters;
+        Obs.Trace.emit "osr_enter" (fun () ->
+            Support.Json.
+              [
+                ("m", Int m);
+                ("meth", String (meth_name m));
+                ("header", Int b);
+                ("count", Int (Runtime.Profile.block_count vm.profiles m b));
+                ("osr_m", Int om);
+                ("osr_meth", String (meth_name om));
+              ]);
+        Osr_enter tr
+      in
+      (* an interpreted frame crossed [osr_threshold] at block [b] of
+         method [m]: extract-and-compile the loop continuation (once per
+         site), then hand the transfer back. Every refusal is memoized —
+         backend checkpoints stop consulting us — and every failure
+         degrades to Osr_wait/Osr_no: the frame simply keeps
+         interpreting. *)
+      let on_osr (m : meth_id) (b : bid) : osr_verdict =
+        let key = (m, b) in
+        if t.compiling then Osr_wait
+        else if Hashtbl.mem t.osr_no key then Osr_no
+        else
+          match (Ir.Program.meth prog m).body with
+          | None -> refuse key
+          | Some body ->
+              if not (Ir.Loops.is_header (loops_for m body) b) then refuse key
+              else (
+                match Hashtbl.find_opt t.osr_sites key with
+                | Some tr ->
+                    let om = tr.osr_target in
+                    (* async: a continuation produced earlier installs
+                       once its simulated latency elapsed *)
+                    (match Hashtbl.find_opt t.pending om with
+                    | Some (obody, ready_at) when vm.cycles >= ready_at ->
+                        Hashtbl.remove t.pending om;
+                        install om obody (Ir.Fn.size obody)
+                    | _ -> ());
+                    if Hashtbl.mem t.code_cache om then enter key tr
+                    else if Hashtbl.mem t.pending om then Osr_wait
+                    else if Hashtbl.mem t.blacklist om then refuse key
+                    else if
+                      (match Hashtbl.find_opt t.recompile_counts om with
+                      | Some n -> n
+                      | None -> 0)
+                      >= t.max_recompiles
+                    then refuse key
+                    else if below_cooldown key m b then Osr_wait
+                    else begin
+                      compile_now om;
+                      if Hashtbl.mem t.code_cache om then enter key tr
+                      else begin
+                        arm_cooldown key m b om;
+                        Osr_wait
+                      end
+                    end
+                | None ->
+                    let depth =
+                      match Hashtbl.find_opt t.osr_meta m with
+                      | Some o -> o.od_depth
+                      | None -> 0
+                    in
+                    if depth >= max_osr_depth then refuse key
+                    else if below_cooldown key m b then Osr_wait
+                    else (
+                      match
+                        let x = Ir.Osr.extract_loop body ~header:b in
+                        Ir.Verify.check x.Ir.Osr.x_fn;
+                        x
+                      with
+                      | exception e when containable e -> refuse key
+                      | x ->
+                          let om, tr =
+                            register_extraction ~src_m:m ~header:b
+                              ~depth:(depth + 1) ~kind:"osr" x
+                          in
+                          Hashtbl.replace t.osr_sites key tr;
+                          compile_now om;
+                          if Hashtbl.mem t.code_cache om then enter key tr
+                          else begin
+                            arm_cooldown key m b om;
+                            Osr_wait
+                          end))
+      in
+      let exit_to m b (tr : osr_transfer) =
+        t.osr_exits <- t.osr_exits + 1;
+        Obs.Metrics.incr m_osr_exits;
+        Obs.Trace.emit "osr_exit" (fun () ->
+            Support.Json.
+              [
+                ("m", Int m);
+                ("meth", String (meth_name m));
+                ("header", Int b);
+                ("reason", String "invalidate");
+                ("osr_m", Int tr.osr_target);
+              ]);
+        Exit_to tr
+      in
+      (* a compiled frame saw the deopt epoch move at block [b]: if its
+         code object is still the installed one, re-snapshot and keep
+         going; if it is stale, transfer out into a freshly extracted
+         *interpreted* continuation at the next loop header. Extraction
+         failures memoize to Exit_stay — stale code is still correct
+         code, it just stops being preferred. *)
+      let on_osr_exit (m : meth_id) (src : fn) (b : bid) : osr_exit_verdict =
+        match Hashtbl.find_opt t.code_cache m with
+        | Some cur when cur == src -> Exit_stay
+        | _ ->
+            if not (Ir.Loops.is_header (loops_for m src) b) then Exit_watch
+            else
+              let key = (m, b) in
+              let conts = try Hashtbl.find t.exit_conts key with Not_found -> [] in
+              (match List.find_opt (fun (f, _) -> f == src) conts with
+              | Some (_, Some tr) -> exit_to m b tr
+              | Some (_, None) -> Exit_stay
+              | None ->
+                  let depth =
+                    match Hashtbl.find_opt t.osr_meta m with
+                    | Some o -> o.od_depth
+                    | None -> 0
+                  in
+                  let cont =
+                    if depth >= max_osr_depth then None
+                    else
+                      match
+                        let x = Ir.Osr.extract_loop src ~header:b in
+                        Ir.Verify.check x.Ir.Osr.x_fn;
+                        x
+                      with
+                      | exception e when containable e -> None
+                      | x ->
+                          let _om, tr =
+                            register_extraction ~src_m:m ~header:b
+                              ~depth:(depth + 1) ~kind:"deopt" x
+                          in
+                          Some tr
+                  in
+                  Hashtbl.replace t.exit_conts key ((src, cont) :: conts);
+                  (match cont with
+                  | Some tr -> exit_to m b tr
+                  | None -> Exit_stay))
+      in
+      (* a trap is unwinding out of an entered continuation: record the
+         OSR-exit (the trap itself propagates unchanged — output parity
+         with the no-OSR run is the exactness invariant) *)
+      let on_osr_abort (om : meth_id) : unit =
+        let src, b =
+          match Hashtbl.find_opt t.osr_meta om with
+          | Some o -> (o.od_src, o.od_bid)
+          | None -> (om, -1)
+        in
+        t.osr_exits <- t.osr_exits + 1;
+        Obs.Metrics.incr m_osr_exits;
+        Obs.Trace.emit "osr_exit" (fun () ->
+            Support.Json.
+              [
+                ("m", Int src);
+                ("meth", String (meth_name src));
+                ("header", Int b);
+                ("reason", String "trap");
+                ("osr_m", Int om);
+              ])
+      in
+      if t.osr then begin
+        vm.osr_threshold <- t.osr_threshold;
+        vm.osr_exit_armed <- true;
+        vm.on_osr <- on_osr;
+        vm.on_osr_exit <- on_osr_exit;
+        vm.on_osr_abort <- on_osr_abort;
+        vm.osr_headers <-
+          (fun m body b -> Ir.Loops.is_header (loops_for m body) b)
+      end;
+      vm.on_entry <-
+        (fun m ->
+          (* background compilations whose latency has elapsed install at
+             the next entry of their method *)
+          (match Hashtbl.find_opt t.pending m with
+          | Some (body, ready_at) when vm.cycles >= ready_at ->
+              Hashtbl.remove t.pending m;
+              install m body (Ir.Fn.size body)
+          | _ -> ());
+          (* chaos: an invalidation storm throws away installed code, as a
+             burst of spec misses would. Bounded by [max_recompiles] like
+             real invalidations, so the engine still converges under
+             rate=1.0 — after the cap the code stays installed. *)
+          (if
+             Support.Chaos.enabled ()
+             && (not t.compiling)
+             && Hashtbl.mem t.code_cache m
+           then
+             let recompiled =
+               match Hashtbl.find_opt t.recompile_counts m with Some n -> n | None -> 0
+             in
+             if
+               recompiled < t.max_recompiles
+               && Support.Chaos.(roll Invalidation_storm)
+             then begin
+               Obs.Trace.emit "chaos" (fun () ->
+                   Support.Json.
+                     [
+                       ( "fault",
+                         String Support.Chaos.(fault_to_string Invalidation_storm) );
+                       ("m", Int m);
+                       ("meth", String (meth_name m));
+                     ]);
+               invalidate m ~misses:0 ~recompiled
+             end);
+          if
+            (not t.compiling)
+            && (not (Hashtbl.mem t.code_cache m))
+            && (not (Hashtbl.mem t.pending m))
+            && (not (Hashtbl.mem t.blacklist m))
+            && (Ir.Program.meth prog m).body <> None
+            &&
+            let invocations = Runtime.Profile.invocation_count vm.profiles m in
+            (invocations + 1 >= config.hotness_threshold
+            (* backedge-driven hotness: a method whose loop crossed the
+               OSR bar promotes at its next call even if its invocation
+               count never will (the single-invocation blind spot) *)
+            || (t.osr_threshold < max_int
+               && Runtime.Profile.max_block_count vm.profiles m
+                  >= t.osr_threshold))
+            && invocations + 1
+               >= (match Hashtbl.find_opt t.cooldown m with Some c -> c | None -> 0)
+          then compile_now m);
       vm.on_spec_miss <-
         (fun m _site ->
           if t.spec_miss_threshold < max_int && Hashtbl.mem t.code_cache m then begin
@@ -458,6 +789,7 @@ let g_ic_hits = Obs.Metrics.gauge "ic.hits"
 let g_ic_misses = Obs.Metrics.gauge "ic.misses"
 let g_ic_megamorphic = Obs.Metrics.gauge "ic.megamorphic"
 let m_ic_hit_rate = Obs.Metrics.histogram "ic.site_hit_rate_pct"
+let g_osr_methods = Obs.Metrics.gauge "osr.methods"
 let g_superinst_patterns = Obs.Metrics.gauge "superinst.patterns"
 let g_superinst_sites = Obs.Metrics.gauge "superinst.fused_sites"
 let g_superinst_weight = Obs.Metrics.gauge "superinst.fused_weight"
@@ -498,7 +830,8 @@ let snapshot_metrics (t : t) : unit =
         s.ss_sites)
     sstats;
   Obs.Metrics.set g_superinst_sites !sites;
-  Obs.Metrics.set g_superinst_weight !weight
+  Obs.Metrics.set g_superinst_weight !weight;
+  Obs.Metrics.set g_osr_methods (Hashtbl.length t.osr_meta)
 
 let bailout_stats (t : t) : bailout_stats =
   {

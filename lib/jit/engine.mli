@@ -45,6 +45,17 @@ val containable : exn -> bool
 (** Which exceptions a compiler invocation may fail with and be contained
     (all but host-process conditions: [Out_of_memory], [Sys.Break]). *)
 
+val backoff_cooldown : hotness:int -> failures:int -> int
+(** Exponential-backoff retry distance after [failures] failed compile
+    attempts: [hotness * 2^(failures-1)], saturating at a large positive
+    value instead of overflowing to a negative one (which would un-gate
+    recompilation of a method that should be backing off). *)
+
+type osr_origin = { od_src : meth_id; od_bid : bid; od_depth : int }
+(** Provenance of a synthetic OSR continuation: source method, the loop
+    header it was extracted at, and its extraction generation (capped so
+    invalidate/re-enter cycles cannot mint methods forever). *)
+
 type t = {
   vm : Runtime.Interp.vm;
   config : config;
@@ -73,11 +84,34 @@ type t = {
   mutable install_pending : meth_id -> fn -> unit;
   (** installs a pending body through the normal install path; wired by
       {!create} when a compiler is configured, used by {!flush_pending} *)
+  osr : bool;
+  (** loop-entry OSR armed (a compiler is configured and the kill switch
+      was not thrown) *)
+  osr_threshold : int;
+  (** block (≈ backedge) count that makes a loop hot — triggers both the
+      mid-invocation OSR transfer and the [on_entry] promotion of
+      single-invocation hot-loop methods. Finite even with [osr] off. *)
+  osr_sites : (meth_id * bid, Runtime.Interp.osr_transfer) Hashtbl.t;
+  (** (source method, header) -> registered enter transfer *)
+  osr_meta : (meth_id, osr_origin) Hashtbl.t;
+  (** synthetic continuation -> provenance *)
+  osr_no : (meth_id * bid, unit) Hashtbl.t;  (** memoized refusals *)
+  osr_cooldown : (meth_id * bid, int) Hashtbl.t;
+  (** block count gating the next enter/compile attempt at a site *)
+  loop_cache : (meth_id, (fn * Ir.Loops.t) list) Hashtbl.t;
+  (** loop forests per method, matched by physical body *)
+  exit_conts : (meth_id * bid, (fn * Runtime.Interp.osr_transfer option) list) Hashtbl.t;
+  (** exit continuations per (method, header), keyed by the physical
+      stale body; [None] memoizes "not extractable, keep running" *)
+  mutable osr_uid : int;
+  mutable osr_enters : int;  (** OSR transfers taken (enter direction) *)
+  mutable osr_exits : int;   (** OSR exits (invalidation transfers + trap unwinds) *)
 }
 
 val create :
   ?cost:Runtime.Cost.t -> ?spec_miss_threshold:int -> ?max_recompiles:int ->
   ?async_compile:bool -> ?max_compile_failures:int -> ?compile_fuel:int ->
+  ?osr:bool -> ?osr_threshold:int ->
   program -> config -> t
 (** Also runs {!Opt.Driver.prepare_program} so profiles are collected
     against prepared IR.
@@ -106,7 +140,19 @@ val create :
     (the paper's Section II.2 "compilation impact"): produced code installs
     only once its simulated compile latency (size × [compile_cost_per_node])
     has elapsed on the execution clock; the method keeps interpreting — and
-    profiling — in the meantime. *)
+    profiling — in the meantime.
+
+    On-stack replacement ([osr], default true; only meaningful with a
+    compiler): when an interpreted frame's block counter crosses
+    [osr_threshold] (default [hotness_threshold * 64]) at a loop header,
+    the engine extracts the loop continuation ({!Ir.Osr}), compiles it
+    through the normal pipeline and transfers the frame into it
+    mid-invocation; invalidations bump a deopt epoch that makes running
+    compiled frames OSR-exit into interpreted continuations at their next
+    loop header. Program outputs are bit-identical with OSR on, off, and
+    under the reference interpreter. [osr:false] is the kill switch: no
+    checkpoints fire and no epoch moves, but the backedge-driven
+    [on_entry] trigger (a bugfix, not a speculation) stays active. *)
 
 val run_main : t -> Runtime.Values.value
 val run_meth : t -> string -> Runtime.Values.value list -> Runtime.Values.value
@@ -151,11 +197,12 @@ val blacklisted : t -> meth_id -> bool
 val snapshot_metrics : t -> unit
 (** Publishes end-of-run state into {!Obs.Metrics} gauges (installed code
     size and method count, compile cycles, VM cycles/steps, aggregate IC
-    counters, the mined superinstruction table as [superinst.*] gauges)
+    counters, the mined superinstruction table as [superinst.*] gauges,
+    the registered OSR continuation count as [osr.methods])
     and the per-site IC hit-rate histogram. Event-shaped
-    counters (compiles, installs, invalidations, bailouts, …) accrue
-    live; this snapshot covers the point-in-time values only. A no-op
-    while metrics are disabled. *)
+    counters (compiles, installs, invalidations, bailouts, osr
+    enters/exits, …) accrue live; this snapshot covers the point-in-time
+    values only. A no-op while metrics are disabled. *)
 
 val bailout_stats : t -> bailout_stats
 (** Aggregate failure picture of the run: how many compilation attempts

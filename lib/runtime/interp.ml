@@ -35,6 +35,32 @@ type mode = Interpreted | Compiled
 
 type backend = Threaded | Prepared | Reference
 
+(* On-stack replacement. The engine (not the runtime) owns the policy;
+   the backends only provide checkpoints at loop headers:
+
+   - Enter (interpreted frames): once a block's execution counter crosses
+     [vm.osr_threshold], the backend consults [vm.on_osr]. [Osr_enter]
+     hands back a transfer: the target method is the extracted loop
+     continuation ([Ir.Osr]), and the vid arrays are the frame mapping —
+     the backend reads exactly those slots (live-ins, then the
+     loop-carried phi values current after this header's phi moves), in
+     order, as the continuation's arguments. The transfer is one-way: the
+     continuation's result is the activation's result.
+   - Exit (compiled frames): each activation snapshots [vm.deopt_epoch];
+     when an invalidation bumps it, the frame consults [vm.on_osr_exit]
+     at the next loop header and either keeps running ([Exit_stay] —
+     still-current code re-snapshots, [Exit_watch] keeps probing) or
+     transfers into an interpreted continuation of the stale body
+     ([Exit_to], same frame-mapping contract). *)
+type osr_transfer = {
+  osr_target : meth_id;
+  osr_live_ins : vid array;
+  osr_phis : vid array;
+}
+
+type osr_verdict = Osr_no | Osr_wait | Osr_enter of osr_transfer
+type osr_exit_verdict = Exit_stay | Exit_watch | Exit_to of osr_transfer
+
 (* Threaded-tier activation state: the only values a handler closure
    cannot capture at lowering time (they are per-call, the closures are
    per-method). Everything else — operand registers, static costs, bound
@@ -44,6 +70,8 @@ type tstate = {
   t_frame : value array;
   t_args : value array;
   mutable t_ret : value;
+  mutable t_depoch : int;
+      (* the deopt epoch this activation last validated against *)
 }
 
 type thandler = tstate -> unit
@@ -106,6 +134,23 @@ type vm = {
   (* fired when compiled code reaches the residual virtual call of a
      typeswitch (a synthetic site): the speculation missed *)
   mutable on_spec_miss : meth_id -> site -> unit;
+  (* --- on-stack replacement (policy lives in [Jit.Engine]) --- *)
+  mutable osr_threshold : int;
+      (* block count at which an interpreted frame consults [on_osr];
+         [max_int] (the default) disables the enter checkpoints *)
+  mutable on_osr : meth_id -> bid -> osr_verdict;
+  mutable osr_headers : meth_id -> fn -> bid -> bool;
+      (* lowering-time filter: which blocks get checkpoint guards in the
+         threaded tier (loop headers only, so straight-line code and
+         non-header blocks pay nothing per entry) *)
+  mutable deopt_epoch : int;
+      (* bumped by the engine on every invalidation while OSR is armed;
+         compiled frames re-validate at loop headers when it moved *)
+  mutable osr_exit_armed : bool;
+      (* whether compiled threaded lowerings get OSR-exit guards *)
+  mutable on_osr_exit : meth_id -> fn -> bid -> osr_exit_verdict;
+  mutable on_osr_abort : meth_id -> unit;
+      (* a trap is unwinding out of an entered OSR continuation *)
   mutable steps : int;
   mutable max_steps : int;
   mutable depth : int;
@@ -138,6 +183,13 @@ let create ?(cost = Cost.default) ?(max_steps = 500_000_000)
     code = (fun _ -> None);
     on_entry = (fun _ -> ());
     on_spec_miss = (fun _ _ -> ());
+    osr_threshold = max_int;
+    on_osr = (fun _ _ -> Osr_no);
+    osr_headers = (fun _ _ _ -> false);
+    deopt_epoch = 0;
+    osr_exit_armed = false;
+    on_osr_exit = (fun _ _ _ -> Exit_stay);
+    on_osr_abort = (fun _ -> ());
     steps = 0;
     max_steps;
     depth = 0;
@@ -393,18 +445,46 @@ let rec invoke (vm : vm) (m : meth_id) (args : value array) : value =
                   Attribution.leave a ~now:vm.cycles;
                   raise e)))
 
+(* One-way OSR transfer: charge like a direct call, marshal the frame
+   mapping (live-ins, then the loop-carried phi values) out of the
+   running frame via [read] and invoke the continuation method; its
+   result IS the original activation's result. [abort] wraps
+   enter-transfers so the engine can observe a trap unwinding out of the
+   continuation (it emits an osr_exit with reason "trap") before the
+   exception propagates further. *)
+and osr_call (vm : vm) ?(abort = false) (tr : osr_transfer)
+    (read : vid -> value) : value =
+  charge vm (Cost.call_overhead vm.cost ~virtual_:false ~targets:1);
+  let n = Array.length tr.osr_live_ins in
+  let np = Array.length tr.osr_phis in
+  let cargs = Array.make (n + np) Vunit in
+  for i = 0 to n - 1 do
+    cargs.(i) <- read tr.osr_live_ins.(i)
+  done;
+  for i = 0 to np - 1 do
+    cargs.(n + i) <- read tr.osr_phis.(i)
+  done;
+  if abort then (
+    try invoke vm tr.osr_target cargs
+    with e ->
+      vm.on_osr_abort tr.osr_target;
+      raise e)
+  else invoke vm tr.osr_target cargs
+
 and exec_installed (vm : vm) (m : meth_id) (cfn : fn) (args : value array) : value =
   match vm.backend with
   | Reference -> exec_ref vm ~mode:Compiled ~meth:m cfn args
   | Prepared ->
-      exec_code vm ~mode:Compiled ~meth:m (prepared_for vm ~mode:Compiled m cfn) args
+      exec_code vm ~mode:Compiled ~meth:m ~src:cfn
+        (prepared_for vm ~mode:Compiled m cfn) args
   | Threaded -> exec_threaded vm (threaded_for vm ~mode:Compiled m cfn) args
 
 and exec_interp (vm : vm) (m : meth_id) (fn : fn) (args : value array) : value =
   match vm.backend with
   | Reference -> exec_ref vm ~mode:Interpreted ~meth:m fn args
   | Prepared ->
-      exec_code vm ~mode:Interpreted ~meth:m (prepared_for vm ~mode:Interpreted m fn) args
+      exec_code vm ~mode:Interpreted ~meth:m ~src:fn
+        (prepared_for vm ~mode:Interpreted m fn) args
   | Threaded -> exec_threaded vm (threaded_for vm ~mode:Interpreted m fn) args
 
 and exec (vm : vm) ~(mode : mode) ~(meth : meth_id) (fn : fn) (args : value array) :
@@ -414,10 +494,14 @@ and exec (vm : vm) ~(mode : mode) ~(meth : meth_id) (fn : fn) (args : value arra
   | Prepared ->
       (* one-shot bodies (tests pinning a tier on a synthetic fn) are
          prepared per call; cached paths go through [invoke] *)
-      exec_code vm ~mode ~meth (Prepared.prepare ~cost:vm.cost vm.prog fn) args
+      exec_code vm ~mode ~meth ~src:fn
+        (Prepared.prepare ~cost:vm.cost vm.prog fn) args
   | Threaded ->
       let pcode = Prepared.prepare ~cost:vm.cost vm.prog fn in
-      let t = lower_threaded vm ~mode ~meth pcode ~stage:(stage_for vm ~mode meth) in
+      let t =
+        lower_threaded vm ~mode ~meth ~src:fn pcode
+          ~stage:(stage_for vm ~mode meth)
+      in
       exec_threaded vm t args
 
 (* Cached threaded code for a method: shares the prepared-cache entry
@@ -435,14 +519,14 @@ and threaded_for (vm : vm) ~(mode : mode) (m : meth_id) (fn : fn) : tcode =
       match cached with
       | Some t when t.t_stage = stage -> t
       | _ ->
-          let t = lower_threaded vm ~mode ~meth:m entry.pcode ~stage in
+          let t = lower_threaded vm ~mode ~meth:m ~src:fn entry.pcode ~stage in
           entry.tcode <- Some t;
           t)
 
 (* ---------- prepared backend ---------- *)
 
-and exec_code (vm : vm) ~(mode : mode) ~(meth : meth_id) (code : Prepared.code)
-    (args : value array) : value =
+and exec_code (vm : vm) ~(mode : mode) ~(meth : meth_id) ~(src : fn)
+    (code : Prepared.code) (args : value array) : value =
   vm.depth <- vm.depth + 1;
   if vm.depth > vm.max_depth then trap "call stack overflow in %s" code.fname;
   let dispatch =
@@ -454,6 +538,9 @@ and exec_code (vm : vm) ~(mode : mode) ~(meth : meth_id) (code : Prepared.code)
   let phi_cost = dispatch + vm.cost.phi in
   let frame = Array.make code.nregs Vunit in
   let blocks = code.blocks in
+  (* OSR: compiled activations re-validate against the engine at loop
+     headers only after an invalidation moved the deopt epoch *)
+  let depoch = ref vm.deopt_epoch in
   let rec run (bi : int) (edge : int) : value =
     let b : Prepared.pblock = blocks.(bi) in
     (* blocks count as steps too: an instruction-free cycle (possible after
@@ -500,6 +587,31 @@ and exec_code (vm : vm) ~(mode : mode) ~(meth : meth_id) (code : Prepared.code)
         done
       end
     end;
+    (* OSR checkpoints sit after the phi moves, so the loop-carried slots
+       hold the current iteration's values when a transfer reads them *)
+    if profiling then
+      if
+        (not b.osr_skip)
+        && (match b.prof.cell with
+           | Some c -> !c >= vm.osr_threshold
+           | None -> false)
+      then (
+        match vm.on_osr meth b.src_bid with
+        | Osr_no ->
+            b.osr_skip <- true;
+            finish b
+        | Osr_wait -> finish b
+        | Osr_enter tr -> osr_call vm ~abort:true tr (fun v -> frame.(v)))
+      else finish b
+    else if vm.deopt_epoch <> !depoch then (
+      match vm.on_osr_exit meth src b.src_bid with
+      | Exit_stay ->
+          depoch := vm.deopt_epoch;
+          finish b
+      | Exit_watch -> finish b
+      | Exit_to tr -> osr_call vm tr (fun v -> frame.(v)))
+    else finish b
+  and finish (b : Prepared.pblock) : value =
     let body = b.body in
     for i = 0 to Array.length body - 1 do
       let pi = body.(i) in
@@ -634,7 +746,7 @@ and exec_code (vm : vm) ~(mode : mode) ~(meth : meth_id) (code : Prepared.code)
    replayed stepwise so the trap lands on the precise constituent. The
    differential suite pins all of this. *)
 
-and lower_threaded (vm : vm) ~(mode : mode) ~(meth : meth_id)
+and lower_threaded (vm : vm) ~(mode : mode) ~(meth : meth_id) ~(src : fn)
     (pcode : Prepared.code) ~(stage : int) : tcode =
   let cfg = vm.fusion in
   let profiling = mode = Interpreted in
@@ -1072,6 +1184,39 @@ and lower_threaded (vm : vm) ~(mode : mode) ~(meth : meth_id)
           nexth st
     end
   in
+  (* OSR checkpoint guards, spliced between a block's prologue and its
+     first body segment — but only for loop headers (the [osr_headers]
+     hook), so every other block's wiring is untouched. A transfer stores
+     the continuation's result in [t_ret] and does not call the next
+     handler: the tail-call chain simply unwinds to [exec_threaded]. *)
+  let enter_guard (b : Prepared.pblock) ~(nexth : thandler) : thandler =
+    let holder = b.prof in
+    fun st ->
+      match holder.cell with
+      | Some c when (not b.osr_skip) && !c >= vm.osr_threshold -> (
+          match vm.on_osr meth b.src_bid with
+          | Osr_no ->
+              b.osr_skip <- true;
+              nexth st
+          | Osr_wait -> nexth st
+          | Osr_enter tr ->
+              let f = st.t_frame in
+              st.t_ret <- osr_call vm ~abort:true tr (fun v -> f.(v)))
+      | _ -> nexth st
+  in
+  let exit_guard (b : Prepared.pblock) ~(nexth : thandler) : thandler =
+    fun st ->
+      if vm.deopt_epoch <> st.t_depoch then (
+        match vm.on_osr_exit meth src b.src_bid with
+        | Exit_stay ->
+            st.t_depoch <- vm.deopt_epoch;
+            nexth st
+        | Exit_watch -> nexth st
+        | Exit_to tr ->
+            let f = st.t_frame in
+            st.t_ret <- osr_call vm tr (fun v -> f.(v)))
+      else nexth st
+  in
   let term_handler (b : Prepared.pblock) : thandler =
     let tc = b.term_cost in
     match b.term with
@@ -1135,6 +1280,15 @@ and lower_threaded (vm : vm) ~(mode : mode) ~(meth : meth_id)
                (Array.sub b.body seg.Prepared.seg_start seg.Prepared.seg_len))
       done;
       let firsth = handlers.(first) in
+      let firsth =
+        if profiling then
+          if vm.osr_threshold < max_int && vm.osr_headers meth src b.src_bid
+          then enter_guard b ~nexth:firsth
+          else firsth
+        else if vm.osr_exit_armed && vm.osr_headers meth src b.src_bid then
+          exit_guard b ~nexth:firsth
+        else firsth
+      in
       let nphis = Array.length b.phi_dests in
       let nedges = Array.length b.pred_bids in
       if nphis = 0 || nedges = 0 then
@@ -1160,7 +1314,10 @@ and lower_threaded (vm : vm) ~(mode : mode) ~(meth : meth_id)
 and exec_threaded (vm : vm) (t : tcode) (args : value array) : value =
   vm.depth <- vm.depth + 1;
   if vm.depth > vm.max_depth then trap "call stack overflow in %s" t.t_fname;
-  let st = { t_frame = Array.make t.t_nregs Vunit; t_args = args; t_ret = Vunit } in
+  let st =
+    { t_frame = Array.make t.t_nregs Vunit; t_args = args; t_ret = Vunit;
+      t_depoch = vm.deopt_epoch }
+  in
   (* one entry into the handler chain; every transition inside is a tail
      call, and the return handler's plain return unwinds it *)
   (Array.unsafe_get t.t_handlers t.t_entry) st;
@@ -1256,6 +1413,9 @@ and exec_ref (vm : vm) ~(mode : mode) ~(meth : meth_id) (fn : fn) (args : value 
     in
     Hashtbl.replace env i.id result
   in
+  (* OSR: compiled activations re-validate against the engine at loop
+     headers only after an invalidation moved the deopt epoch *)
+  let depoch = ref vm.deopt_epoch in
   let rec run (prev : bid) (b : bid) : value =
     (* blocks count as steps too: an instruction-free cycle (possible after
        aggressive DCE) must still exhaust the step budget *)
@@ -1281,6 +1441,26 @@ and exec_ref (vm : vm) ~(mode : mode) ~(meth : meth_id) (fn : fn) (args : value 
     in
     let phi_values = eval_phis blk.instrs in
     List.iter (fun (v, value) -> Hashtbl.replace env v value) phi_values;
+    (* OSR checkpoints sit after the phi moves, so the loop-carried values
+       are current when a transfer reads them *)
+    if profiling then
+      if
+        vm.osr_threshold < max_int
+        && Profile.block_count vm.profiles meth b >= vm.osr_threshold
+      then (
+        match vm.on_osr meth b with
+        | Osr_no | Osr_wait -> finish b blk
+        | Osr_enter tr -> osr_call vm ~abort:true tr get)
+      else finish b blk
+    else if vm.deopt_epoch <> !depoch then (
+      match vm.on_osr_exit meth fn b with
+      | Exit_stay ->
+          depoch := vm.deopt_epoch;
+          finish b blk
+      | Exit_watch -> finish b blk
+      | Exit_to tr -> osr_call vm tr get)
+    else finish b blk
+  and finish (b : bid) (blk : block) : value =
     let non_phis =
       List.filter (fun v -> not (Ir.Instr.is_phi (Ir.Fn.kind fn v))) blk.instrs
     in

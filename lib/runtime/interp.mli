@@ -30,6 +30,29 @@ type backend = Threaded | Prepared | Reference
     the direct IR walker. All three implement identical observable
     semantics. *)
 
+type osr_transfer = {
+  osr_target : meth_id;
+      (** the extracted continuation method ({!Ir.Osr}) *)
+  osr_live_ins : vid array;
+      (** frame mapping, first run: slots whose values become arguments
+          [0 .. n-1] *)
+  osr_phis : vid array;
+      (** frame mapping, second run: the header's loop-carried phi slots,
+          read after the phi moves of the transferring iteration *)
+}
+(** A one-way on-stack-replacement transfer: the backend reads exactly
+    the mapped slots, in order, as the target's arguments; the target's
+    result is the original activation's result. *)
+
+type osr_verdict = Osr_no | Osr_wait | Osr_enter of osr_transfer
+(** Engine's answer when an interpreted frame crosses [osr_threshold] at
+    a block: never ask again / ask again later / transfer now. *)
+
+type osr_exit_verdict = Exit_stay | Exit_watch | Exit_to of osr_transfer
+(** Engine's answer when a compiled frame sees the deopt epoch move:
+    code is current (re-snapshot) / stale but keep probing until a
+    header / transfer into an interpreted continuation. *)
+
 type tstate
 (** Threaded-tier activation state (frame, arguments, return slot). *)
 
@@ -91,6 +114,21 @@ type vm = {
   mutable on_spec_miss : meth_id -> site -> unit;
   (** fired when compiled code reaches a typeswitch's residual virtual
       call (a synthetic site): the speculation missed *)
+  mutable osr_threshold : int;
+  (** block count at which an interpreted frame consults [on_osr] at a
+      loop header; [max_int] (the default) disables the checkpoints *)
+  mutable on_osr : meth_id -> bid -> osr_verdict;
+  mutable osr_headers : meth_id -> fn -> bid -> bool;
+  (** lowering-time filter: which blocks of the given body get OSR
+      checkpoint guards in the threaded tier (loop headers only) *)
+  mutable deopt_epoch : int;
+  (** bumped by the engine on every invalidation while OSR is armed;
+      compiled frames re-validate at loop headers when it moved *)
+  mutable osr_exit_armed : bool;
+  (** whether compiled threaded lowerings get OSR-exit guards *)
+  mutable on_osr_exit : meth_id -> fn -> bid -> osr_exit_verdict;
+  mutable on_osr_abort : meth_id -> unit;
+  (** a trap is unwinding out of an entered OSR continuation *)
   mutable steps : int;
   mutable max_steps : int;
   mutable depth : int;

@@ -97,6 +97,9 @@ type pblock = {
   term : pterm;
   term_cost : int;
   prof : cell_holder;          (* block counter, bound on first record *)
+  mutable osr_skip : bool;
+      (* the engine's OSR hook answered "never" for this block: stop
+         consulting it (headers that can transfer keep [false]) *)
 }
 
 type code = {
@@ -275,6 +278,7 @@ let prepare ~(cost : Cost.t) (prog : program) (fn : fn) : code =
       term;
       term_cost;
       prof = { cell = None };
+      osr_skip = false;
     }
   in
   let live_blocks = List.map decode_block live in
@@ -291,6 +295,7 @@ let prepare ~(cost : Cost.t) (prog : program) (fn : fn) : code =
       term = Pdead b;
       term_cost = 0;
       prof = { cell = None };
+      osr_skip = false;
     }
   in
   let stub_blocks = List.rev_map (fun (b, _) -> stub_block b) !stubs in

@@ -76,6 +76,9 @@ type pblock = {
   term : pterm;
   term_cost : int;
   prof : cell_holder;
+  mutable osr_skip : bool;
+      (** The engine's OSR hook answered "never" for this block; the
+          backends stop consulting it. *)
 }
 
 type code = {

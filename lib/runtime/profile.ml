@@ -203,6 +203,24 @@ let hot_blocks t m ~(threshold : int) : (bid * int) list =
     | None -> []
   else []
 
+(* The hottest block count of a method: the loop-hotness signal the engine
+   folds into its compile trigger (a method whose invocation counter never
+   moves can still be hot through its backedges). One pass over the dense
+   block slots, like [hot_blocks]. *)
+let max_block_count t m : int =
+  if m >= 0 && m < Array.length t.mprofs then
+    match t.mprofs.(m) with
+    | Some mp ->
+        let best = ref 0 in
+        for b = 0 to Array.length mp.blocks - 1 do
+          match mp.blocks.(b) with
+          | Some c when !c > !best -> best := !c
+          | _ -> ()
+        done;
+        !best
+    | None -> 0
+  else 0
+
 let find_branch (t : t) (site : site) : brec option =
   if site.sidx < 0 then Hashtbl.find_opt t.synth_branches (site.sm, site.sidx)
   else if site.sm >= 0 && site.sm < Array.length t.mprofs then

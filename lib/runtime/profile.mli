@@ -59,6 +59,11 @@ val rsite_distinct : rsite -> int
 val invocation_count : t -> meth_id -> int
 val block_count : t -> meth_id -> bid -> int
 
+val max_block_count : t -> meth_id -> int
+(** The hottest block count recorded for a method — the loop-hotness
+    signal folded into the engine's compile trigger. 0 when nothing was
+    recorded. *)
+
 val hot_blocks : t -> meth_id -> threshold:int -> (bid * int) list
 (** The sequence-mining frontier for superinstruction fusion: blocks of
     the method whose execution count is at least [threshold], with their

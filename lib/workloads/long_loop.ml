@@ -1,0 +1,34 @@
+(* The long-running-loop blind spot in miniature: one giant invocation of
+   [bench] spins a ~20k-iteration loop with a hot call inside it. Under
+   invocation-counted hotness alone the method never recompiles while it
+   runs — only loop-entry OSR (or the backedge-driven entry trigger, for
+   the second iteration) gets compiled code under this loop. [iters] is
+   deliberately tiny: the interesting part is inside one invocation. *)
+
+let workload : Defs.t =
+  {
+    name = "long-loop";
+    description = "single giant invocation: 20k-iteration loop, hot call inside";
+    flavor = Java;
+    iters = 2;
+    expected = "63159090\n";
+    source =
+      {|
+def step(acc: Int, i: Int): Int = {
+  val t = acc + i * 3 + (acc % 7);
+  if (t > 536870911) { t - 536870909 } else { t }
+}
+
+def bench(): Int = {
+  var acc = 1;
+  var i = 0;
+  while (i < 20000) {
+    acc = step(acc, i);
+    i = i + 1;
+  }
+  acc
+}
+
+def main(): Unit = println(bench())
+|};
+  }

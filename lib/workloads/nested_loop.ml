@@ -1,0 +1,46 @@
+(* Nested long-running loops in one invocation: a 150x150 grid sweep with
+   a bimorphic call in the inner body. The outer loop's header is hot
+   enough for OSR long before the invocation returns; the extracted
+   continuation contains the inner loop intact, so the incremental
+   inliner sees the real nesting when it compiles the continuation. *)
+
+let workload : Defs.t =
+  {
+    name = "nested-loop";
+    description = "150x150 nested loops, bimorphic call in the inner body";
+    flavor = Java;
+    iters = 4;
+    expected = "45000\n";
+    source =
+      {|
+abstract class Cell {
+  def weight(x: Int): Int
+}
+class Light(w: Int) extends Cell {
+  def weight(x: Int): Int = w * x + 1
+}
+class Heavy(w: Int) extends Cell {
+  def weight(x: Int): Int = w * x + x + 3
+}
+
+def bench(): Int = {
+  val a = new Light(3);
+  val b = new Heavy(5);
+  var acc = 0;
+  var i = 0;
+  while (i < 150) {
+    var j = 0;
+    while (j < 150) {
+      val c = if (((i + j) % 2) == 0) { a } else { b };
+      acc = acc + c.weight(i - j);
+      if (acc > 536870911) { acc = acc % 1000003 };
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  acc
+}
+
+def main(): Unit = println(bench())
+|};
+  }

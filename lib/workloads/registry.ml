@@ -29,6 +29,8 @@ let all : Defs.t list =
     Tmt_topic.workload;
     Scalap_decode.workload;
     Scalariform_fmt.workload;
+    Long_loop.workload;
+    Nested_loop.workload;
   ]
 
 let find (name : string) : Defs.t option =

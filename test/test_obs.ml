@@ -745,8 +745,9 @@ let schema_of_lines (lines : string list) : string list =
    harness run with virtual dispatch (run_start, ic_site, compile_start,
    compile_done, install, inline_round, expand_decision, inline_decision,
    opt_round), an async engine (pending_install), a phase-shifted
-   speculation (invalidate), a crashing compiler (compile_bailout), and a
-   chaos-injected run (chaos). *)
+   speculation (invalidate), a crashing compiler (compile_bailout), a
+   chaos-injected run (chaos), and a long loop that OSR-enters compiled
+   code and then traps (osr_enter, osr_exit). *)
 let all_kind_lines () : string list =
   let collect f =
     let sink, lines = Obs.Trace.memory_sink () in
@@ -844,7 +845,26 @@ let all_kind_lines () : string list =
             in
             ignore (Jit.Engine.run_main e)))
   in
-  harness @ async @ invalidation @ bailouts @ chaos
+  let osr =
+    collect (fun () ->
+        let e =
+          engine ~hotness:3
+            {|def bench(n: Int): Int = {
+                var acc = 0;
+                var i = 0 - 300;
+                while (i < n) { acc = acc + 1000 / i; i = i + 1 };
+                acc
+              }
+              def main(): Unit = println(bench(400))|}
+            (Some (incremental ())) "schema-osr"
+        in
+        (* the loop OSR-enters compiled code around i = -108 (backedge
+           count 192 = hotness * 64) and traps at i = 0: osr_enter, then
+           osr_exit with reason "trap" *)
+        try ignore (Jit.Engine.run_main e)
+        with Runtime.Values.Trap _ -> ())
+  in
+  harness @ async @ invalidation @ bailouts @ chaos @ osr
 
 let schema_tests =
   [
