@@ -209,6 +209,82 @@ let time_to_peak (w : Workloads.Defs.t) : ttp =
     t_no_osr = first_cycles ~kind:"install" (run_one ~osr:false);
   }
 
+(* Fleet soak: 8 tenants multiplexed on bounded serving budgets with
+   deterministic fault injection. The cache bound is sized at 25% of the
+   demand an unbounded fleet measures, so eviction pressure is real, and
+   every tenant is re-run solo under identical limits and asserted
+   byte-identical — the serving layer may only degrade *when* a tenant
+   reaches peak, never *what* it computes. Everything reported is
+   simulated (steps, cycles, digests, percentiles), so the fleet section
+   of BENCH_interp.json is byte-identical across same-seed runs. *)
+let fleet_size = 8
+
+let fleet_chaos_rate = 0.2
+
+let fleet_chaos_seed = 0xC0FFEE
+
+let fleet_tenants () : Jit.Serve.tenant list =
+  let all = Workloads.Registry.all in
+  List.init fleet_size (fun i ->
+      let w = List.nth all (i mod List.length all) in
+      {
+        Jit.Serve.tn_id =
+          Printf.sprintf "%s#%d" w.Workloads.Defs.name (i / List.length all);
+        tn_make =
+          (fun () ->
+            ( Workloads.Registry.compile w,
+              {
+                Jit.Engine.name = "incremental";
+                compiler = Some (Common.incremental ());
+                hotness_threshold = Common.hotness_threshold;
+                compile_cost_per_node = Common.compile_cost_per_node;
+                verify = false;
+              } ));
+        tn_iters = w.iters;
+      })
+
+let fleet_soak () :
+    int * int * Jit.Serve.limits * Jit.Serve.tenant_report list =
+  let tenants = fleet_tenants () in
+  (* demand: the largest per-tenant resident code when nothing evicts *)
+  let unbounded =
+    Jit.Serve.run
+      ~limits:{ Jit.Serve.default_limits with queue_capacity = Some 4 }
+      tenants
+  in
+  let demand =
+    List.fold_left
+      (fun a (r : Jit.Serve.tenant_report) -> max a r.tr_cache_used)
+      0 unbounded
+  in
+  let cap = max 1 (demand / 4) in
+  let limits =
+    {
+      Jit.Serve.queue_capacity = Some 4;
+      queue_age_unit = 1024;
+      cache_capacity = Some cap;
+      compile_deadline = None;
+      chaos_rate = fleet_chaos_rate;
+      chaos_seed = fleet_chaos_seed;
+    }
+  in
+  let fleet = Jit.Serve.run ~limits tenants in
+  List.iter2
+    (fun (f : Jit.Serve.tenant_report) tn ->
+      match Jit.Serve.run ~limits [ tn ] with
+      | [ s ] ->
+          if
+            f.tr_output <> s.tr_output || f.tr_steps <> s.tr_steps
+            || f.tr_cycles <> s.tr_cycles || f.tr_checksum <> s.tr_checksum
+          then
+            Fmt.failwith
+              "fleet soak: tenant %s diverges from its solo run (fleet \
+               steps=%d cycles=%d vs solo steps=%d cycles=%d)"
+              f.tr_id f.tr_steps f.tr_cycles s.tr_steps s.tr_cycles
+      | _ -> assert false)
+    fleet tenants;
+  (demand, cap, limits, fleet)
+
 let run () =
   let nworkloads = List.length Workloads.Registry.all in
   Common.print_header
@@ -337,6 +413,46 @@ let run () =
              ])
          ttps)
   in
+  let fleet_demand, fleet_cap, fleet_limits, fleet = fleet_soak () in
+  Common.print_table
+    ~columns:
+      [ "tenant"; "iters"; "steps"; "installs"; "evict"; "shed"; "qwait p99";
+        "ttp p99" ]
+    ~rows:
+      (List.map
+         (fun (r : Jit.Serve.tenant_report) ->
+           [
+             r.tr_id;
+             string_of_int r.tr_iters;
+             string_of_int r.tr_steps;
+             string_of_int r.tr_installs;
+             string_of_int r.tr_evictions;
+             string_of_int r.tr_sheds;
+             string_of_int r.tr_queue_wait_p99;
+             string_of_int r.tr_ttp_p99;
+           ])
+         fleet);
+  Common.note
+    "fleet soak: %d tenants, cache %d nodes (25%% of %d demand), chaos %.2f \
+     — every tenant byte-identical to its solo run"
+    fleet_size fleet_cap fleet_demand fleet_chaos_rate;
+  let fleet_json =
+    Support.Json.Obj
+      [
+        ("tenants", Support.Json.Int fleet_size);
+        ( "queue_capacity",
+          Support.Json.Int
+            (match fleet_limits.Jit.Serve.queue_capacity with
+            | Some c -> c
+            | None -> -1) );
+        ("cache_capacity", Support.Json.Int fleet_cap);
+        ("demand", Support.Json.Int fleet_demand);
+        ("chaos_rate", Support.Json.Float fleet_chaos_rate);
+        ("chaos_seed", Support.Json.Int fleet_chaos_seed);
+        ("solo_identical", Support.Json.Bool true);
+        ("report", Jit.Serve.report_json fleet);
+      ]
+  in
   let latency = Obs.Metrics.histogram "jit.compile_latency_cycles" in
   let lat_p50 = Obs.Metrics.percentile latency 0.5 in
   let lat_p90 = Obs.Metrics.percentile latency 0.9 in
@@ -368,6 +484,7 @@ let run () =
             ] );
         ("per_workload", per_workload_json);
         ("osr_time_to_peak", ttp_json);
+        ("fleet", fleet_json);
         ( "trace",
           Support.Json.Obj
             [

@@ -8,6 +8,8 @@
      selvm events events.jsonl                # summarize a recorded trace
      selvm workloads                          # list the built-in benchmarks
      selvm run --workload gauss-mix           # run a built-in benchmark
+     selvm serve --tenants "long-loop*2,gauss-mix" --cache-capacity 800
+                                              # multi-tenant serving harness
 
    Configurations: interp (no JIT), greedy (open-source-Graal-like),
    c2 (HotSpot-C2-like), incremental (the paper's algorithm, default),
@@ -622,8 +624,9 @@ let report_cmd =
                   config iters;
                 Printf.printf "# %d cycles attributed over %d methods\n\n" total_self
                   (List.length rows);
-                Printf.printf "%-24s %12s %6s %12s %9s %7s %7s %7s %7s\n" "method"
-                  "self" "self%" "total" "invocs" "interp%" "prep%" "jit%" "deopts";
+                Printf.printf "%-24s %12s %6s %12s %9s %7s %7s %7s %7s %7s\n" "method"
+                  "self" "self%" "total" "invocs" "interp%" "prep%" "jit%" "deopts"
+                  "evicts";
                 List.iteri
                   (fun i (r : Runtime.Attribution.row) ->
                     if i < top then begin
@@ -633,9 +636,10 @@ let report_cmd =
                         else 100.0 *. float_of_int part /. float_of_int r.r_self
                       in
                       Printf.printf
-                        "%-24s %12d %6.1f %12d %9d %7.1f %7.1f %7.1f %7d\n"
+                        "%-24s %12d %6.1f %12d %9d %7.1f %7.1f %7.1f %7d %7d\n"
                         (name r.r_meth) r.r_self (pct r.r_self) r.r_total
                         r.r_invocations (share si) (share sp) (share sj) r.r_deopts
+                        r.r_evicts
                     end)
                   rows;
                 if List.length rows > top then
@@ -662,6 +666,207 @@ let report_cmd =
     Term.(
       const report $ file_arg $ workload_arg $ config_arg $ hotness_arg $ entry_arg
       $ iters_arg $ top_arg $ folded_arg)
+
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let tenants_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "tenants" ] ~docv:"SPEC"
+          ~doc:
+            "Comma-separated tenant workloads, each NAME or NAME*COUNT, e.g. \
+             \"long-loop*3,gauss-mix\". Replicas get ids NAME#0, NAME#1, ...")
+  in
+  let solo_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "solo" ] ~docv:"ID"
+          ~doc:
+            "Serve only the tenant with this id (e.g. long-loop#1) while \
+             keeping its fleet identity: seeds derive from the id, so the \
+             tenant's output, steps and cycles are byte-identical to the full \
+             fleet run — the isolation invariant the soak gate asserts.")
+  in
+  let iters_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "iters" ] ~docv:"N"
+          ~doc:"Benchmark iterations per tenant (0: each workload's default).")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:
+            "Per-tenant compile-queue bound: hot methods enqueue prioritized \
+             requests (hotness × queue age) serviced by one simulated \
+             background compiler, and admission control sheds the \
+             lowest-priority request past the bound. Negative: no queue — \
+             compile inline at the hotness trigger.")
+  in
+  let cache_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-capacity" ] ~docv:"NODES"
+          ~doc:
+            "Per-tenant code-cache budget in IR nodes; installs past it evict \
+             the lowest-retention resident code, which falls back to the \
+             interpreted tier and may recompile under backoff (default: \
+             unbounded).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "compile-deadline" ] ~docv:"N"
+          ~doc:
+            "Per-compile deadline in fuel checkpoints; a missed deadline is a \
+             contained bailout (exponential backoff, eventually blacklist).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the fleet report (per-tenant output digest, steps, cycles, \
+             churn counters, queue-wait and time-to-peak percentiles) to FILE \
+             as JSON; byte-identical across same-seed runs.")
+  in
+  let serve tenants_spec solo iters config hotness queue_cap cache_cap deadline
+      trace metrics json chaos_seed chaos_rate stats =
+    if (not (Float.is_finite chaos_rate)) || chaos_rate < 0.0 || chaos_rate > 1.0
+    then fail "--chaos-rate must be in [0, 1]";
+    (* validate the configuration up front, not inside a tenant thunk *)
+    (match compiler_of_config config with Error e -> fail e | Ok _ -> ());
+    match Jit.Serve.parse_tenants tenants_spec with
+    | Error e -> fail ("bad --tenants: " ^ e)
+    | Ok pairs -> (
+        let specs =
+          List.map
+            (fun (name, count) ->
+              match Workloads.Registry.find name with
+              | Some w -> (w, count)
+              | None ->
+                  fail
+                    (Printf.sprintf "unknown workload %s (try: selvm workloads)"
+                       name))
+            pairs
+        in
+        let tenants =
+          List.concat_map
+            (fun ((w : Workloads.Defs.t), count) ->
+              List.init count (fun k ->
+                  {
+                    Jit.Serve.tn_id = Printf.sprintf "%s#%d" w.name k;
+                    tn_make =
+                      (fun () ->
+                        (* fresh program and fresh compiler per tenant:
+                           stateful compilers must never span tenants *)
+                        let compiler =
+                          match compiler_of_config config with
+                          | Ok c -> c
+                          | Error e -> fail e
+                        in
+                        ( Workloads.Registry.compile w,
+                          {
+                            Jit.Engine.name = config;
+                            compiler;
+                            hotness_threshold = hotness;
+                            compile_cost_per_node = 50;
+                            verify = false;
+                          } ));
+                    tn_iters = (if iters > 0 then iters else w.iters);
+                  }))
+            specs
+        in
+        let tenants =
+          match solo with
+          | None -> tenants
+          | Some id -> (
+              match
+                List.filter (fun t -> t.Jit.Serve.tn_id = id) tenants
+              with
+              | [] -> fail (Printf.sprintf "no tenant %s in --tenants spec" id)
+              | ts -> ts)
+        in
+        let limits =
+          {
+            Jit.Serve.queue_capacity =
+              (if queue_cap < 0 then None else Some queue_cap);
+            queue_age_unit = 1024;
+            cache_capacity = cache_cap;
+            compile_deadline = deadline;
+            chaos_rate;
+            chaos_seed;
+          }
+        in
+        let outcome =
+          with_optional_trace trace (fun () ->
+              with_optional_metrics metrics (fun () ->
+                  match Jit.Serve.run ~limits tenants with
+                  | exception Runtime.Values.Trap msg ->
+                      Error ("runtime trap: " ^ msg)
+                  | reports -> Ok reports))
+        in
+        match outcome with
+        | Error e -> fail e
+        | Ok reports -> (
+            Printf.printf
+              "# serve tenants=%d config=%s queue=%s cache=%s deadline=%s \
+               chaos=%.2f seed=%d\n"
+              (List.length reports) config
+              (if queue_cap < 0 then "-" else string_of_int queue_cap)
+              (match cache_cap with Some c -> string_of_int c | None -> "-")
+              (match deadline with Some d -> string_of_int d | None -> "-")
+              chaos_rate chaos_seed;
+            Printf.printf "%-20s %6s %12s %12s %12s %8s %6s %6s %9s %9s\n"
+              "tenant" "iters" "checksum" "steps" "cycles" "installs" "evict"
+              "shed" "qwait_p99" "ttp_p99";
+            List.iter
+              (fun (r : Jit.Serve.tenant_report) ->
+                Printf.printf "%-20s %6d %12d %12d %12d %8d %6d %6d %9d %9d\n"
+                  r.tr_id r.tr_iters r.tr_checksum r.tr_steps r.tr_cycles
+                  r.tr_installs r.tr_evictions r.tr_sheds r.tr_queue_wait_p99
+                  r.tr_ttp_p99)
+              reports;
+            if stats then begin
+              let sum f = List.fold_left (fun a r -> a + f r) 0 reports in
+              Printf.eprintf
+                "-- fleet: %d installs, %d evictions, %d sheds, %d bailouts, %d \
+                 blacklisted\n"
+                (sum (fun (r : Jit.Serve.tenant_report) -> r.tr_installs))
+                (sum (fun r -> r.tr_evictions))
+                (sum (fun r -> r.tr_sheds))
+                (sum (fun r -> r.tr_bailouts))
+                (sum (fun r -> r.tr_blacklisted))
+            end;
+            match json with
+            | None -> ()
+            | Some path -> (
+                match
+                  Support.Io.write_atomic path
+                    (Support.Json.to_string (Jit.Serve.report_json reports) ^ "\n")
+                with
+                | () -> Printf.eprintf "-- fleet report written to %s\n" path
+                | exception Sys_error msg -> fail ("cannot write --json: " ^ msg))))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve N tenant workloads on per-tenant engines with bounded compile \
+          queues, bounded code caches and optional deterministic fault \
+          injection. Every tenant's output, steps and cycles are \
+          byte-identical to its --solo run regardless of queue pressure, \
+          evictions, sheds or injected faults.")
+    Term.(
+      const serve $ tenants_arg $ solo_arg $ iters_arg $ config_arg $ hotness_arg
+      $ queue_arg $ cache_arg $ deadline_arg $ trace_arg $ metrics_arg $ json_arg
+      $ chaos_seed_arg $ chaos_rate_arg $ stats_arg)
 
 (* ---- workloads ---- *)
 
@@ -733,7 +938,7 @@ let main_cmd =
           optimization-driven incremental inline-substitution algorithm.")
     [
       run_cmd; bench_cmd; compile_cmd; parse_ir_cmd; events_cmd; explain_cmd;
-      report_cmd; workloads_cmd; synth_cmd;
+      report_cmd; serve_cmd; workloads_cmd; synth_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

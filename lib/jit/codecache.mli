@@ -1,0 +1,57 @@
+(** Bounded code cache: residency accounting and cost-benefit/LRU
+    eviction for installed bodies.
+
+    The engine still owns the actual [meth -> fn] table; this module
+    decides *which* methods stay resident when installed code size is
+    capped. Each resident entry carries its size (IR nodes — the same
+    units as the Table I code-size metric), its last-use time and its
+    use count; when an install pushes total residency past [capacity],
+    entries are evicted lowest-retention-first until it fits.
+
+    Retention is [last_used + 64·uses − size] in saturating arithmetic:
+    recently and frequently entered code is worth keeping, big bodies
+    cost more to keep — the cost-benefit shape of the paper's Figure 10
+    budget discussion, with LRU as the dominant term so the policy stays
+    predictable. The just-installed entry competes like any other; under
+    a tiny capacity it can be evicted immediately after installing,
+    which keeps the trace honest about churn instead of silently
+    refusing the install.
+
+    Like {!Scheduler}, all decisions are pure functions of this cache's
+    own history — no ambient state — so per-tenant caches cannot couple
+    tenants to each other. *)
+
+type 'k t
+
+val create : capacity:int -> 'k t
+(** [capacity] is the total resident size budget in IR nodes, clamped to
+    [>= 0]. Capacity 0 admits nothing: every install evicts itself. *)
+
+val capacity : 'k t -> int
+
+val used : 'k t -> int
+(** Total resident size. *)
+
+val resident : 'k t -> int
+(** Resident entry count. *)
+
+val mem : 'k t -> 'k -> bool
+
+val retain_score : last_used:int -> uses:int -> size:int -> int
+(** [last_used + 64·uses − size], saturating and clamped to [>= 0].
+    Exposed for tests and evict-event diagnostics. *)
+
+val install : 'k t -> meth:'k -> size:int -> now:int -> 'k list
+(** Admits [meth] (replacing any previous entry for it), then evicts
+    lowest-retention entries until residency fits [capacity]. Returns
+    the victims in eviction order — possibly including [meth] itself.
+    Retention ties evict the oldest install first. *)
+
+val touch : 'k t -> 'k -> now:int -> unit
+(** Records an entry of [meth]'s compiled code: refreshes last-use and
+    bumps the use count. A no-op when not resident. *)
+
+val remove : 'k t -> 'k -> unit
+(** Drops [meth]'s residency without an eviction decision (the method
+    was invalidated or blacklisted through the normal paths). A no-op
+    when absent. *)

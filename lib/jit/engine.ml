@@ -88,6 +88,11 @@ let m_pending_installs = Obs.Metrics.counter "jit.pending_installs"
 let m_compile_latency = Obs.Metrics.histogram "jit.compile_latency_cycles"
 let m_osr_enters = Obs.Metrics.counter "osr.enters"
 let m_osr_exits = Obs.Metrics.counter "osr.exits"
+let m_enqueues = Obs.Metrics.counter "serve.enqueues"
+let m_sheds = Obs.Metrics.counter "serve.sheds"
+let m_evictions = Obs.Metrics.counter "serve.evictions"
+let m_queue_wait = Obs.Metrics.histogram "serve.queue_wait_cycles"
+let m_ttp = Obs.Metrics.histogram "serve.time_to_peak_cycles"
 
 (* Where a synthetic OSR continuation came from: the source method, the
    loop header it was extracted at, and its extraction generation (an
@@ -155,6 +160,28 @@ type t = {
   mutable osr_uid : int;           (* synthetic-name uniquifier *)
   mutable osr_enters : int;
   mutable osr_exits : int;
+  (* --- serving: bounded background-compile queue + bounded code cache.
+     Both off by default (absent, the engine is exactly the unbounded
+     synchronous-trigger engine above); `selvm serve` arms them with
+     per-tenant budgets. Every decision here is a function of this
+     engine's own clocks and tables — never of ambient or fleet state —
+     which is what makes a tenant's run byte-identical solo or
+     multiplexed. *)
+  serve_queue : meth_id Scheduler.t option;
+  serve_cache : meth_id Codecache.t option;
+  compile_deadline : int option;
+  (* per-compile deadline in Support.Fuel checkpoints; min()s with
+     [compile_fuel] at every attempt *)
+  mutable evictions : (meth_id * int) list;  (* method, at_cycles; most recent first *)
+  evict_counts : (meth_id, int) Hashtbl.t;
+  (* evictions per method: drives the re-hot backoff, so a cache-thrashing
+     method converges to the prepared tier instead of churning *)
+  mutable sheds : int;             (* compile requests shed by admission control *)
+  mutable queue_waits : int list;  (* serviced requests' waits, most recent first *)
+  first_hot : (meth_id, int) Hashtbl.t;  (* first hot-trigger, at [vm.cycles] *)
+  mutable ttp : (meth_id * int) list;
+  (* time-to-peak per method: cycles from first hot-trigger to first
+     install (includes queue wait and async latency) *)
 }
 
 (* A loop is OSR-hot well before this many header visits in one
@@ -167,7 +194,9 @@ let default_osr_threshold (config : config) : int =
 
 let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
     ?(max_recompiles = 2) ?(async_compile = false) ?(max_compile_failures = 3)
-    ?compile_fuel ?(osr = true) ?osr_threshold (prog : program) (config : config) : t =
+    ?compile_fuel ?(osr = true) ?osr_threshold ?queue_capacity
+    ?(queue_age_unit = 1024) ?cache_capacity ?compile_deadline (prog : program)
+    (config : config) : t =
   (* parse-time canonicalization: prepared bodies are what gets profiled,
      specialized and inlined (idempotent; safe if already prepared) *)
   Opt.Driver.prepare_program prog;
@@ -192,7 +221,20 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
       osr_sites = Hashtbl.create 8; osr_meta = Hashtbl.create 8;
       osr_no = Hashtbl.create 8; osr_cooldown = Hashtbl.create 8;
       loop_cache = Hashtbl.create 8; exit_conts = Hashtbl.create 8;
-      osr_uid = 0; osr_enters = 0; osr_exits = 0 }
+      osr_uid = 0; osr_enters = 0; osr_exits = 0;
+      serve_queue =
+        (match queue_capacity with
+        | Some cap when config.compiler <> None ->
+            Some (Scheduler.create ~capacity:cap ~age_unit:queue_age_unit)
+        | _ -> None);
+      serve_cache =
+        (match cache_capacity with
+        | Some cap when config.compiler <> None ->
+            Some (Codecache.create ~capacity:cap)
+        | _ -> None);
+      compile_deadline;
+      evictions = []; evict_counts = Hashtbl.create 8; sheds = 0;
+      queue_waits = []; first_hot = Hashtbl.create 8; ttp = [] }
   in
   vm.code <- (fun m -> Hashtbl.find_opt t.code_cache m);
   (* stamp the ambient trace sink (if any) with this engine's simulated
@@ -202,6 +244,54 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
   | None -> ()
   | Some compiler ->
       let meth_name m = (Ir.Program.meth prog m).m_name in
+      (* bounded-cache retirement: drop a victim's installed code and send
+         it back to the prepared tier through the same deopt-epoch path an
+         invalidation takes. Unlike [invalidate] below this is capacity
+         pressure, not a speculation failure — it consumes no
+         [max_recompiles] budget; instead the victim's recompilation gate
+         backs off per eviction, so a method the cache cannot hold
+         converges to the prepared tier instead of churning forever. *)
+      let evict v =
+        let vsize =
+          match Hashtbl.find_opt t.code_cache v with
+          | Some fn -> Ir.Fn.size fn
+          | None -> 0
+        in
+        Hashtbl.remove t.code_cache v;
+        Runtime.Interp.invalidate_code vm v;
+        (match Hashtbl.find_opt t.miss_counts v with Some r -> r := 0 | None -> ());
+        let evicted =
+          (match Hashtbl.find_opt t.evict_counts v with Some n -> n | None -> 0) + 1
+        in
+        Hashtbl.replace t.evict_counts v evicted;
+        Hashtbl.replace t.cooldown v
+          (Support.Sat.add
+             (Runtime.Profile.invocation_count vm.profiles v)
+             (backoff_cooldown ~hotness:config.hotness_threshold ~failures:evicted));
+        t.evictions <- (v, vm.cycles) :: t.evictions;
+        Obs.Metrics.incr m_evictions;
+        Runtime.Interp.record_evict vm v;
+        (* wake running compiled frames of the victim exactly as an
+           invalidation would: they OSR-exit at their next loop header *)
+        if t.osr then begin
+          vm.deopt_epoch <- vm.deopt_epoch + 1;
+          match Hashtbl.find_opt t.osr_meta v with
+          | Some o ->
+              Hashtbl.replace t.osr_cooldown (o.od_src, o.od_bid)
+                (Support.Sat.add
+                   (Runtime.Profile.block_count vm.profiles o.od_src o.od_bid)
+                   t.osr_threshold)
+          | None -> ()
+        end;
+        Obs.Trace.emit "evict" (fun () ->
+            Support.Json.
+              [
+                ("m", Int v);
+                ("meth", String (meth_name v));
+                ("size", Int vsize);
+                ("evicts", Int evicted);
+              ])
+      in
       let install m body size =
         Hashtbl.replace t.code_cache m body;
         (* the tier for this method changed: drop its prepared code *)
@@ -211,10 +301,25 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
            toward the new body's invalidation threshold *)
         Hashtbl.remove t.miss_counts m;
         t.compilations <- { cm = m; size; at_cycles = vm.cycles } :: t.compilations;
+        (* ramp accounting: cycles from the method's first hot-trigger to
+           its first install (covers queue wait and async latency) *)
+        (match Hashtbl.find_opt t.first_hot m with
+        | Some hot_at when not (List.mem_assoc m t.ttp) ->
+            let d = Support.Sat.sub vm.cycles hot_at in
+            t.ttp <- (m, d) :: t.ttp;
+            Obs.Metrics.observe m_ttp d
+        | _ -> ());
         Obs.Metrics.incr m_installs;
         Obs.Trace.emit "install" (fun () ->
             Support.Json.
-              [ ("m", Int m); ("meth", String (meth_name m)); ("size", Int size) ])
+              [ ("m", Int m); ("meth", String (meth_name m)); ("size", Int size) ]);
+        (* bounded cache: admit the fresh body, then retire whatever no
+           longer fits (under a tiny budget that can be the fresh body
+           itself — the install/evict pair keeps the trace honest) *)
+        match t.serve_cache with
+        | None -> ()
+        | Some cache ->
+            List.iter evict (Codecache.install cache ~meth:m ~size ~now:vm.cycles)
       in
       t.install_pending <- (fun m body -> install m body (Ir.Fn.size body));
       (* drop a method's installed code and send it back to the
@@ -222,11 +327,16 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
          chaos invalidation storm *)
       let invalidate m ~misses ~recompiled =
         Hashtbl.remove t.code_cache m;
+        (match t.serve_cache with
+        | Some cache -> Codecache.remove cache m
+        | None -> ());
         Runtime.Interp.invalidate_code vm m;
         Hashtbl.replace t.recompile_counts m (recompiled + 1);
         (match Hashtbl.find_opt t.miss_counts m with Some r -> r := 0 | None -> ());
         Hashtbl.replace t.cooldown m
-          (Runtime.Profile.invocation_count vm.profiles m + config.hotness_threshold);
+          (Support.Sat.add
+             (Runtime.Profile.invocation_count vm.profiles m)
+             config.hotness_threshold);
         t.invalidations <- (m, vm.cycles) :: t.invalidations;
         Obs.Metrics.incr m_invalidations;
         Runtime.Interp.record_deopt vm m;
@@ -239,8 +349,9 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
           match Hashtbl.find_opt t.osr_meta m with
           | Some o ->
               Hashtbl.replace t.osr_cooldown (o.od_src, o.od_bid)
-                (Runtime.Profile.block_count vm.profiles o.od_src o.od_bid
-                + t.osr_threshold)
+                (Support.Sat.add
+                   (Runtime.Profile.block_count vm.profiles o.od_src o.od_bid)
+                   t.osr_threshold)
           | None -> ()
         end;
         Obs.Trace.emit "invalidate" (fun () ->
@@ -288,7 +399,15 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
                 let fuel =
                   if Support.Chaos.(roll Fuel_exhaustion) then
                     Some (Support.Chaos.starved_fuel ())
-                  else t.compile_fuel
+                  else
+                    (* the serve deadline caps every attempt; an explicit
+                       fuel budget can only tighten it further. A deadline
+                       miss is a normal bailout: charged, backed off,
+                       eventually blacklisted. *)
+                    match (t.compile_fuel, t.compile_deadline) with
+                    | None, d -> d
+                    | f, None -> f
+                    | Some f, Some d -> Some (min f d)
                 in
                 let attempt () =
                   if Support.Chaos.(roll Compiler_crash) then
@@ -341,9 +460,10 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
                          current count (saturating — see
                          [backoff_cooldown]) *)
                       Hashtbl.replace t.cooldown m
-                        (Runtime.Profile.invocation_count vm.profiles m
-                        + backoff_cooldown ~hotness:config.hotness_threshold
-                            ~failures);
+                        (Support.Sat.add
+                           (Runtime.Profile.invocation_count vm.profiles m)
+                           (backoff_cooldown ~hotness:config.hotness_threshold
+                              ~failures));
                     t.bailouts <-
                       { bm = m; reason; at_cycles = vm.cycles; failures; charged;
                         blacklisted }
@@ -376,7 +496,8 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
                         ("async", Bool t.async_compile);
                       ]);
                 if t.async_compile then begin
-                  Hashtbl.replace t.pending m (body, vm.cycles + latency);
+                  let ready_at = Support.Sat.add vm.cycles latency in
+                  Hashtbl.replace t.pending m (body, ready_at);
                   Obs.Metrics.incr m_pending_installs;
                   Obs.Trace.emit "pending_install" (fun () ->
                       Support.Json.
@@ -384,11 +505,25 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
                           ("m", Int m);
                           ("meth", String (meth_name m));
                           ("size", Int size);
-                          ("ready_at", Int (vm.cycles + latency));
+                          ("ready_at", Int ready_at);
                         ])
                 end
                 else install m body size)
           end
+      in
+      (* every serviced compilation occupies the one background compiler
+         for the compile cycles it charged — OSR continuation compiles
+         below bypass queue admission (the transfer decision is
+         synchronous) but still occupy that compiler, so a loop promotion
+         delays queued work exactly as it would on a real thread *)
+      let compile_occupying m =
+        let before = t.compile_cycles in
+        compile_now m;
+        match t.serve_queue with
+        | Some q ->
+            Scheduler.occupy q
+              ~until:(Support.Sat.add vm.cycles (t.compile_cycles - before))
+        | None -> ()
       in
       (* ---------- on-stack replacement ---------- *)
       let open Runtime.Interp in
@@ -432,6 +567,14 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
           x.Ir.Osr.x_fn;
         Hashtbl.replace t.osr_meta om
           { od_src = src_m; od_bid = header; od_depth = depth };
+        (* the continuation inherits its parent's failure budget: a method
+           that is backing off or blacklisted must not get a fresh budget
+           by way of extraction — before this, a blacklisted method could
+           keep burning compile fuel through its synthetic continuations *)
+        (match Hashtbl.find_opt t.failure_counts src_m with
+        | Some n -> Hashtbl.replace t.failure_counts om n
+        | None -> ());
+        if Hashtbl.mem t.blacklist src_m then Hashtbl.replace t.blacklist om ();
         ( om,
           { osr_target = om;
             osr_live_ins = x.Ir.Osr.x_live_ins;
@@ -453,8 +596,9 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
           match Hashtbl.find_opt t.failure_counts om with Some n -> n | None -> 1
         in
         Hashtbl.replace t.osr_cooldown key
-          (Runtime.Profile.block_count vm.profiles m b
-          + backoff_cooldown ~hotness:t.osr_threshold ~failures)
+          (Support.Sat.add
+             (Runtime.Profile.block_count vm.profiles m b)
+             (backoff_cooldown ~hotness:t.osr_threshold ~failures))
       in
       let enter (m, b) (tr : osr_transfer) =
         let om = tr.osr_target in
@@ -509,7 +653,7 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
                     then refuse key
                     else if below_cooldown key m b then Osr_wait
                     else begin
-                      compile_now om;
+                      compile_occupying om;
                       if Hashtbl.mem t.code_cache om then enter key tr
                       else begin
                         arm_cooldown key m b om;
@@ -537,11 +681,17 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
                               ~depth:(depth + 1) ~kind:"osr" x
                           in
                           Hashtbl.replace t.osr_sites key tr;
-                          compile_now om;
-                          if Hashtbl.mem t.code_cache om then enter key tr
+                          (* the inherited budget can already be spent:
+                             a blacklisted parent's continuation never
+                             compiles at all *)
+                          if Hashtbl.mem t.blacklist om then refuse key
                           else begin
-                            arm_cooldown key m b om;
-                            Osr_wait
+                            compile_occupying om;
+                            if Hashtbl.mem t.code_cache om then enter key tr
+                            else begin
+                              arm_cooldown key m b om;
+                              Osr_wait
+                            end
                           end))
       in
       let exit_to m b (tr : osr_transfer) =
@@ -634,6 +784,39 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
       end;
       vm.on_entry <-
         (fun m ->
+          (* serve mode: pump the background compiler — when it is idle
+             and a request is waiting, service the highest-priority one.
+             Requests that went stale while queued (installed via OSR,
+             blacklisted, already pending) drop without occupying it. *)
+          (match t.serve_queue with
+          | None -> ()
+          | Some q ->
+              if not t.compiling then begin
+                let rec pump () =
+                  match Scheduler.pop q ~now:vm.cycles with
+                  | None -> ()
+                  | Some (qm, wait) ->
+                      if
+                        Hashtbl.mem t.code_cache qm
+                        || Hashtbl.mem t.pending qm
+                        || Hashtbl.mem t.blacklist qm
+                      then pump ()
+                      else begin
+                        t.queue_waits <- wait :: t.queue_waits;
+                        Obs.Metrics.observe m_queue_wait wait;
+                        Obs.Trace.emit "serve_dequeue" (fun () ->
+                            Support.Json.
+                              [
+                                ("m", Int qm);
+                                ("meth", String (meth_name qm));
+                                ("wait", Int wait);
+                                ("depth", Int (Scheduler.length q));
+                              ]);
+                        compile_occupying qm
+                      end
+                in
+                pump ()
+              end);
           (* background compilations whose latency has elapsed install at
              the next entry of their method *)
           (match Hashtbl.find_opt t.pending m with
@@ -641,6 +824,13 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
               Hashtbl.remove t.pending m;
               install m body (Ir.Fn.size body)
           | _ -> ());
+          (* bounded cache: every entry of a resident method refreshes
+             its retention (the LRU term of the eviction score) *)
+          (match t.serve_cache with
+          | None -> ()
+          | Some cache ->
+              if Hashtbl.mem t.code_cache m then
+                Codecache.touch cache m ~now:vm.cycles);
           (* chaos: an invalidation storm throws away installed code, as a
              burst of spec misses would. Bounded by [max_recompiles] like
              real invalidations, so the engine still converges under
@@ -684,7 +874,59 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
                   >= t.osr_threshold))
             && invocations + 1
                >= (match Hashtbl.find_opt t.cooldown m with Some c -> c | None -> 0)
-          then compile_now m);
+          then begin
+            if not (Hashtbl.mem t.first_hot m) then
+              Hashtbl.replace t.first_hot m vm.cycles;
+            match t.serve_queue with
+            | None -> compile_now m
+            | Some q ->
+                (* serve mode: hot methods request compilation instead of
+                   compiling inline; admission control may shed the
+                   request (or a cheaper waiting one), in which case the
+                   method keeps interpreting and retries on later
+                   entries with ever-growing hotness *)
+                if not (Scheduler.mem q m) then begin
+                  let hotness =
+                    let inv = Runtime.Profile.invocation_count vm.profiles m + 1 in
+                    let backedge =
+                      if t.osr_threshold < max_int then
+                        Runtime.Profile.max_block_count vm.profiles m / 64
+                      else 0
+                    in
+                    max inv backedge
+                  in
+                  let shed v reason =
+                    t.sheds <- t.sheds + 1;
+                    Obs.Metrics.incr m_sheds;
+                    Obs.Trace.emit "shed" (fun () ->
+                        Support.Json.
+                          [
+                            ("m", Int v);
+                            ("meth", String (meth_name v));
+                            ("reason", String reason);
+                            ("depth", Int (Scheduler.length q));
+                          ])
+                  in
+                  let admitted () =
+                    Obs.Metrics.incr m_enqueues;
+                    Obs.Trace.emit "serve_enqueue" (fun () ->
+                        Support.Json.
+                          [
+                            ("m", Int m);
+                            ("meth", String (meth_name m));
+                            ("hotness", Int hotness);
+                            ("depth", Int (Scheduler.length q));
+                          ])
+                  in
+                  match Scheduler.enqueue q ~meth:m ~hotness ~now:vm.cycles with
+                  | Scheduler.Bumped -> ()
+                  | Scheduler.Admitted -> admitted ()
+                  | Scheduler.Displaced v ->
+                      shed v "displaced";
+                      admitted ()
+                  | Scheduler.Rejected -> shed m "rejected"
+                end
+          end);
       vm.on_spec_miss <-
         (fun m _site ->
           if t.spec_miss_threshold < max_int && Hashtbl.mem t.code_cache m then begin
@@ -793,6 +1035,9 @@ let g_osr_methods = Obs.Metrics.gauge "osr.methods"
 let g_superinst_patterns = Obs.Metrics.gauge "superinst.patterns"
 let g_superinst_sites = Obs.Metrics.gauge "superinst.fused_sites"
 let g_superinst_weight = Obs.Metrics.gauge "superinst.fused_weight"
+let g_queue_depth = Obs.Metrics.gauge "serve.queue_depth"
+let g_cache_used = Obs.Metrics.gauge "serve.cache_used"
+let g_cache_resident = Obs.Metrics.gauge "serve.cache_resident"
 
 let snapshot_metrics (t : t) : unit =
   Obs.Metrics.set g_code_size (installed_code_size t);
@@ -831,7 +1076,15 @@ let snapshot_metrics (t : t) : unit =
     sstats;
   Obs.Metrics.set g_superinst_sites !sites;
   Obs.Metrics.set g_superinst_weight !weight;
-  Obs.Metrics.set g_osr_methods (Hashtbl.length t.osr_meta)
+  Obs.Metrics.set g_osr_methods (Hashtbl.length t.osr_meta);
+  (match t.serve_queue with
+  | Some q -> Obs.Metrics.set g_queue_depth (Scheduler.length q)
+  | None -> ());
+  match t.serve_cache with
+  | Some c ->
+      Obs.Metrics.set g_cache_used (Codecache.used c);
+      Obs.Metrics.set g_cache_resident (Codecache.resident c)
+  | None -> ()
 
 let bailout_stats (t : t) : bailout_stats =
   {
@@ -839,4 +1092,35 @@ let bailout_stats (t : t) : bailout_stats =
     failed_methods = Hashtbl.length t.failure_counts;
     blacklisted_methods =
       Hashtbl.fold (fun m () acc -> m :: acc) t.blacklist [] |> List.sort compare;
+  }
+
+(* End-of-run serving picture: shed/evict churn plus the two latency
+   populations (queue waits of serviced requests, per-method time to
+   peak), sorted ascending so percentile extraction is exact. *)
+type serve_stats = {
+  sv_sheds : int;
+  sv_evictions : int;
+  sv_queue_depth : int;        (* requests still waiting at end of run *)
+  sv_cache_used : int;
+  sv_cache_resident : int;
+  sv_queue_waits : int list;   (* ascending *)
+  sv_ttp : int list;           (* ascending *)
+}
+
+let serve_stats (t : t) : serve_stats =
+  {
+    sv_sheds = t.sheds;
+    sv_evictions = List.length t.evictions;
+    sv_queue_depth =
+      (match t.serve_queue with Some q -> Scheduler.length q | None -> 0);
+    sv_cache_used =
+      (match t.serve_cache with
+      | Some c -> Codecache.used c
+      | None -> installed_code_size t);
+    sv_cache_resident =
+      (match t.serve_cache with
+      | Some c -> Codecache.resident c
+      | None -> installed_methods t);
+    sv_queue_waits = List.sort compare t.queue_waits;
+    sv_ttp = List.sort compare (List.map snd t.ttp);
   }

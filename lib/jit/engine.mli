@@ -106,12 +106,34 @@ type t = {
   mutable osr_uid : int;
   mutable osr_enters : int;  (** OSR transfers taken (enter direction) *)
   mutable osr_exits : int;   (** OSR exits (invalidation transfers + trap unwinds) *)
+  serve_queue : meth_id Scheduler.t option;
+  (** bounded background-compile queue; [None] (default): hot methods
+      compile inline at the trigger, exactly the pre-serve engine *)
+  serve_cache : meth_id Codecache.t option;
+  (** bounded code-cache residency; [None] (default): unbounded *)
+  compile_deadline : int option;
+  (** per-compile deadline in {!Support.Fuel} checkpoints; [min]s with
+      [compile_fuel] at every attempt *)
+  mutable evictions : (meth_id * int) list;
+  (** cache evictions (method, at_cycles), most recent first *)
+  evict_counts : (meth_id, int) Hashtbl.t;
+  (** evictions per method — drives the re-hot backoff gate *)
+  mutable sheds : int;
+  (** compile requests shed by admission control *)
+  mutable queue_waits : int list;
+  (** queue waits of serviced requests, most recent first *)
+  first_hot : (meth_id, int) Hashtbl.t;
+  (** first hot-trigger time per method, at [vm.cycles] *)
+  mutable ttp : (meth_id * int) list;
+  (** time-to-peak per method: cycles from first hot-trigger to first
+      install (includes queue wait and async compile latency) *)
 }
 
 val create :
   ?cost:Runtime.Cost.t -> ?spec_miss_threshold:int -> ?max_recompiles:int ->
   ?async_compile:bool -> ?max_compile_failures:int -> ?compile_fuel:int ->
-  ?osr:bool -> ?osr_threshold:int ->
+  ?osr:bool -> ?osr_threshold:int -> ?queue_capacity:int ->
+  ?queue_age_unit:int -> ?cache_capacity:int -> ?compile_deadline:int ->
   program -> config -> t
 (** Also runs {!Opt.Driver.prepare_program} so profiles are collected
     against prepared IR.
@@ -152,7 +174,29 @@ val create :
     loop header. Program outputs are bit-identical with OSR on, off, and
     under the reference interpreter. [osr:false] is the kill switch: no
     checkpoints fire and no epoch moves, but the backedge-driven
-    [on_entry] trigger (a bugfix, not a speculation) stays active. *)
+    [on_entry] trigger (a bugfix, not a speculation) stays active.
+
+    Serving ([queue_capacity] / [cache_capacity] / [compile_deadline],
+    all off by default and only meaningful with a compiler): with
+    [queue_capacity] set, hot methods enqueue a prioritized compile
+    request ({!Scheduler}: hotness × queue-age score, saturating) instead
+    of compiling inline; the one simulated background compiler services
+    the highest-score request at method entries, and admission control
+    sheds the lowest-score request when the queue is full. With
+    [cache_capacity] set (IR nodes), installed code is bounded
+    ({!Codecache}): installs evict lowest-retention residents, which fall
+    back to the prepared tier through the same deopt-epoch path as
+    invalidations — without consuming [max_recompiles]; instead an
+    evicted method's recompilation backs off per eviction. A
+    [compile_deadline] caps every attempt with a {!Support.Fuel} budget;
+    misses are ordinary bailouts. All serving decisions are functions of
+    this engine's own state, so a tenant behaves byte-identically solo or
+    multiplexed by {!Serve}.
+
+    Synthetic OSR/deopt continuations inherit their parent method's
+    failure count and blacklist entry at extraction time — a method that
+    exhausted its compile-failure budget cannot keep burning compile
+    cycles through fresh continuations. *)
 
 val run_main : t -> Runtime.Values.value
 val run_meth : t -> string -> Runtime.Values.value list -> Runtime.Values.value
@@ -208,3 +252,19 @@ val bailout_stats : t -> bailout_stats
 (** Aggregate failure picture of the run: how many compilation attempts
     bailed out, over how many methods, and which methods are permanently
     blacklisted to the interpreter. *)
+
+type serve_stats = {
+  sv_sheds : int;            (** requests shed by admission control *)
+  sv_evictions : int;        (** cache evictions over the run *)
+  sv_queue_depth : int;      (** requests still waiting at end of run *)
+  sv_cache_used : int;       (** resident code size (installed size when unbounded) *)
+  sv_cache_resident : int;   (** resident methods (installed count when unbounded) *)
+  sv_queue_waits : int list; (** serviced requests' queue waits, ascending *)
+  sv_ttp : int list;         (** per-method time-to-peak, ascending *)
+}
+
+val serve_stats : t -> serve_stats
+(** End-of-run serving picture. The two latency lists are sorted
+    ascending so exact percentile extraction is an index. Meaningful
+    with serving off too (zero churn, empty waits, inline-trigger
+    time-to-peak). *)

@@ -1,0 +1,251 @@
+(* Multi-tenant serving driver: see the interface for the isolation
+   invariant. The implementation discipline that upholds it: tenant
+   state lives entirely in the tenant's own engine and chaos plan; the
+   only ambient state the driver touches (the trace clock, the chaos
+   plan) is re-pointed at the running tenant around every slice and
+   restored after, so no tenant ever observes another's. *)
+
+type tenant = {
+  tn_id : string;
+  tn_make : unit -> Ir.Types.program * Engine.config;
+  tn_iters : int;
+}
+
+type limits = {
+  queue_capacity : int option;
+  queue_age_unit : int;
+  cache_capacity : int option;
+  compile_deadline : int option;
+  chaos_rate : float;
+  chaos_seed : int;
+}
+
+let default_limits =
+  { queue_capacity = None; queue_age_unit = 1024; cache_capacity = None;
+    compile_deadline = None; chaos_rate = 0.0; chaos_seed = 0 }
+
+(* FNV-1a over the tenant id, mixed with the base seed and masked
+   positive. A pure function of (base, id): a tenant's fault plan never
+   depends on who else is in the fleet. *)
+let seed_for ~(base : int) (id : string) : int =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF)
+    id;
+  ((base * 0x9E3779B1) lxor !h) land 0x3FFFFFFF
+
+let parse_tenants (spec : string) : ((string * int) list, string) result =
+  let bad part =
+    Error
+      (Printf.sprintf
+         "bad tenant %S: want NAME or NAME*COUNT (count >= 1), e.g. \
+          \"long-loop*3,gauss-mix\""
+         part)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | part :: rest -> (
+        let part = String.trim part in
+        match String.index_opt part '*' with
+        | None -> if part = "" then bad part else go ((part, 1) :: acc) rest
+        | Some i -> (
+            let name = String.trim (String.sub part 0 i) in
+            let count =
+              String.trim (String.sub part (i + 1) (String.length part - i - 1))
+            in
+            match int_of_string_opt count with
+            | Some n when n >= 1 && name <> "" -> go ((name, n) :: acc) rest
+            | _ -> bad part))
+  in
+  if String.trim spec = "" then Error "empty --tenants spec"
+  else go [] (String.split_on_char ',' spec)
+
+type tenant_report = {
+  tr_id : string;
+  tr_seed : int;
+  tr_iters : int;
+  tr_checksum : int;
+  tr_output : string;
+  tr_steps : int;
+  tr_cycles : int;
+  tr_compile_cycles : int;
+  tr_installs : int;
+  tr_invalidations : int;
+  tr_evictions : int;
+  tr_sheds : int;
+  tr_bailouts : int;
+  tr_blacklisted : int;
+  tr_cache_used : int;
+  tr_queue_depth : int;
+  tr_queue_wait_p50 : int;
+  tr_queue_wait_p99 : int;
+  tr_ttp_p50 : int;
+  tr_ttp_p99 : int;
+}
+
+(* Exact rank percentile of an ascending list: the smallest element whose
+   rank reaches ceil(q * n). *)
+let percentile (xs : int list) (q : float) : int =
+  let n = List.length xs in
+  if n = 0 then 0
+  else
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    List.nth xs (min (max rank 1) n - 1)
+
+type live = {
+  lv_tenant : tenant;
+  lv_engine : Engine.t;
+  lv_plan : Support.Chaos.plan option;
+  lv_seed : int;
+  mutable lv_done : int;
+  mutable lv_checksum : int;
+}
+
+(* One benchmark iteration of one tenant, under that tenant's ambient
+   state: its own trace clock and its own chaos plan (whose RNG stream
+   persists across the tenant's slices — [Chaos.with_plan], not a fresh
+   [scoped] plan). *)
+let slice (lv : live) : unit =
+  let vm = lv.lv_engine.Engine.vm in
+  Obs.Trace.set_clock (fun () -> vm.Runtime.Interp.cycles);
+  Support.Chaos.with_plan lv.lv_plan (fun () ->
+      Obs.Trace.emit "serve_slice" (fun () ->
+          Support.Json.
+            [
+              ("tenant", String lv.lv_tenant.tn_id);
+              ("iter", Int (lv.lv_done + 1));
+            ]);
+      let v =
+        Engine.run_meth lv.lv_engine "bench" [ Runtime.Values.Vunit ]
+      in
+      let x = match v with Runtime.Values.Vint n -> n | _ -> 0 in
+      lv.lv_checksum <- ((lv.lv_checksum * 31) + x) land max_int;
+      lv.lv_done <- lv.lv_done + 1)
+
+let finish (lv : live) : tenant_report =
+  let e = lv.lv_engine in
+  let vm = e.Engine.vm in
+  Obs.Trace.set_clock (fun () -> vm.Runtime.Interp.cycles);
+  Support.Chaos.with_plan lv.lv_plan (fun () ->
+      ignore (Engine.flush_pending e);
+      let st = Engine.serve_stats e in
+      let bs = Engine.bailout_stats e in
+      let r =
+        {
+          tr_id = lv.lv_tenant.tn_id;
+          tr_seed = lv.lv_seed;
+          tr_iters = lv.lv_done;
+          tr_checksum = lv.lv_checksum;
+          tr_output = Engine.output e;
+          tr_steps = vm.Runtime.Interp.steps;
+          tr_cycles = vm.Runtime.Interp.cycles;
+          tr_compile_cycles = e.Engine.compile_cycles;
+          tr_installs = List.length e.Engine.compilations;
+          tr_invalidations = List.length e.Engine.invalidations;
+          tr_evictions = st.Engine.sv_evictions;
+          tr_sheds = st.Engine.sv_sheds;
+          tr_bailouts = bs.Engine.failed_attempts;
+          tr_blacklisted = List.length bs.Engine.blacklisted_methods;
+          tr_cache_used = st.Engine.sv_cache_used;
+          tr_queue_depth = st.Engine.sv_queue_depth;
+          tr_queue_wait_p50 = percentile st.Engine.sv_queue_waits 0.50;
+          tr_queue_wait_p99 = percentile st.Engine.sv_queue_waits 0.99;
+          tr_ttp_p50 = percentile st.Engine.sv_ttp 0.50;
+          tr_ttp_p99 = percentile st.Engine.sv_ttp 0.99;
+        }
+      in
+      Obs.Trace.emit "serve_tenant_done" (fun () ->
+          Support.Json.
+            [
+              ("tenant", String r.tr_id);
+              ("iters", Int r.tr_iters);
+              ("steps", Int r.tr_steps);
+              ("vm_cycles", Int r.tr_cycles);
+              ("evictions", Int r.tr_evictions);
+              ("sheds", Int r.tr_sheds);
+            ]);
+      r)
+
+let run ?(limits = default_limits) (tenants : tenant list) : tenant_report list =
+  Obs.Trace.emit "serve_start" (fun () ->
+      Support.Json.
+        [
+          ("tenants", Int (List.length tenants));
+          ( "queue_capacity",
+            Int (match limits.queue_capacity with Some c -> c | None -> -1) );
+          ( "cache_capacity",
+            Int (match limits.cache_capacity with Some c -> c | None -> -1) );
+          ( "compile_deadline",
+            Int (match limits.compile_deadline with Some c -> c | None -> -1) );
+          ("chaos_rate", Float limits.chaos_rate);
+        ]);
+  let lives =
+    List.map
+      (fun tn ->
+        let prog, config = tn.tn_make () in
+        let engine =
+          Engine.create ?queue_capacity:limits.queue_capacity
+            ~queue_age_unit:limits.queue_age_unit
+            ?cache_capacity:limits.cache_capacity
+            ?compile_deadline:limits.compile_deadline prog config
+        in
+        let seed = seed_for ~base:limits.chaos_seed tn.tn_id in
+        let plan =
+          if limits.chaos_rate > 0.0 then
+            Some (Support.Chaos.make ~seed ~rate:limits.chaos_rate)
+          else None
+        in
+        { lv_tenant = tn; lv_engine = engine; lv_plan = plan; lv_seed = seed;
+          lv_done = 0; lv_checksum = 0 })
+      tenants
+  in
+  (* round-robin, one iteration per tenant per turn; tenants drop out as
+     they finish *)
+  let remaining = ref true in
+  while !remaining do
+    remaining := false;
+    List.iter
+      (fun lv ->
+        if lv.lv_done < lv.lv_tenant.tn_iters then begin
+          slice lv;
+          if lv.lv_done < lv.lv_tenant.tn_iters then remaining := true
+        end)
+      lives
+  done;
+  List.map finish lives
+
+let report_json (reports : tenant_report list) : Support.Json.t =
+  Support.Json.Obj
+    [
+      ("tenants", Support.Json.Int (List.length reports));
+      ( "fleet",
+        Support.Json.List
+          (List.map
+             (fun r ->
+               Support.Json.Obj
+                 [
+                   ("id", Support.Json.String r.tr_id);
+                   ("seed", Support.Json.Int r.tr_seed);
+                   ("iters", Support.Json.Int r.tr_iters);
+                   ("checksum", Support.Json.Int r.tr_checksum);
+                   ( "output_digest",
+                     Support.Json.String (Digest.to_hex (Digest.string r.tr_output))
+                   );
+                   ("steps", Support.Json.Int r.tr_steps);
+                   ("cycles", Support.Json.Int r.tr_cycles);
+                   ("compile_cycles", Support.Json.Int r.tr_compile_cycles);
+                   ("installs", Support.Json.Int r.tr_installs);
+                   ("invalidations", Support.Json.Int r.tr_invalidations);
+                   ("evictions", Support.Json.Int r.tr_evictions);
+                   ("sheds", Support.Json.Int r.tr_sheds);
+                   ("bailouts", Support.Json.Int r.tr_bailouts);
+                   ("blacklisted", Support.Json.Int r.tr_blacklisted);
+                   ("cache_used", Support.Json.Int r.tr_cache_used);
+                   ("queue_depth", Support.Json.Int r.tr_queue_depth);
+                   ("queue_wait_p50", Support.Json.Int r.tr_queue_wait_p50);
+                   ("queue_wait_p99", Support.Json.Int r.tr_queue_wait_p99);
+                   ("time_to_peak_p50", Support.Json.Int r.tr_ttp_p50);
+                   ("time_to_peak_p99", Support.Json.Int r.tr_ttp_p99);
+                 ])
+             reports) );
+    ]

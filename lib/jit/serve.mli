@@ -1,0 +1,96 @@
+(** The multi-tenant serving driver behind `selvm serve`.
+
+    Multiplexes N tenant workloads, each on its own {!Engine} armed with
+    per-tenant serving budgets (bounded compile queue, bounded code
+    cache, per-compile deadline) and — optionally — its own
+    deterministic {!Support.Chaos} fault plan, seeded from the tenant id.
+    The driver round-robins one benchmark iteration per tenant per turn
+    until every tenant has finished its iterations.
+
+    The load-bearing invariant: every decision affecting a tenant is a
+    function of that tenant's own state (its engine's clocks and tables,
+    its own chaos plan, its id-derived seed). The driver only
+    interleaves; it never routes one tenant's pressure into another's
+    engine. Consequently a tenant's output, step count, cycle count and
+    checksum are byte-identical whether it runs in a fleet of 8 or alone
+    — {!run} on a filtered tenant list reproduces exactly the per-tenant
+    numbers of the full fleet, which is what the chaos-under-load soak
+    gate asserts. *)
+
+type tenant = {
+  tn_id : string;
+  (** stable identity, e.g. ["long-loop#0"] — the chaos seed derives
+      from this, so a tenant keeps its fault plan when the fleet around
+      it changes *)
+  tn_make : unit -> Ir.Types.program * Engine.config;
+  (** fresh program and config per engine. The config must carry a fresh
+      compiler instance: stateful compilers (the incremental inliner's
+      trial cache) must never be shared across tenants. *)
+  tn_iters : int;  (** benchmark iterations to serve *)
+}
+
+type limits = {
+  queue_capacity : int option;   (** per-tenant compile-queue bound *)
+  queue_age_unit : int;          (** cycles of waiting worth one hotness *)
+  cache_capacity : int option;   (** per-tenant code-cache bound, IR nodes *)
+  compile_deadline : int option; (** per-compile {!Support.Fuel} budget *)
+  chaos_rate : float;            (** 0.0: no fault injection *)
+  chaos_seed : int;              (** base seed; per-tenant seeds derive from it *)
+}
+
+val default_limits : limits
+(** Everything off: unbounded queue-less engines, no chaos. *)
+
+val seed_for : base:int -> string -> int
+(** The tenant's chaos seed: a deterministic hash of the tenant id mixed
+    with the base seed. Depends only on (base, id) — never on fleet
+    composition — so solo reruns reproduce fleet fault plans. *)
+
+val parse_tenants : string -> ((string * int) list, string) result
+(** Parses a `--tenants` spec: comma-separated [name] or [name*count]
+    entries, e.g. ["long-loop*3,gauss-mix"]. Returns the (name, count)
+    pairs in spec order, or a one-line diagnostic. Workload-name
+    validation is the caller's (the CLI resolves against its registry). *)
+
+type tenant_report = {
+  tr_id : string;
+  tr_seed : int;               (** chaos seed (0 when chaos is off) *)
+  tr_iters : int;
+  tr_checksum : int;           (** fold of the per-iteration bench checksums *)
+  tr_output : string;          (** full program output *)
+  tr_steps : int;
+  tr_cycles : int;
+  tr_compile_cycles : int;
+  tr_installs : int;
+  tr_invalidations : int;
+  tr_evictions : int;
+  tr_sheds : int;
+  tr_bailouts : int;
+  tr_blacklisted : int;
+  tr_cache_used : int;
+      (** resident code at end of run, IR nodes; total installed-and-live
+          code when the cache is unbounded — the demand a cache bound is
+          sized against *)
+  tr_queue_depth : int;        (** requests still waiting at end of run *)
+  tr_queue_wait_p50 : int;
+  tr_queue_wait_p99 : int;
+  tr_ttp_p50 : int;            (** time-to-peak percentiles, cycles *)
+  tr_ttp_p99 : int;
+}
+
+val percentile : int list -> float -> int
+(** Exact rank percentile of an ascending list (0 when empty); exposed
+    for the fleet sections of the bench smoke. *)
+
+val run : ?limits:limits -> tenant list -> tenant_report list
+(** Serves the fleet to completion and reports per tenant, in input
+    order. Emits [serve_start] / [serve_slice] / [serve_tenant_done]
+    trace events (the per-engine [serve_*]/[evict]/[shed] events come
+    from {!Engine}); each slice runs under the tenant's own chaos plan
+    and trace clock. *)
+
+val report_json : tenant_report list -> Support.Json.t
+(** Deterministic fleet report: per-tenant outputs are digested (MD5
+    hex), latency percentiles and churn counters inline — byte-identical
+    across same-seed runs, and per-tenant entries identical between a
+    fleet run and the tenant's solo run. *)

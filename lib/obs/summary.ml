@@ -28,6 +28,10 @@ type t = {
   mutable ic_hits : int;
   mutable ic_misses : int;
   mutable ic_megamorphic : int;
+  mutable evictions : compile_event list;  (* size = IR nodes retired *)
+  mutable sheds : (string * int) list;     (* by reason, first-seen order *)
+  mutable serve_tenants : int;
+  mutable queue_waits : int list;          (* cycles, arrival order *)
   mutable last_cycles : int;
 }
 
@@ -51,6 +55,10 @@ let empty () =
     ic_hits = 0;
     ic_misses = 0;
     ic_megamorphic = 0;
+    evictions = [];
+    sheds = [];
+    serve_tenants = 0;
+    queue_waits = [];
     last_cycles = 0;
   }
 
@@ -116,6 +124,20 @@ let add_event (s : t) (j : Support.Json.t) : unit =
       s.ic_hits <- s.ic_hits + int_field j "ic_hit";
       s.ic_misses <- s.ic_misses + int_field j "ic_miss";
       s.ic_megamorphic <- s.ic_megamorphic + int_field j "ic_megamorphic"
+  | "evict" ->
+      s.evictions <-
+        s.evictions
+        @ [ { meth = str_field j "meth"; size = int_field j "size"; at_cycles = cycles } ]
+  | "shed" ->
+      let reason = str_field j "reason" in
+      s.sheds <-
+        (if List.mem_assoc reason s.sheds then
+           List.map
+             (fun (k, n) -> if k = reason then (k, n + 1) else (k, n))
+             s.sheds
+         else s.sheds @ [ (reason, 1) ])
+  | "serve_start" -> s.serve_tenants <- max s.serve_tenants (int_field j "tenants")
+  | "serve_dequeue" -> s.queue_waits <- s.queue_waits @ [ int_field j "wait" ]
   | _ -> ()
 
 (* Tolerant line scan: well-formed events with their 1-based line numbers,
@@ -245,6 +267,20 @@ let render (s : t) : string =
     pf "\noptimizer (root rounds):\n";
     pf "  canonicalizations  %d\n" s.canon_events;
     pf "  nodes deleted      %d\n" s.nodes_deleted
+  end;
+  if s.serve_tenants > 0 || s.evictions <> [] || s.sheds <> [] then begin
+    pf "\nserving:\n";
+    if s.serve_tenants > 0 then pf "  tenants            %d\n" s.serve_tenants;
+    pf "  evictions          %d (%d IR nodes retired)\n"
+      (List.length s.evictions)
+      (List.fold_left (fun acc (c : compile_event) -> acc + c.size) 0 s.evictions);
+    List.iter (fun (k, n) -> pf "  shed (%s)  %d\n" k n) s.sheds;
+    if s.queue_waits <> [] then begin
+      let n = List.length s.queue_waits in
+      let sum = List.fold_left ( + ) 0 s.queue_waits in
+      let mx = List.fold_left max 0 s.queue_waits in
+      pf "  queue waits        %d serviced, mean %d cycles, max %d\n" n (sum / n) mx
+    end
   end;
   if s.ic_sites > 0 then begin
     let d = s.ic_hits + s.ic_misses + s.ic_megamorphic in

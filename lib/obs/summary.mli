@@ -32,6 +32,14 @@ type t = {
   mutable ic_hits : int;
   mutable ic_misses : int;
   mutable ic_megamorphic : int;
+  mutable evictions : compile_event list;
+      (** code-cache retirements; [size] is the IR nodes released *)
+  mutable sheds : (string * int) list;
+      (** compile requests dropped by admission control, by reason *)
+  mutable serve_tenants : int;
+      (** fleet size of the largest [serve_start] seen (0 outside serving) *)
+  mutable queue_waits : int list;
+      (** per-serviced-request queue waits in cycles, arrival order *)
   mutable last_cycles : int;
 }
 

@@ -37,6 +37,7 @@ type mrec = {
   invocations : int array;       (* invocation counts, indexed by tier *)
   mutable total : int;           (* cycles with the method on the stack *)
   mutable deopts : int;
+  mutable evicts : int;          (* code-cache evictions (capacity pressure) *)
   (* total-once-per-method bookkeeping for recursive activations *)
   mutable on_stack : int;
   mutable entered_total_at : int;
@@ -66,7 +67,7 @@ type t = {
 
 let fresh_mrec () : mrec =
   { self = Array.make 3 0; invocations = Array.make 3 0; total = 0; deopts = 0;
-    on_stack = 0; entered_total_at = 0 }
+    evicts = 0; on_stack = 0; entered_total_at = 0 }
 
 let create () : t =
   let rec root = { cn_up = root; cn_meth = -1; cn_self = 0; cn_kids = [] } in
@@ -164,6 +165,10 @@ let record_deopt (t : t) (meth : int) : unit =
   let r = mrec_of t meth in
   r.deopts <- r.deopts + 1
 
+let record_evict (t : t) (meth : int) : unit =
+  let r = mrec_of t meth in
+  r.evicts <- r.evicts + 1
+
 (* ---------- reporting ---------- *)
 
 type row = {
@@ -174,6 +179,7 @@ type row = {
   r_self_by_tier : int * int * int;
   r_invocations_by_tier : int * int * int;
   r_deopts : int;
+  r_evicts : int;
 }
 
 let rows (t : t) : row list =
@@ -192,6 +198,7 @@ let rows (t : t) : row list =
               r_invocations_by_tier =
                 (r.invocations.(0), r.invocations.(1), r.invocations.(2));
               r_deopts = r.deopts;
+              r_evicts = r.evicts;
             }
             :: !acc)
     t.mrecs;

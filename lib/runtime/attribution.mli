@@ -32,6 +32,11 @@ val leave : t -> now:int -> unit
 val record_deopt : t -> int -> unit
 (** The engine invalidated this method's compiled code. *)
 
+val record_evict : t -> int -> unit
+(** The bounded code cache evicted this method's compiled code (capacity
+    pressure, not a correctness event — split from deopts so reports can
+    tell churn from speculation failure). *)
+
 type row = {
   r_meth : int;
   r_self : int;                  (** self cycles across tiers *)
@@ -40,6 +45,7 @@ type row = {
   r_self_by_tier : int * int * int;          (** interp, prepared, jit *)
   r_invocations_by_tier : int * int * int;   (** interp, prepared, jit *)
   r_deopts : int;
+  r_evicts : int;
 }
 
 val rows : t -> row list

@@ -217,6 +217,9 @@ let enable_attribution (vm : vm) : Attribution.t =
 let record_deopt (vm : vm) (m : meth_id) : unit =
   match vm.attrib with Some a -> Attribution.record_deopt a m | None -> ()
 
+let record_evict (vm : vm) (m : meth_id) : unit =
+  match vm.attrib with Some a -> Attribution.record_evict a m | None -> ()
+
 let charge vm n = vm.cycles <- vm.cycles + n
 
 let cache_key (m : meth_id) (mode : mode) : int =

@@ -171,6 +171,12 @@ val record_deopt : vm -> meth_id -> unit
     enabled; a no-op otherwise. Called by the engine's invalidation
     path. *)
 
+val record_evict : vm -> meth_id -> unit
+(** Counts a code-cache eviction against the method when attribution is
+    enabled; a no-op otherwise. Called by the engine's bounded-cache
+    retirement path — kept separate from {!record_deopt} so reports can
+    tell capacity churn from speculation failure. *)
+
 val invalidate_code : vm -> meth_id -> unit
 (** Drops any prepared code cached for the method (both tiers) — retiring
     the inline caches it contains into {!ic_stats} — and bumps

@@ -43,10 +43,12 @@ let enabled () = !current <> None
 
 let plan () = !current
 
-let install ~(seed : int) ~(rate : float) : unit =
+let make ~(seed : int) ~(rate : float) : plan =
   if not (Float.is_finite rate) || rate < 0.0 || rate > 1.0 then
-    invalid_arg "Chaos.install: rate must be in [0, 1]";
-  current := Some { seed; rate; rng = Rng.create seed; rolls = 0; injected = 0 }
+    invalid_arg "Chaos.make: rate must be in [0, 1]";
+  { seed; rate; rng = Rng.create seed; rolls = 0; injected = 0 }
+
+let install ~(seed : int) ~(rate : float) : unit = current := Some (make ~seed ~rate)
 
 let uninstall () : unit = current := None
 
@@ -55,6 +57,18 @@ let uninstall () : unit = current := None
 let scoped ~(seed : int) ~(rate : float) (f : unit -> 'a) : 'a =
   let saved = !current in
   install ~seed ~rate;
+  Fun.protect ~finally:(fun () -> current := saved) f
+
+(* [with_plan p f] makes an *existing* plan ambient (or none, for
+   [None]), restoring the previous one afterwards. Unlike [scoped] this
+   does not reset the plan's RNG stream: the multi-tenant serve driver
+   re-installs each tenant's own plan around every execution slice, so a
+   tenant's fault sequence is a pure function of its own seed and its
+   own deterministic execution — byte-identical whether the tenant runs
+   solo or multiplexed with others. *)
+let with_plan (p : plan option) (f : unit -> 'a) : 'a =
+  let saved = !current in
+  current := p;
   Fun.protect ~finally:(fun () -> current := saved) f
 
 (* [roll fault] offers the plan one injection opportunity; true with

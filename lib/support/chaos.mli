@@ -33,6 +33,11 @@ type plan = {
 val enabled : unit -> bool
 val plan : unit -> plan option
 
+val make : seed:int -> rate:float -> plan
+(** A fresh plan, not yet ambient — hold one per tenant and activate it
+    around that tenant's execution slices with {!with_plan}.
+    @raise Invalid_argument unless [0 <= rate <= 1]. *)
+
 val install : seed:int -> rate:float -> unit
 (** Makes a fresh plan ambient until {!uninstall}.
     @raise Invalid_argument unless [0 <= rate <= 1]. *)
@@ -42,6 +47,13 @@ val uninstall : unit -> unit
 val scoped : seed:int -> rate:float -> (unit -> 'a) -> 'a
 (** Runs the callback under a fresh plan, restoring the previously
     ambient plan on exit (exception-safe). *)
+
+val with_plan : plan option -> (unit -> 'a) -> 'a
+(** Runs the callback with the given (possibly [None]) plan ambient,
+    restoring the previous one on exit. Does not reset the plan's RNG
+    stream — the serve driver uses this to resume each tenant's private
+    fault plan across multiplexed execution slices, keeping every
+    tenant's fault sequence independent of its neighbors. *)
 
 val roll : fault -> bool
 (** One injection opportunity: true with probability [rate], always

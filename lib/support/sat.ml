@@ -1,0 +1,17 @@
+(* Saturating non-negative arithmetic: the one overflow-proof path for
+   every quantity the engine compares against a clock or a gate. See the
+   interface for why raw [+]/[*] are banned in scoring code. *)
+
+let clamp a = if a < 0 then 0 else a
+
+let add a b =
+  let a = clamp a and b = clamp b in
+  if a > max_int - b then max_int else a + b
+
+let mul a b =
+  let a = clamp a and b = clamp b in
+  if a = 0 || b = 0 then 0 else if a > max_int / b then max_int else a * b
+
+let sub a b =
+  let a = clamp a and b = clamp b in
+  if a <= b then 0 else a - b

@@ -1,0 +1,22 @@
+(** Saturating non-negative integer arithmetic for scheduler scoring and
+    cooldown/deadline accounting.
+
+    Long-lived serving runs accumulate cycle stamps, queue ages and
+    backoff distances without bound; a wrapped sum or product turns a
+    "retry far in the future" gate into "retry immediately" (the PR 7
+    overflow class). Every score or gate the engine compares against a
+    clock must therefore go through these, never through raw [+]/[*].
+
+    Negative operands are clamped to 0 first: all the quantities these
+    combine (cycles, counts, sizes, ages) are non-negative by
+    construction, and a negative intermediate reaching a gate comparison
+    is exactly the bug class this module exists to kill. *)
+
+val add : int -> int -> int
+(** [add a b] is [a + b], saturating at [max_int]. *)
+
+val mul : int -> int -> int
+(** [mul a b] is [a * b], saturating at [max_int]. *)
+
+val sub : int -> int -> int
+(** [sub a b] is [a - b] clamped below at [0]. *)

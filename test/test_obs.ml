@@ -864,7 +864,50 @@ let all_kind_lines () : string list =
         try ignore (Jit.Engine.run_main e)
         with Runtime.Values.Trap _ -> ())
   in
-  harness @ async @ invalidation @ bailouts @ chaos @ osr
+  let serve =
+    collect (fun () ->
+        (* two tenants under a one-slot queue and a one-node cache: the
+           first hot method dequeues and compiles (serve_enqueue,
+           serve_dequeue), later ones are shed against the full queue
+           (shed), and every install immediately overflows the cache
+           (evict); the driver brackets it all with serve_start /
+           serve_slice / serve_tenant_done *)
+        let src =
+          {|def a(n: Int): Int = { var i = 0; var s = 0; while (i < n) { s = s + i; i = i + 1 }; s }
+            def b(n: Int): Int = { var i = 0; var s = 1; while (i < n) { s = s + i * i; i = i + 1 }; s }
+            def c(n: Int): Int = a(n) + b(n)
+            def bench(): Int = a(12) + b(12) + c(12)
+            def main(): Unit = println(bench())|}
+        in
+        let tn id =
+          {
+            Jit.Serve.tn_id = id;
+            tn_make =
+              (fun () ->
+                ( compile src,
+                  {
+                    Jit.Engine.name = "schema-serve";
+                    compiler = Some (incremental ());
+                    hotness_threshold = 3;
+                    compile_cost_per_node = 50;
+                    verify = false;
+                  } ));
+            tn_iters = 30;
+          }
+        in
+        let limits =
+          {
+            Jit.Serve.queue_capacity = Some 1;
+            queue_age_unit = 64;
+            cache_capacity = Some 1;
+            compile_deadline = None;
+            chaos_rate = 0.0;
+            chaos_seed = 0;
+          }
+        in
+        ignore (Jit.Serve.run ~limits [ tn "t#0"; tn "t#1" ]))
+  in
+  harness @ async @ invalidation @ bailouts @ chaos @ osr @ serve
 
 let schema_tests =
   [

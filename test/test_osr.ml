@@ -280,6 +280,44 @@ let backoff_tests =
         done);
   ]
 
+(* ---------- continuation failure-state inheritance (satellite) ---------- *)
+
+let inheritance_tests =
+  [
+    test "a blacklisted parent burns no compile fuel through continuations"
+      (fun () ->
+        (* every compile crashes: the parent exhausts its failure budget
+           and is blacklisted. Its synthetic @osr continuations inherit
+           that state instead of getting a fresh budget, so continued
+           hot-loop pressure must not record a single further bailout *)
+        let crashing : Jit.Engine.compiler = fun _ _ _ -> failwith "boom" in
+        let prog = compile hot_loop_src in
+        let e =
+          Jit.Engine.create ~osr:true ~osr_threshold:8 prog
+            {
+              name = "osr-inherit";
+              compiler = Some crashing;
+              hotness_threshold = 2;
+              compile_cost_per_node = 50;
+              verify = false;
+            }
+        in
+        let drive n =
+          for _ = 1 to n do
+            ignore (Jit.Engine.run_meth e "hotloop" [ Runtime.Values.Vunit ])
+          done
+        in
+        drive 60;
+        let bs = Jit.Engine.bailout_stats e in
+        let hotloop = Option.get (Ir.Program.find_meth prog "hotloop") in
+        Alcotest.(check bool) "parent blacklisted" true
+          (List.mem hotloop bs.Jit.Engine.blacklisted_methods);
+        let before = bs.Jit.Engine.failed_attempts in
+        drive 60;
+        Alcotest.(check int) "no fuel burned through continuations" before
+          (Jit.Engine.bailout_stats e).Jit.Engine.failed_attempts);
+  ]
+
 (* ---------- differential properties (qcheck) ---------- *)
 
 (* Small synthetic call graphs with real loops: leaf work and hot
@@ -362,5 +400,6 @@ let () =
       ("exit", exit_tests);
       ("trigger", trigger_tests);
       ("backoff", backoff_tests);
+      ("inheritance", inheritance_tests);
       ("properties", List.map QCheck_alcotest.to_alcotest prop_tests);
     ]

@@ -1,0 +1,513 @@
+(* Tests for the serving subsystem: the bounded prioritized compile
+   queue (Jit.Scheduler), the bounded code cache (Jit.Codecache), their
+   integration in the engine (eviction exactness across backends,
+   evicted-then-rehot recompilation, queue-mode and deadline
+   degradation), and the multi-tenant driver (Jit.Serve) — spec parsing,
+   id-derived seeding, and the solo-vs-fleet isolation invariant,
+   including a pathological tenant that cannot perturb its neighbors. *)
+
+open Util
+
+(* ---------- compile-queue scheduler ---------- *)
+
+let scheduler_tests =
+  [
+    test "score grows with hotness and age and clamps negatives" (fun () ->
+        Alcotest.(check int) "age 0" 5
+          (Jit.Scheduler.score ~hotness:5 ~age:0 ~age_unit:64);
+        Alcotest.(check int) "one age unit adds one hotness" 10
+          (Jit.Scheduler.score ~hotness:5 ~age:64 ~age_unit:64);
+        Alcotest.(check int) "negative age clamps" 5
+          (Jit.Scheduler.score ~hotness:5 ~age:(-1000) ~age_unit:64);
+        Alcotest.(check int) "negative hotness clamps" 0
+          (Jit.Scheduler.score ~hotness:(-3) ~age:500 ~age_unit:64));
+    test "score saturates instead of wrapping negative" (fun () ->
+        (* the PR 7 overflow class: a wrapped product would rank an
+           ancient request below a fresh one, inverting anti-starvation *)
+        Alcotest.(check int) "max x max saturates" max_int
+          (Jit.Scheduler.score ~hotness:max_int ~age:max_int ~age_unit:1);
+        List.iter
+          (fun (h, a) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "non-negative at %d/%d" h a)
+              true
+              (Jit.Scheduler.score ~hotness:h ~age:a ~age_unit:1 >= 0))
+          [ (max_int / 2, max_int / 2); (max_int, 1); (3, max_int) ]);
+    test "a waiting request eventually outscores any fixed hotness" (fun () ->
+        Alcotest.(check bool) "age beats hotness" true
+          (Jit.Scheduler.score ~hotness:1 ~age:(1000 * 64) ~age_unit:64
+          > Jit.Scheduler.score ~hotness:1000 ~age:0 ~age_unit:64));
+    test "admission: admit, bump, reject, displace" (fun () ->
+        let q = Jit.Scheduler.create ~capacity:2 ~age_unit:64 in
+        Alcotest.(check bool) "a admitted" true
+          (Jit.Scheduler.enqueue q ~meth:"a" ~hotness:5 ~now:0
+          = Jit.Scheduler.Admitted);
+        Alcotest.(check bool) "a bumped on re-offer" true
+          (Jit.Scheduler.enqueue q ~meth:"a" ~hotness:9 ~now:0
+          = Jit.Scheduler.Bumped);
+        Alcotest.(check bool) "b admitted" true
+          (Jit.Scheduler.enqueue q ~meth:"b" ~hotness:3 ~now:0
+          = Jit.Scheduler.Admitted);
+        (* full: a cheap request is rejected on arrival *)
+        Alcotest.(check bool) "c rejected" true
+          (Jit.Scheduler.enqueue q ~meth:"c" ~hotness:1 ~now:0
+          = Jit.Scheduler.Rejected);
+        (* full: a hot request displaces the cheapest waiting one *)
+        Alcotest.(check bool) "d displaces b" true
+          (Jit.Scheduler.enqueue q ~meth:"d" ~hotness:50 ~now:0
+          = Jit.Scheduler.Displaced "b");
+        Alcotest.(check bool) "b gone" false (Jit.Scheduler.mem q "b");
+        (* an exact tie loses: the incumbents have waited longer *)
+        Alcotest.(check bool) "tie rejected" true
+          (Jit.Scheduler.enqueue q ~meth:"e" ~hotness:9 ~now:0
+          = Jit.Scheduler.Rejected);
+        Alcotest.(check int) "still two waiting" 2 (Jit.Scheduler.length q));
+    test "pop: priority order, busy window, wait accounting" (fun () ->
+        let q = Jit.Scheduler.create ~capacity:4 ~age_unit:64 in
+        ignore (Jit.Scheduler.enqueue q ~meth:"cold" ~hotness:2 ~now:0);
+        ignore (Jit.Scheduler.enqueue q ~meth:"hot" ~hotness:5 ~now:10);
+        (match Jit.Scheduler.pop q ~now:20 with
+        | Some (m, wait) ->
+            Alcotest.(check string) "hottest first" "hot" m;
+            Alcotest.(check int) "waited since enqueue" 10 wait
+        | None -> Alcotest.fail "idle compiler refused a pop");
+        Jit.Scheduler.occupy q ~until:100;
+        Alcotest.(check bool) "busy compiler pops nothing" true
+          (Jit.Scheduler.pop q ~now:50 = None);
+        (* occupy is monotone: a shorter horizon never frees it early *)
+        Jit.Scheduler.occupy q ~until:60;
+        Alcotest.(check bool) "horizon kept" true
+          (Jit.Scheduler.pop q ~now:90 = None);
+        (match Jit.Scheduler.pop q ~now:100 with
+        | Some (m, wait) ->
+            Alcotest.(check string) "backlog drains" "cold" m;
+            Alcotest.(check int) "full wait" 100 wait
+        | None -> Alcotest.fail "free compiler refused the backlog");
+        Alcotest.(check bool) "empty queue pops nothing" true
+          (Jit.Scheduler.pop q ~now:200 = None));
+    test "pop ties go to the longest-waiting request" (fun () ->
+        let q = Jit.Scheduler.create ~capacity:4 ~age_unit:64 in
+        ignore (Jit.Scheduler.enqueue q ~meth:"first" ~hotness:5 ~now:0);
+        ignore (Jit.Scheduler.enqueue q ~meth:"second" ~hotness:5 ~now:0);
+        match Jit.Scheduler.pop q ~now:0 with
+        | Some (m, _) -> Alcotest.(check string) "oldest wins" "first" m
+        | None -> Alcotest.fail "no pop");
+    test "capacity 0 sheds every request" (fun () ->
+        let q = Jit.Scheduler.create ~capacity:0 ~age_unit:64 in
+        Alcotest.(check bool) "rejected" true
+          (Jit.Scheduler.enqueue q ~meth:"a" ~hotness:1000 ~now:0
+          = Jit.Scheduler.Rejected);
+        Alcotest.(check int) "nothing waits" 0 (Jit.Scheduler.length q));
+    test "remove drops a waiting request" (fun () ->
+        let q = Jit.Scheduler.create ~capacity:4 ~age_unit:64 in
+        ignore (Jit.Scheduler.enqueue q ~meth:"a" ~hotness:5 ~now:0);
+        Jit.Scheduler.remove q "a";
+        Alcotest.(check bool) "gone" false (Jit.Scheduler.mem q "a");
+        Alcotest.(check bool) "nothing to pop" true
+          (Jit.Scheduler.pop q ~now:10 = None));
+  ]
+
+(* ---------- code cache ---------- *)
+
+let codecache_tests =
+  [
+    test "retain_score: cost-benefit shape, saturating, non-negative" (fun () ->
+        Alcotest.(check int) "recency + uses - size" 200
+          (Jit.Codecache.retain_score ~last_used:100 ~uses:2 ~size:28);
+        Alcotest.(check int) "big bodies clamp to 0, not negative" 0
+          (Jit.Codecache.retain_score ~last_used:10 ~uses:0 ~size:10_000);
+        Alcotest.(check int) "saturates at max_int" max_int
+          (Jit.Codecache.retain_score ~last_used:max_int ~uses:max_int ~size:0);
+        Alcotest.(check bool) "never negative" true
+          (Jit.Codecache.retain_score ~last_used:max_int ~uses:1 ~size:max_int
+          >= 0));
+    test "capacity 0 evicts every install immediately" (fun () ->
+        let c = Jit.Codecache.create ~capacity:0 in
+        Alcotest.(check (list string)) "self-eviction" [ "m" ]
+          (Jit.Codecache.install c ~meth:"m" ~size:5 ~now:0);
+        Alcotest.(check int) "nothing resident" 0 (Jit.Codecache.resident c);
+        Alcotest.(check int) "nothing used" 0 (Jit.Codecache.used c));
+    test "capacity 1 with a bigger body behaves like capacity 0" (fun () ->
+        let c = Jit.Codecache.create ~capacity:1 in
+        Alcotest.(check (list string)) "self-eviction" [ "m" ]
+          (Jit.Codecache.install c ~meth:"m" ~size:2 ~now:0);
+        (* a body that fits stays *)
+        Alcotest.(check (list string)) "exact fit stays" []
+          (Jit.Codecache.install c ~meth:"tiny" ~size:1 ~now:1);
+        Alcotest.(check bool) "resident" true (Jit.Codecache.mem c "tiny"));
+    test "install evicts the lowest-retention entry first" (fun () ->
+        let c = Jit.Codecache.create ~capacity:10 in
+        Alcotest.(check (list string)) "a fits" []
+          (Jit.Codecache.install c ~meth:"a" ~size:6 ~now:0);
+        Alcotest.(check (list string)) "b fits" []
+          (Jit.Codecache.install c ~meth:"b" ~size:4 ~now:100);
+        Alcotest.(check int) "full" 10 (Jit.Codecache.used c);
+        (* a (stale, big) scores below b (fresh): a goes *)
+        Alcotest.(check (list string)) "a evicted" [ "a" ]
+          (Jit.Codecache.install c ~meth:"c" ~size:1 ~now:200);
+        Alcotest.(check bool) "b survived" true (Jit.Codecache.mem c "b");
+        Alcotest.(check int) "accounting" 5 (Jit.Codecache.used c));
+    test "touch refreshes retention and protects hot code" (fun () ->
+        let c = Jit.Codecache.create ~capacity:10 in
+        ignore (Jit.Codecache.install c ~meth:"a" ~size:5 ~now:0);
+        ignore (Jit.Codecache.install c ~meth:"b" ~size:5 ~now:10);
+        (* without the touch, a (older) would be the victim *)
+        Jit.Codecache.touch c "a" ~now:500;
+        Alcotest.(check (list string)) "b evicted instead" [ "b" ]
+          (Jit.Codecache.install c ~meth:"d" ~size:5 ~now:600);
+        Alcotest.(check bool) "a survived" true (Jit.Codecache.mem c "a"));
+    test "reinstalling a method replaces, not double-counts" (fun () ->
+        let c = Jit.Codecache.create ~capacity:10 in
+        ignore (Jit.Codecache.install c ~meth:"a" ~size:6 ~now:0);
+        Alcotest.(check (list string)) "no eviction" []
+          (Jit.Codecache.install c ~meth:"a" ~size:8 ~now:10);
+        Alcotest.(check int) "new size only" 8 (Jit.Codecache.used c);
+        Alcotest.(check int) "one entry" 1 (Jit.Codecache.resident c));
+    test "retention ties evict the oldest install" (fun () ->
+        let c = Jit.Codecache.create ~capacity:4 in
+        ignore (Jit.Codecache.install c ~meth:"a" ~size:2 ~now:0);
+        ignore (Jit.Codecache.install c ~meth:"b" ~size:2 ~now:0);
+        Alcotest.(check (list string)) "oldest goes" [ "a" ]
+          (Jit.Codecache.install c ~meth:"c" ~size:2 ~now:0));
+    test "remove drops residency without an eviction" (fun () ->
+        let c = Jit.Codecache.create ~capacity:10 in
+        ignore (Jit.Codecache.install c ~meth:"a" ~size:6 ~now:0);
+        Jit.Codecache.remove c "a";
+        Alcotest.(check bool) "gone" false (Jit.Codecache.mem c "a");
+        Alcotest.(check int) "freed" 0 (Jit.Codecache.used c));
+  ]
+
+(* Random install/touch sequences never break the residency budget, and
+   every reported victim is really gone. *)
+let cache_invariant_prop =
+  QCheck.Test.make ~count:200 ~name:"random installs never exceed capacity"
+    QCheck.(
+      pair (int_range 0 15)
+        (small_list (pair (int_range 0 5) (int_range 0 10))))
+    (fun (cap, ops) ->
+      let c = Jit.Codecache.create ~capacity:cap in
+      List.for_all
+        (fun (i, (meth, size)) ->
+          let victims = Jit.Codecache.install c ~meth ~size ~now:i in
+          Jit.Codecache.used c <= cap
+          && List.for_all (fun v -> not (Jit.Codecache.mem c v)) victims)
+        (List.mapi (fun i op -> (i, op)) ops))
+
+(* ---------- engine integration: eviction exactness ---------- *)
+
+let jit_config name compiler : Jit.Engine.config =
+  {
+    Jit.Engine.name;
+    compiler;
+    hotness_threshold = 3;
+    compile_cost_per_node = 50;
+    verify = false;
+  }
+
+(* Runs [w] under the JIT with an optional cache bound; returns the full
+   output (main once, then 3 bench iterations). *)
+let cached_output (w : Workloads.Defs.t) ~(cap : int option)
+    ~(backend : Runtime.Interp.backend) : string =
+  let prog = Workloads.Registry.compile w in
+  let e =
+    Jit.Engine.create ?cache_capacity:cap prog
+      (jit_config "serve-prop" (Some (incremental ())))
+  in
+  e.vm.backend <- backend;
+  ignore (Jit.Engine.run_main e);
+  for _ = 1 to 3 do
+    ignore (Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ])
+  done;
+  Jit.Engine.output e
+
+let synth_gen : (Workloads.Synth.config * int option) QCheck.Gen.t =
+  QCheck.Gen.(
+    let* seed = int_range 0 1000 in
+    let* depth = int_range 1 3 in
+    let* fanout = int_range 1 2 in
+    let* leaf = int_range 4 40 in
+    let* cap = oneof [ return 0; return 1; int_range 2 400 ] in
+    return
+      ( {
+          Workloads.Synth.seed;
+          depth;
+          fanout;
+          poly_degree = 2;
+          leaf_work = leaf;
+          hot_fraction = 0.5;
+        },
+        Some cap ))
+
+let eviction_exactness_prop =
+  QCheck.Test.make ~count:10
+    ~name:"eviction exactness: every backend = unbounded = reference"
+    (QCheck.make
+       ~print:(fun (c, cap) ->
+         Printf.sprintf "cap=%s\n%s"
+           (match cap with Some c -> string_of_int c | None -> "unbounded")
+           (Workloads.Synth.source_of c))
+       synth_gen)
+    (fun (cfg, cap) ->
+      let w = Workloads.Synth.generate cfg in
+      let unbounded = cached_output w ~cap:None ~backend:Runtime.Interp.Threaded in
+      (* main's pinned expected output leads the unbounded run *)
+      String.sub unbounded 0 (String.length w.Workloads.Defs.expected)
+      = w.Workloads.Defs.expected
+      && List.for_all
+           (fun backend -> cached_output w ~cap ~backend = unbounded)
+           [
+             Runtime.Interp.Threaded; Runtime.Interp.Prepared;
+             Runtime.Interp.Reference;
+           ])
+
+let rehot_src =
+  {|def work(n: Int): Int = { var i = 0; var s = 0; while (i < n) { s = s + i * i; i = i + 1 }; s }
+    def bench(): Int = work(40)
+    def main(): Unit = println(bench())|}
+
+let engine_tests =
+  [
+    test "an evicted-then-rehot method recompiles and re-installs" (fun () ->
+        (* capacity 0: every install is immediately evicted, the method
+           re-heats through the cooldown and compiles again — churn is
+           bounded by the evict-count backoff, not by max_recompiles *)
+        let e =
+          Jit.Engine.create ~cache_capacity:0 (compile rehot_src)
+            (jit_config "rehot" (Some (incremental ())))
+        in
+        ignore (Jit.Engine.run_main e);
+        for _ = 1 to 200 do
+          ignore (Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ])
+        done;
+        let installs_of name =
+          List.length
+            (List.filter
+               (fun (c : Jit.Engine.compilation) ->
+                 (Ir.Program.meth e.vm.prog c.cm).Ir.Types.m_name = name)
+               e.compilations)
+        in
+        Alcotest.(check bool) "work re-installed after eviction" true
+          (installs_of "work" >= 2);
+        Alcotest.(check bool) "evictions recorded" true
+          (List.length e.evictions >= 2);
+        Alcotest.(check int) "serve_stats agrees"
+          (List.length e.evictions)
+          (Jit.Engine.serve_stats e).Jit.Engine.sv_evictions;
+        (* eviction consumed no failure budget: nothing blacklisted *)
+        Alcotest.(check int) "no blacklist" 0
+          (List.length (Jit.Engine.bailout_stats e).blacklisted_methods);
+        (* and the churn was semantically invisible *)
+        let r =
+          Jit.Engine.create (compile rehot_src) (jit_config "rehot-ref" None)
+        in
+        r.vm.backend <- Runtime.Interp.Reference;
+        ignore (Jit.Engine.run_main r);
+        for _ = 1 to 200 do
+          ignore (Jit.Engine.run_meth r "bench" [ Runtime.Values.Vunit ])
+        done;
+        Alcotest.(check string) "output = reference" (Jit.Engine.output r)
+          (Jit.Engine.output e));
+    test "queue capacity 0 sheds every compile yet stays exact" (fun () ->
+        (* OSR off: loop-transfer compiles legitimately bypass the queue,
+           so only the hot-entry trigger (the queued path) remains *)
+        let run cap =
+          let e =
+            Jit.Engine.create ~osr:false ?queue_capacity:cap (compile rehot_src)
+              (jit_config "shed-all" (Some (incremental ())))
+          in
+          ignore (Jit.Engine.run_main e);
+          for _ = 1 to 30 do
+            ignore (Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ])
+          done;
+          e
+        in
+        let shed = run (Some 0) and direct = run None in
+        Alcotest.(check int) "nothing ever installs" 0
+          (List.length shed.compilations);
+        Alcotest.(check bool) "sheds counted" true
+          ((Jit.Engine.serve_stats shed).sv_sheds > 0);
+        Alcotest.(check string) "output unchanged" (Jit.Engine.output direct)
+          (Jit.Engine.output shed));
+    test "a working queue compiles in the background and records waits"
+      (fun () ->
+        let e =
+          Jit.Engine.create ~queue_capacity:4 (compile rehot_src)
+            (jit_config "queued" (Some (incremental ())))
+        in
+        ignore (Jit.Engine.run_main e);
+        for _ = 1 to 30 do
+          ignore (Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ])
+        done;
+        Alcotest.(check bool) "installs happened" true
+          (List.length e.compilations > 0);
+        let st = Jit.Engine.serve_stats e in
+        Alcotest.(check bool) "queue waits recorded" true
+          (st.sv_queue_waits <> []);
+        Alcotest.(check bool) "waits are sorted ascending" true
+          (List.sort compare st.sv_queue_waits = st.sv_queue_waits);
+        Alcotest.(check bool) "time-to-peak recorded" true (st.sv_ttp <> []));
+    test "a starved compile deadline bails out but stays exact" (fun () ->
+        let run deadline =
+          let e =
+            Jit.Engine.create ?compile_deadline:deadline (compile rehot_src)
+              (jit_config "deadline" (Some (incremental ())))
+          in
+          ignore (Jit.Engine.run_main e);
+          for _ = 1 to 30 do
+            ignore (Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ])
+          done;
+          e
+        in
+        let starved = run (Some 1) and free = run None in
+        Alcotest.(check bool) "deadline misses are contained bailouts" true
+          ((Jit.Engine.bailout_stats starved).failed_attempts > 0);
+        Alcotest.(check int) "nothing installed under a 1-credit deadline" 0
+          (List.length starved.compilations);
+        Alcotest.(check string) "output unchanged" (Jit.Engine.output free)
+          (Jit.Engine.output starved));
+  ]
+
+(* ---------- multi-tenant driver ---------- *)
+
+let serve_config () = jit_config "serve-test" (Some (incremental ()))
+
+let tenant id ?(iters = 10) src : Jit.Serve.tenant =
+  {
+    Jit.Serve.tn_id = id;
+    tn_make = (fun () -> (compile src, serve_config ()));
+    tn_iters = iters;
+  }
+
+let tenant_a_src =
+  {|def work(n: Int): Int = { var i = 0; var s = 0; while (i < n) { s = s + i * i; i = i + 1 }; s }
+    def bench(): Int = work(50)
+    def main(): Unit = println(bench())|}
+
+let tenant_b_src =
+  {|def f(n: Int): Int = { var i = 1; var s = 1; while (i < n) { s = s * i % 1000003; i = i + 1 }; s }
+    def g(n: Int): Int = f(n) + f(n + 1)
+    def bench(): Int = g(30)
+    def main(): Unit = println(bench())|}
+
+let soak_limits : Jit.Serve.limits =
+  {
+    Jit.Serve.queue_capacity = Some 2;
+    queue_age_unit = 64;
+    cache_capacity = Some 20;
+    compile_deadline = None;
+    chaos_rate = 0.5;
+    chaos_seed = 11;
+  }
+
+let check_tenant_equal what (f : Jit.Serve.tenant_report)
+    (s : Jit.Serve.tenant_report) =
+  Alcotest.(check string) (what ^ ": output") s.tr_output f.tr_output;
+  Alcotest.(check int) (what ^ ": steps") s.tr_steps f.tr_steps;
+  Alcotest.(check int) (what ^ ": cycles") s.tr_cycles f.tr_cycles;
+  Alcotest.(check int) (what ^ ": checksum") s.tr_checksum f.tr_checksum
+
+let serve_tests =
+  [
+    test "parse_tenants: names, counts, whitespace" (fun () ->
+        match Jit.Serve.parse_tenants " a , b*3,c*2 " with
+        | Ok pairs ->
+            Alcotest.(check (list (pair string int)))
+              "pairs"
+              [ ("a", 1); ("b", 3); ("c", 2) ]
+              pairs
+        | Error e -> Alcotest.failf "rejected a good spec: %s" e);
+    test "parse_tenants: malformed specs get one-line diagnostics" (fun () ->
+        List.iter
+          (fun spec ->
+            match Jit.Serve.parse_tenants spec with
+            | Ok _ -> Alcotest.failf "accepted %S" spec
+            | Error e ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%S: single line" spec)
+                  false
+                  (String.contains e '\n'))
+          [ ""; "  "; "a*0"; "a*-1"; "*3"; "a*"; "a*x"; "a,,b" ]);
+    test "seed_for is a pure function of (base, id)" (fun () ->
+        Alcotest.(check int) "stable"
+          (Jit.Serve.seed_for ~base:7 "long-loop#0")
+          (Jit.Serve.seed_for ~base:7 "long-loop#0");
+        Alcotest.(check bool) "base matters" true
+          (Jit.Serve.seed_for ~base:7 "x" <> Jit.Serve.seed_for ~base:8 "x");
+        Alcotest.(check bool) "id matters" true
+          (Jit.Serve.seed_for ~base:7 "x#0" <> Jit.Serve.seed_for ~base:7 "x#1");
+        Alcotest.(check bool) "non-negative" true
+          (Jit.Serve.seed_for ~base:min_int "x" >= 0));
+    test "percentile: exact ranks on ascending lists" (fun () ->
+        Alcotest.(check int) "empty" 0 (Jit.Serve.percentile [] 0.5);
+        Alcotest.(check int) "singleton" 5 (Jit.Serve.percentile [ 5 ] 0.99);
+        Alcotest.(check int) "p50 of 4" 2
+          (Jit.Serve.percentile [ 1; 2; 3; 4 ] 0.5);
+        Alcotest.(check int) "p99 of 4" 4
+          (Jit.Serve.percentile [ 1; 2; 3; 4 ] 0.99);
+        Alcotest.(check int) "p100 is max" 4
+          (Jit.Serve.percentile [ 1; 2; 3; 4 ] 1.0));
+    test "fleet = solo, byte for byte, under pressure and chaos" (fun () ->
+        let tenants =
+          [
+            tenant "a#0" tenant_a_src; tenant "b#0" tenant_b_src;
+            tenant "a#1" tenant_a_src;
+          ]
+        in
+        let fleet = Jit.Serve.run ~limits:soak_limits tenants in
+        Alcotest.(check int) "all reported" 3 (List.length fleet);
+        List.iter2
+          (fun f tn ->
+            match Jit.Serve.run ~limits:soak_limits [ tn ] with
+            | [ s ] -> check_tenant_equal f.Jit.Serve.tr_id f s
+            | rs -> Alcotest.failf "solo run returned %d reports" (List.length rs))
+          fleet tenants;
+        (* replicas of the same workload diverge only through their seeds *)
+        let a0 = List.nth fleet 0 and a1 = List.nth fleet 2 in
+        Alcotest.(check bool) "distinct seeds per replica" true
+          (a0.Jit.Serve.tr_seed <> a1.Jit.Serve.tr_seed);
+        Alcotest.(check int) "same program, same checksum"
+          a0.Jit.Serve.tr_checksum a1.Jit.Serve.tr_checksum);
+    test "same-seed serve runs are fully deterministic" (fun () ->
+        let mk () = [ tenant "a#0" tenant_a_src; tenant "b#0" tenant_b_src ] in
+        let r1 = Jit.Serve.run ~limits:soak_limits (mk ()) in
+        let r2 = Jit.Serve.run ~limits:soak_limits (mk ()) in
+        Alcotest.(check bool) "reports identical" true (r1 = r2);
+        Alcotest.(check string) "report JSON byte-identical"
+          (Support.Json.to_string (Jit.Serve.report_json r1))
+          (Support.Json.to_string (Jit.Serve.report_json r2)));
+    test "a pathological tenant cannot perturb or blacklist a neighbor"
+      (fun () ->
+        let crashing : Jit.Engine.compiler = fun _ _ _ -> failwith "boom" in
+        let bad =
+          {
+            Jit.Serve.tn_id = "bad#0";
+            tn_make =
+              (fun () -> (compile tenant_b_src, jit_config "bad" (Some crashing)));
+            tn_iters = 10;
+          }
+        in
+        let good = tenant "good#0" tenant_a_src in
+        let fleet = Jit.Serve.run ~limits:soak_limits [ good; bad ] in
+        let fg = List.nth fleet 0 and fb = List.nth fleet 1 in
+        Alcotest.(check bool) "bad tenant got blacklisted" true
+          (fb.Jit.Serve.tr_blacklisted > 0);
+        Alcotest.(check int) "good tenant blacklisted nothing" 0
+          fg.Jit.Serve.tr_blacklisted;
+        (* the neighbor's numbers are those of its solo run *)
+        match Jit.Serve.run ~limits:soak_limits [ good ] with
+        | [ sg ] -> check_tenant_equal "good beside bad" fg sg
+        | rs -> Alcotest.failf "solo run returned %d reports" (List.length rs));
+  ]
+
+let () =
+  Alcotest.run "serve"
+    [
+      ("scheduler", scheduler_tests);
+      ("codecache", codecache_tests);
+      ( "codecache-properties",
+        List.map QCheck_alcotest.to_alcotest [ cache_invariant_prop ] );
+      ("engine", engine_tests);
+      ( "engine-properties",
+        List.map QCheck_alcotest.to_alcotest [ eviction_exactness_prop ] );
+      ("serve", serve_tests);
+    ]
