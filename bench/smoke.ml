@@ -244,7 +244,8 @@ let fleet_tenants () : Jit.Serve.tenant list =
       })
 
 let fleet_soak () :
-    int * int * Jit.Serve.limits * Jit.Serve.tenant_report list =
+    int * int * Jit.Serve.limits * Jit.Serve.tenant_report list * string list
+    * Obs.Slo.violation list =
   let tenants = fleet_tenants () in
   (* demand: the largest per-tenant resident code when nothing evicts *)
   let unbounded =
@@ -268,7 +269,12 @@ let fleet_soak () :
       chaos_seed = fleet_chaos_seed;
     }
   in
-  let fleet = Jit.Serve.run ~limits tenants in
+  (* the soak run doubles as the timeline/SLO exemplar: gauge samples and
+     monitor state ride the simulated clock, so the rows (and their
+     digest below) are byte-identical across same-seed runs *)
+  let tl, read_rows = Obs.Timeline.memory () in
+  let mon = Obs.Slo.monitor Obs.Slo.default_specs in
+  let fleet = Jit.Serve.run ~limits ~timeline:tl ~slo:mon tenants in
   List.iter2
     (fun (f : Jit.Serve.tenant_report) tn ->
       match Jit.Serve.run ~limits [ tn ] with
@@ -283,7 +289,7 @@ let fleet_soak () :
               f.tr_id f.tr_steps f.tr_cycles s.tr_steps s.tr_cycles
       | _ -> assert false)
     fleet tenants;
-  (demand, cap, limits, fleet)
+  (demand, cap, limits, fleet, read_rows (), Obs.Slo.violations mon)
 
 let run () =
   let nworkloads = List.length Workloads.Registry.all in
@@ -413,7 +419,9 @@ let run () =
              ])
          ttps)
   in
-  let fleet_demand, fleet_cap, fleet_limits, fleet = fleet_soak () in
+  let fleet_demand, fleet_cap, fleet_limits, fleet, fleet_rows, fleet_viols =
+    fleet_soak ()
+  in
   Common.print_table
     ~columns:
       [ "tenant"; "iters"; "steps"; "installs"; "evict"; "shed"; "qwait p99";
@@ -436,6 +444,32 @@ let run () =
     "fleet soak: %d tenants, cache %d nodes (25%% of %d demand), chaos %.2f \
      — every tenant byte-identical to its solo run"
     fleet_size fleet_cap fleet_demand fleet_chaos_rate;
+  let timeline_rows =
+    match Obs.Timeline.rows_of_lines fleet_rows with
+    | Ok rs -> rs
+    | Error e -> Fmt.failwith "fleet soak: malformed timeline row: %s" e
+  in
+  let count_kind k =
+    List.length
+      (List.filter (fun (r : Obs.Timeline.row) -> r.r_kind = k) timeline_rows)
+  in
+  let slo_counts =
+    List.map
+      (fun (s : Obs.Slo.spec) ->
+        ( s.sp_name,
+          List.length
+            (List.filter
+               (fun (v : Obs.Slo.violation) -> v.v_slo = s.sp_name)
+               fleet_viols) ))
+      Obs.Slo.default_specs
+  in
+  Common.note
+    "fleet timeline: %d rows (%d samples, %d fleet), SLO firings: %s"
+    (List.length fleet_rows)
+    (count_kind "timeline_sample")
+    (count_kind "timeline_fleet")
+    (String.concat ", "
+       (List.map (fun (n, c) -> Printf.sprintf "%s=%d" n c) slo_counts));
   let fleet_json =
     Support.Json.Obj
       [
@@ -451,6 +485,21 @@ let run () =
         ("chaos_seed", Support.Json.Int fleet_chaos_seed);
         ("solo_identical", Support.Json.Bool true);
         ("report", Jit.Serve.report_json fleet);
+        ( "timeline",
+          Support.Json.Obj
+            [
+              ("interval", Support.Json.Int Obs.Timeline.default_interval);
+              ("rows", Support.Json.Int (List.length fleet_rows));
+              ("samples", Support.Json.Int (count_kind "timeline_sample"));
+              ("fleet_rows", Support.Json.Int (count_kind "timeline_fleet"));
+              ( "digest",
+                Support.Json.String
+                  (Digest.to_hex
+                     (Digest.string (String.concat "\n" fleet_rows))) );
+            ] );
+        ( "slo",
+          Support.Json.Obj
+            (List.map (fun (n, c) -> (n, Support.Json.Int c)) slo_counts) );
       ]
   in
   let latency = Obs.Metrics.histogram "jit.compile_latency_cycles" in

@@ -200,6 +200,27 @@ let no_osr_arg =
            identical either way; only warmup latency differs. The \
            backedge-driven hotness trigger at method entry stays active.")
 
+let timeline_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "timeline" ] ~docv:"FILE"
+        ~doc:
+          "Stream time-series telemetry as JSONL to FILE: one gauge snapshot \
+           (tier residency, queue depth, cache occupancy, deopt/OSR/bailout \
+           counters, plus the metrics registry) per tenant every \
+           --timeline-interval simulated cycles, and per-turn fleet rows under \
+           `selvm serve`. Samples ride the deterministic cycle clock, so \
+           same-seed runs produce byte-identical timelines. Inspect with \
+           `selvm top FILE`, gate with `selvm slo --check FILE`.")
+
+let timeline_interval_arg =
+  Arg.(
+    value
+    & opt int Obs.Timeline.default_interval
+    & info [ "timeline-interval" ] ~docv:"CYCLES"
+        ~doc:"Simulated cycles between timeline samples of one source.")
+
 let compile_fuel_arg =
   Arg.(
     value
@@ -239,6 +260,19 @@ let with_optional_metrics (path : string option) (f : unit -> 'a) : 'a =
        with Sys_error e -> fail ("cannot write --metrics: " ^ e));
       v
 
+(* Runs [f] with a timeline sampler on [path] when --timeline was given
+   (atomic, like --trace). The SLO monitors always ride along: firings
+   surface as [slo_violation] trace events when tracing is on, and the
+   timeline itself is what `selvm slo --check` re-examines offline. *)
+let with_optional_timeline (path : string option) ~(interval : int)
+    (f : Obs.Timeline.t option -> 'a) : 'a =
+  match path with
+  | None -> f None
+  | Some path -> (
+      if interval < 1 then fail "--timeline-interval must be >= 1";
+      try Obs.Timeline.with_file ~interval path (fun tl -> f (Some tl))
+      with Sys_error e -> fail ("cannot write --timeline: " ^ e))
+
 (* Runs [f] under a chaos fault plan when --chaos-rate > 0. *)
 let with_optional_chaos ~(seed : int) ~(rate : float) (f : unit -> 'a) : 'a =
   if rate = 0.0 then f ()
@@ -250,33 +284,46 @@ let with_optional_chaos ~(seed : int) ~(rate : float) (f : unit -> 'a) : 'a =
 
 let run_cmd =
   let run file workload config hotness stats verify trace metrics chaos_seed
-      chaos_rate compile_fuel no_threaded no_osr =
+      chaos_rate compile_fuel no_threaded no_osr timeline timeline_interval =
     match load_program ~file ~workload with
     | Error e -> fail e
-    | Ok (prog, _) -> (
+    | Ok (prog, label) -> (
         (* failures inside the trace scope are carried out as [Error] and
            reported after it closes: [exit] would not unwind the scope, and
            the trace file only renames into place when the scope exits *)
         let outcome =
           with_optional_trace trace (fun () ->
               with_optional_metrics metrics (fun () ->
-                  with_optional_chaos ~seed:chaos_seed ~rate:chaos_rate (fun () ->
-                      match
-                        make_engine ?compile_fuel ~threaded:(not no_threaded)
-                          ~osr:(not no_osr) prog config hotness verify
-                      with
-                      | Error e -> Error e
-                      | Ok e -> (
-                          match Jit.Engine.run_main e with
-                          | _ ->
-                              print_string (Jit.Engine.output e);
-                              if stats then print_stats e;
-                              if Obs.Metrics.enabled () then
-                                Jit.Engine.snapshot_metrics e;
-                              Ok ()
-                          | exception Runtime.Values.Trap msg ->
-                              print_string (Jit.Engine.output e);
-                              Error ("runtime trap: " ^ msg)))))
+                  with_optional_timeline timeline ~interval:timeline_interval
+                    (fun tl ->
+                      with_optional_chaos ~seed:chaos_seed ~rate:chaos_rate
+                        (fun () ->
+                          match
+                            make_engine ?compile_fuel
+                              ~threaded:(not no_threaded) ~osr:(not no_osr)
+                              prog config hotness verify
+                          with
+                          | Error e -> Error e
+                          | Ok e -> (
+                              (match tl with
+                              | Some tl ->
+                                  let monitor =
+                                    Obs.Slo.monitor Obs.Slo.default_specs
+                                  in
+                                  Jit.Engine.attach_timeline ~monitor e
+                                    ~source:label tl
+                              | None -> ());
+                              match Jit.Engine.run_main e with
+                              | _ ->
+                                  Jit.Engine.sample_timeline ~force:true e;
+                                  print_string (Jit.Engine.output e);
+                                  if stats then print_stats e;
+                                  if Obs.Metrics.enabled () then
+                                    Jit.Engine.snapshot_metrics e;
+                                  Ok ()
+                              | exception Runtime.Values.Trap msg ->
+                                  print_string (Jit.Engine.output e);
+                                  Error ("runtime trap: " ^ msg))))))
         in
         match outcome with Ok () -> () | Error e -> fail e)
   in
@@ -285,7 +332,8 @@ let run_cmd =
     Term.(
       const run $ file_arg $ workload_arg $ config_arg $ hotness_arg $ stats_arg
       $ verify_arg $ trace_arg $ metrics_arg $ chaos_seed_arg $ chaos_rate_arg
-      $ compile_fuel_arg $ no_threaded_arg $ no_osr_arg)
+      $ compile_fuel_arg $ no_threaded_arg $ no_osr_arg $ timeline_arg
+      $ timeline_interval_arg)
 
 (* ---- bench ---- *)
 
@@ -738,7 +786,7 @@ let serve_cmd =
              as JSON; byte-identical across same-seed runs.")
   in
   let serve tenants_spec solo iters config hotness queue_cap cache_cap deadline
-      trace metrics json chaos_seed chaos_rate stats =
+      trace metrics json chaos_seed chaos_rate stats timeline timeline_interval =
     if (not (Float.is_finite chaos_rate)) || chaos_rate < 0.0 || chaos_rate > 1.0
     then fail "--chaos-rate must be in [0, 1]";
     (* validate the configuration up front, not inside a tenant thunk *)
@@ -808,10 +856,17 @@ let serve_cmd =
         let outcome =
           with_optional_trace trace (fun () ->
               with_optional_metrics metrics (fun () ->
-                  match Jit.Serve.run ~limits tenants with
-                  | exception Runtime.Values.Trap msg ->
-                      Error ("runtime trap: " ^ msg)
-                  | reports -> Ok reports))
+                  with_optional_timeline timeline ~interval:timeline_interval
+                    (fun tl ->
+                      let slo =
+                        Option.map
+                          (fun _ -> Obs.Slo.monitor Obs.Slo.default_specs)
+                          tl
+                      in
+                      match Jit.Serve.run ~limits ?timeline:tl ?slo tenants with
+                      | exception Runtime.Values.Trap msg ->
+                          Error ("runtime trap: " ^ msg)
+                      | reports -> Ok reports)))
         in
         match outcome with
         | Error e -> fail e
@@ -866,7 +921,289 @@ let serve_cmd =
     Term.(
       const serve $ tenants_arg $ solo_arg $ iters_arg $ config_arg $ hotness_arg
       $ queue_arg $ cache_arg $ deadline_arg $ trace_arg $ metrics_arg $ json_arg
-      $ chaos_seed_arg $ chaos_rate_arg $ stats_arg)
+      $ chaos_seed_arg $ chaos_rate_arg $ stats_arg $ timeline_arg
+      $ timeline_interval_arg)
+
+(* ---- top ---- *)
+
+let top_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TIMELINE"
+          ~doc:"Timeline JSONL file written by --timeline.")
+  in
+  (* last 32 values of the series, each scaled against the series max *)
+  let spark (xs : int list) : string =
+    let n = List.length xs in
+    let xs = if n > 32 then List.filteri (fun i _ -> i >= n - 32) xs else xs in
+    let hi = max 1 (List.fold_left max 0 xs) in
+    let glyphs = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                    "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                    "\xe2\x96\x87"; "\xe2\x96\x88" |] in
+    String.concat "" (List.map (fun v -> glyphs.(max 0 v * 7 / hi)) xs)
+  in
+  let top file =
+    match Obs.Timeline.rows_of_file file with
+    | Error e -> fail e
+    | exception Sys_error e -> fail e
+    | Ok rows ->
+        let samples, fleets =
+          List.partition
+            (fun (r : Obs.Timeline.row) -> r.r_kind = "timeline_sample")
+            (List.filter
+               (fun (r : Obs.Timeline.row) ->
+                 r.r_kind = "timeline_sample" || r.r_kind = "timeline_fleet")
+               rows)
+        in
+        if samples = [] then fail "no timeline_sample rows in file";
+        let tenants =
+          (* first-seen order *)
+          List.rev
+            (List.fold_left
+               (fun acc (r : Obs.Timeline.row) ->
+                 if List.mem r.r_source acc then acc else r.r_source :: acc)
+               [] samples)
+        in
+        let get (r : Obs.Timeline.row) name =
+          Option.value ~default:0 (Obs.Timeline.field r name)
+        in
+        let series s =
+          List.filter (fun (r : Obs.Timeline.row) -> r.r_source = s) samples
+        in
+        Printf.printf "# fleet timeline: %d tenants, %d samples, %d fleet rows\n"
+          (List.length tenants) (List.length samples) (List.length fleets);
+        Printf.printf "%-20s %5s %12s %13s %3s %7s %6s %6s %6s  %s\n" "tenant"
+          "rows" "cycles" "jit/pend/bl" "q" "cache" "shed" "evict" "deopt"
+          "cache history";
+        List.iter
+          (fun s ->
+            let rs = series s in
+            let l = List.nth rs (List.length rs - 1) in
+            Printf.printf "%-20s %5d %12d %5d/%3d/%3d %3d %7d %6d %6d %6d  %s\n"
+              s (List.length rs) l.Obs.Timeline.r_cycles (get l "compiled")
+              (get l "pending") (get l "blacklisted") (get l "queue_depth")
+              (get l "cache_used") (get l "sheds") (get l "evictions")
+              (get l "invalidations")
+              (spark (List.map (fun r -> get r "cache_used") rs)))
+          tenants;
+        (match List.rev fleets with
+        | [] -> ()
+        | f :: _ ->
+            Printf.printf
+              "fleet @%d: queue_wait p50/p90/p99/max = %d/%d/%d/%d  ttp \
+               p50/p90/p99/max = %d/%d/%d/%d\n"
+              f.Obs.Timeline.r_cycles (get f "queue_wait_p50")
+              (get f "queue_wait_p90") (get f "queue_wait_p99")
+              (get f "queue_wait_max") (get f "ttp_p50") (get f "ttp_p90")
+              (get f "ttp_p99") (get f "ttp_max"));
+        let offenders label fieldname =
+          let ranked =
+            List.filter
+              (fun (_, v) -> v > 0)
+              (List.sort
+                 (fun (ida, va) (idb, vb) ->
+                   if va <> vb then compare vb va else compare ida idb)
+                 (List.map
+                    (fun s ->
+                      let rs = series s in
+                      (s, get (List.nth rs (List.length rs - 1)) fieldname))
+                    tenants))
+          in
+          match ranked with
+          | [] -> ()
+          | ranked ->
+              Printf.printf "  %-12s %s\n" (label ^ ":")
+                (String.concat ", "
+                   (List.filteri (fun i _ -> i < 3) ranked
+                   |> List.map (fun (id, v) -> Printf.sprintf "%s (%d)" id v)))
+        in
+        print_string "worst offenders:\n";
+        offenders "sheds" "sheds";
+        offenders "evictions" "evictions";
+        offenders "deopts" "invalidations"
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Fleet dashboard from a --timeline file: per-tenant tier mix, \
+          queue/cache gauges, cache-occupancy sparklines, fleet latency \
+          percentiles and worst offenders. Deterministic output.")
+    Term.(const top $ file_arg)
+
+(* ---- slo ---- *)
+
+let slo_cmd =
+  let check_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "check" ] ~docv:"TIMELINE"
+          ~doc:
+            "Check this timeline file and exit 1 if any monitor fired — the \
+             CI gate form.")
+  in
+  let file_pos_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"TIMELINE"
+          ~doc:"Timeline file to report on (without gating the exit status).")
+  in
+  let only_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated monitor subset: deopt-storm, queue-saturation, \
+             cache-thrash (default: all three). A soak that deliberately \
+             starves the code cache gates with --only \
+             deopt-storm,queue-saturation.")
+  in
+  let slo check file only =
+    let path, gate =
+      match (check, file) with
+      | Some p, None -> (p, true)
+      | None, Some p -> (p, false)
+      | Some _, Some _ ->
+          fail "pass the timeline either positionally or via --check, not both"
+      | None, None -> fail "pass a timeline file (selvm slo --check FILE)"
+    in
+    let specs =
+      match only with
+      | None -> Obs.Slo.default_specs
+      | Some csv ->
+          let names =
+            List.filter
+              (fun s -> s <> "")
+              (List.map String.trim (String.split_on_char ',' csv))
+          in
+          if names = [] then fail "--only needs at least one monitor name";
+          List.map
+            (fun name ->
+              match Obs.Slo.find_spec name with
+              | Some s -> s
+              | None ->
+                  fail
+                    (Printf.sprintf
+                       "unknown monitor %s (have: deopt-storm, \
+                        queue-saturation, cache-thrash)"
+                       name))
+            names
+    in
+    match Obs.Slo.check_file ~specs path with
+    | Error e -> fail e
+    | exception Sys_error e -> fail e
+    | Ok [] ->
+        Printf.printf "ok: no SLO violations (%d monitor%s)\n"
+          (List.length specs)
+          (if List.length specs = 1 then "" else "s")
+    | Ok vs ->
+        print_string (Obs.Slo.render vs);
+        Printf.printf "%d violation%s\n" (List.length vs)
+          (if List.length vs = 1 then "" else "s");
+        if gate then exit 1
+  in
+  Cmd.v
+    (Cmd.info "slo"
+       ~doc:
+         "Replay the SLO monitors (deopt-storm, queue-saturation, \
+          cache-thrash) over a --timeline file; with --check, exit nonzero \
+          on any violation.")
+    Term.(const slo $ check_arg $ file_pos_arg $ only_arg)
+
+(* ---- diff ---- *)
+
+let diff_cmd =
+  let pos_arg n docv =
+    Arg.(
+      required
+      & pos n (some string) None
+      & info [] ~docv
+          ~doc:
+            "Run artifact to compare: a directory holding metrics.json / \
+             timeline.jsonl / trace.jsonl, or a single .json (metrics \
+             export) or .jsonl (timeline or trace) file.")
+  in
+  let read_lines path =
+    let text = read_file path in
+    let lines = String.split_on_char '\n' text in
+    match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+  in
+  let diff a b =
+    let drift = ref 0 in
+    let emit n body =
+      drift := !drift + n;
+      if n > 0 then print_string body
+    in
+    let diff_metrics_files fa fb =
+      match
+        (Support.Json.of_string (read_file fa),
+         Support.Json.of_string (read_file fb))
+      with
+      | Error e, _ -> fail (fa ^ ": " ^ e)
+      | _, Error e -> fail (fb ^ ": " ^ e)
+      | Ok ja, Ok jb ->
+          let ds = Obs.Diff.diff_metrics ja jb in
+          emit (List.length ds) (Obs.Diff.render_deltas "metrics" ds)
+    in
+    let diff_timeline_files fa fb =
+      let ds = Obs.Diff.diff_lines (read_lines fa) (read_lines fb) in
+      emit (List.length ds) (Obs.Diff.render_deltas "timeline" ds)
+    in
+    let diff_trace_files fa fb =
+      match (Obs.Explain.of_file fa, Obs.Explain.of_file fb) with
+      | Error e, _ -> fail (fa ^ ": " ^ e)
+      | _, Error e -> fail (fb ^ ": " ^ e)
+      | Ok ca, Ok cb ->
+          let ds = Obs.Diff.diff_decisions ca cb in
+          emit (List.length ds) (Obs.Diff.render_drift ds)
+    in
+    (try
+       if Sys.is_directory a && Sys.is_directory b then begin
+         let matched = ref 0 in
+         let each name f =
+           let fa = Filename.concat a name and fb = Filename.concat b name in
+           match (Sys.file_exists fa, Sys.file_exists fb) with
+           | true, true ->
+               incr matched;
+               f fa fb
+           | true, false | false, true ->
+               Printf.eprintf "-- %s present on one side only, skipped\n" name
+           | false, false -> ()
+         in
+         each "metrics.json" diff_metrics_files;
+         each "timeline.jsonl" diff_timeline_files;
+         each "trace.jsonl" diff_trace_files;
+         if !matched = 0 then
+           fail
+             "no common artifacts (expected metrics.json, timeline.jsonl or \
+              trace.jsonl in both directories)"
+       end
+       else if Sys.is_directory a || Sys.is_directory b then
+         fail "compare two run directories or two files, not a mix"
+       else if Filename.check_suffix a ".json" then diff_metrics_files a b
+       else begin
+         (* JSONL stream: byte-level line diff, plus decision drift when
+            the stream carries inline-decision trace events *)
+         diff_timeline_files a b;
+         match (Obs.Explain.of_file a, Obs.Explain.of_file b) with
+         | Ok [], Ok [] -> ()
+         | _ -> diff_trace_files a b
+       end
+     with Sys_error e -> fail e);
+    if !drift = 0 then print_string "no drift\n" else exit 1
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two runs' observability artifacts — metrics exports, \
+          timelines, and the inline-decision trees rebuilt from traces — \
+          and report value deltas and per-callsite decision drift. Exits 1 \
+          on any drift.")
+    Term.(const diff $ pos_arg 0 "RUN_A" $ pos_arg 1 "RUN_B")
 
 (* ---- workloads ---- *)
 
@@ -938,7 +1275,8 @@ let main_cmd =
           optimization-driven incremental inline-substitution algorithm.")
     [
       run_cmd; bench_cmd; compile_cmd; parse_ir_cmd; events_cmd; explain_cmd;
-      report_cmd; serve_cmd; workloads_cmd; synth_cmd;
+      report_cmd; serve_cmd; top_cmd; slo_cmd; diff_cmd; workloads_cmd;
+      synth_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -182,6 +182,15 @@ type t = {
   mutable ttp : (meth_id * int) list;
   (* time-to-peak per method: cycles from first hot-trigger to first
      install (includes queue wait and async latency) *)
+  mutable timeline : timeline option;
+  (* time-series sampling; [None] (default) costs one match per entry *)
+}
+
+and timeline = {
+  tl_sink : Obs.Timeline.t;
+  tl_source : string;            (* tenant id, or a run label *)
+  tl_monitor : Obs.Slo.monitor option;
+  mutable tl_due : int;          (* next sample at [vm.cycles >= tl_due] *)
 }
 
 (* A loop is OSR-hot well before this many header visits in one
@@ -191,6 +200,78 @@ type t = {
 let default_osr_threshold (config : config) : int =
   if config.hotness_threshold > max_int / 64 then max_int
   else max 1 (config.hotness_threshold * 64)
+
+(* The flat gauge snapshot a timeline sample carries: tier residency,
+   compile/deopt/OSR churn, and the serving layer's queue and cache
+   pressure. Field names are a public schema (docs/OBSERVABILITY.md) —
+   the SLO detectors key on "invalidations", "sheds" and "evict_max". *)
+let timeline_fields (t : t) : (string * Support.Json.t) list =
+  let code_size =
+    Hashtbl.fold (fun _ fn acc -> acc + Ir.Fn.size fn) t.code_cache 0
+  in
+  Support.Json.
+    [
+      ("steps", Int t.vm.steps);
+      ("compiled", Int (Hashtbl.length t.code_cache));
+      ("pending", Int (Hashtbl.length t.pending));
+      ("blacklisted", Int (Hashtbl.length t.blacklist));
+      ("code_size", Int code_size);
+      ("compiles", Int (List.length t.compilations));
+      ("compile_cycles", Int t.compile_cycles);
+      ("invalidations", Int (List.length t.invalidations));
+      ("bailouts", Int (List.length t.bailouts));
+      ("osr_enters", Int t.osr_enters);
+      ("osr_exits", Int t.osr_exits);
+      ("sheds", Int t.sheds);
+      ("evictions", Int (List.length t.evictions));
+      ( "evict_max",
+        Int (Hashtbl.fold (fun _ n acc -> max n acc) t.evict_counts 0) );
+      ( "queue_depth",
+        Int (match t.serve_queue with Some q -> Scheduler.length q | None -> 0)
+      );
+      ( "cache_used",
+        Int
+          (match t.serve_cache with
+          | Some c -> Codecache.used c
+          | None -> code_size) );
+      ( "cache_resident",
+        Int
+          (match t.serve_cache with
+          | Some c -> Codecache.resident c
+          | None -> Hashtbl.length t.code_cache) );
+    ]
+
+(* The per-entry sampling check: one [None] match while no timeline is
+   attached. When a sample is due, snapshot the gauges, stream the row,
+   and run the SLO monitor over it — each rising-edge firing becomes a
+   structured [slo_violation] trace event on the tenant's own clock. *)
+let sample_timeline ?(force = false) (t : t) : unit =
+  match t.timeline with
+  | None -> ()
+  | Some tl ->
+      if force || t.vm.cycles >= tl.tl_due then begin
+        let cycles = t.vm.cycles in
+        let fields = timeline_fields t in
+        Obs.Timeline.sample tl.tl_sink ~source:tl.tl_source ~cycles fields;
+        (match tl.tl_monitor with
+        | None -> ()
+        | Some mon ->
+            List.iter
+              (fun v ->
+                Obs.Trace.emit "slo_violation" (fun () ->
+                    Obs.Slo.violation_fields v))
+              (Obs.Slo.feed mon ~source:tl.tl_source ~cycles fields));
+        tl.tl_due <- cycles + Obs.Timeline.interval tl.tl_sink
+      end
+
+(* Arms sampling; the first sample lands at the next method entry (a
+   baseline row), then every [Obs.Timeline.interval] cycles. *)
+let attach_timeline ?monitor (t : t) ~(source : string)
+    (sink : Obs.Timeline.t) : unit =
+  t.timeline <-
+    Some
+      { tl_sink = sink; tl_source = source; tl_monitor = monitor;
+        tl_due = t.vm.cycles }
 
 let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
     ?(max_recompiles = 2) ?(async_compile = false) ?(max_compile_failures = 3)
@@ -234,7 +315,8 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
         | _ -> None);
       compile_deadline;
       evictions = []; evict_counts = Hashtbl.create 8; sheds = 0;
-      queue_waits = []; first_hot = Hashtbl.create 8; ttp = [] }
+      queue_waits = []; first_hot = Hashtbl.create 8; ttp = [];
+      timeline = None }
   in
   vm.code <- (fun m -> Hashtbl.find_opt t.code_cache m);
   (* stamp the ambient trace sink (if any) with this engine's simulated
@@ -784,6 +866,8 @@ let create ?(cost = Runtime.Cost.default) ?(spec_miss_threshold = max_int)
       end;
       vm.on_entry <-
         (fun m ->
+          (* time-series sampling: one [None] match while detached *)
+          sample_timeline t;
           (* serve mode: pump the background compiler — when it is idle
              and a request is waiting, service the highest-priority one.
              Requests that went stale while queued (installed via OSR,

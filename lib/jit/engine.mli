@@ -127,6 +127,16 @@ type t = {
   mutable ttp : (meth_id * int) list;
   (** time-to-peak per method: cycles from first hot-trigger to first
       install (includes queue wait and async compile latency) *)
+  mutable timeline : timeline option;
+  (** time-series sampling ({!attach_timeline}); [None] (default) costs
+      one match per method entry *)
+}
+
+and timeline = {
+  tl_sink : Obs.Timeline.t;
+  tl_source : string;  (** tenant id, or a run label *)
+  tl_monitor : Obs.Slo.monitor option;
+  mutable tl_due : int;  (** next sample at [vm.cycles >= tl_due] *)
 }
 
 val create :
@@ -268,3 +278,26 @@ val serve_stats : t -> serve_stats
     ascending so exact percentile extraction is an index. Meaningful
     with serving off too (zero churn, empty waits, inline-trigger
     time-to-peak). *)
+
+val timeline_fields : t -> (string * Support.Json.t) list
+(** The flat gauge snapshot a timeline sample carries: tier residency
+    ([compiled]/[pending]/[blacklisted], [code_size]), compile/deopt/OSR
+    churn ([compiles], [invalidations], [bailouts], [osr_enters],
+    [osr_exits]) and serving pressure ([queue_depth], [cache_used],
+    [cache_resident], [sheds], [evictions], [evict_max] — the highest
+    per-method eviction count, which the cache-thrash SLO keys on).
+    Documented in docs/OBSERVABILITY.md. *)
+
+val sample_timeline : ?force:bool -> t -> unit
+(** Emits a sample if one is due on this engine's clock ([force]
+    bypasses the cadence — callers use it for a final end-of-run row).
+    Feeds the attached {!Obs.Slo} monitor, emitting each rising-edge
+    firing as a structured [slo_violation] trace event. A single [None]
+    match when no timeline is attached. *)
+
+val attach_timeline :
+  ?monitor:Obs.Slo.monitor -> t -> source:string -> Obs.Timeline.t -> unit
+(** Arms sampling on this engine: a baseline row at the next method
+    entry, then one every [Obs.Timeline.interval] simulated cycles.
+    Sampling only reads engine state — arming it cannot change program
+    behavior, clocks, or chaos streams. *)

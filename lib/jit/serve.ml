@@ -78,19 +78,18 @@ type tenant_report = {
   tr_cache_used : int;
   tr_queue_depth : int;
   tr_queue_wait_p50 : int;
+  tr_queue_wait_p90 : int;
   tr_queue_wait_p99 : int;
+  tr_queue_wait_max : int;
   tr_ttp_p50 : int;
+  tr_ttp_p90 : int;
   tr_ttp_p99 : int;
+  tr_ttp_max : int;
 }
 
-(* Exact rank percentile of an ascending list: the smallest element whose
-   rank reaches ceil(q * n). *)
-let percentile (xs : int list) (q : float) : int =
-  let n = List.length xs in
-  if n = 0 then 0
-  else
-    let rank = int_of_float (ceil (q *. float_of_int n)) in
-    List.nth xs (min (max rank 1) n - 1)
+(* Exact rank percentile of an ascending list — the shared
+   [Support.Stats.percentile], re-exported for the bench smoke. *)
+let percentile = Support.Stats.percentile
 
 type live = {
   lv_tenant : tenant;
@@ -128,6 +127,9 @@ let finish (lv : live) : tenant_report =
   Obs.Trace.set_clock (fun () -> vm.Runtime.Interp.cycles);
   Support.Chaos.with_plan lv.lv_plan (fun () ->
       ignore (Engine.flush_pending e);
+      (* one final row per tenant so the timeline's last sample reflects
+         end-of-run state (the cadence may have left it mid-interval) *)
+      Engine.sample_timeline ~force:true e;
       let st = Engine.serve_stats e in
       let bs = Engine.bailout_stats e in
       let r =
@@ -149,9 +151,13 @@ let finish (lv : live) : tenant_report =
           tr_cache_used = st.Engine.sv_cache_used;
           tr_queue_depth = st.Engine.sv_queue_depth;
           tr_queue_wait_p50 = percentile st.Engine.sv_queue_waits 0.50;
+          tr_queue_wait_p90 = percentile st.Engine.sv_queue_waits 0.90;
           tr_queue_wait_p99 = percentile st.Engine.sv_queue_waits 0.99;
+          tr_queue_wait_max = percentile st.Engine.sv_queue_waits 1.0;
           tr_ttp_p50 = percentile st.Engine.sv_ttp 0.50;
+          tr_ttp_p90 = percentile st.Engine.sv_ttp 0.90;
           tr_ttp_p99 = percentile st.Engine.sv_ttp 0.99;
+          tr_ttp_max = percentile st.Engine.sv_ttp 1.0;
         }
       in
       Obs.Trace.emit "serve_tenant_done" (fun () ->
@@ -166,7 +172,8 @@ let finish (lv : live) : tenant_report =
             ]);
       r)
 
-let run ?(limits = default_limits) (tenants : tenant list) : tenant_report list =
+let run ?(limits = default_limits) ?timeline ?slo (tenants : tenant list) :
+    tenant_report list =
   Obs.Trace.emit "serve_start" (fun () ->
       Support.Json.
         [
@@ -195,9 +202,80 @@ let run ?(limits = default_limits) (tenants : tenant list) : tenant_report list 
             Some (Support.Chaos.make ~seed ~rate:limits.chaos_rate)
           else None
         in
+        (match timeline with
+        | Some tl -> Engine.attach_timeline ?monitor:slo engine ~source:tn.tn_id tl
+        | None -> ());
         { lv_tenant = tn; lv_engine = engine; lv_plan = plan; lv_seed = seed;
           lv_done = 0; lv_checksum = 0 })
       tenants
+  in
+  (* cross-tenant fleet snapshot: queue/cache totals plus the
+     p50/p90/p99/max latency percentiles over every tenant's population
+     so far. Clocked on the fleet's frontier (the furthest tenant clock)
+     — a pure function of per-tenant state, so same-seed runs emit
+     byte-identical rows. *)
+  let fleet_due = ref 0 in
+  let fleet_sample ~force () =
+    match timeline with
+    | None -> ()
+    | Some tl ->
+        let now =
+          List.fold_left
+            (fun acc lv ->
+              max acc lv.lv_engine.Engine.vm.Runtime.Interp.cycles)
+            0 lives
+        in
+        if force || now >= !fleet_due then begin
+          let sum f = List.fold_left (fun acc lv -> acc + f lv.lv_engine) 0 lives in
+          let active =
+            List.length
+              (List.filter (fun lv -> lv.lv_done < lv.lv_tenant.tn_iters) lives)
+          in
+          let waits =
+            List.concat_map (fun lv -> lv.lv_engine.Engine.queue_waits) lives
+            |> List.sort compare
+          in
+          let ttp =
+            List.concat_map
+              (fun lv -> List.map snd lv.lv_engine.Engine.ttp)
+              lives
+            |> List.sort compare
+          in
+          let w50, w90, w99, wmax = Support.Stats.percentiles waits in
+          let t50, t90, t99, tmax = Support.Stats.percentiles ttp in
+          Obs.Timeline.fleet tl ~cycles:now
+            Support.Json.
+              [
+                ("tenants", Int (List.length lives));
+                ("active", Int active);
+                ( "queue_depth",
+                  Int
+                    (sum (fun e ->
+                         match e.Engine.serve_queue with
+                         | Some q -> Scheduler.length q
+                         | None -> 0)) );
+                ( "cache_used",
+                  Int
+                    (sum (fun e ->
+                         match e.Engine.serve_cache with
+                         | Some c -> Codecache.used c
+                         | None -> 0)) );
+                ("sheds", Int (sum (fun e -> e.Engine.sheds)));
+                ( "evictions",
+                  Int (sum (fun e -> List.length e.Engine.evictions)) );
+                ( "invalidations",
+                  Int (sum (fun e -> List.length e.Engine.invalidations)) );
+                ("queue_wait_p50", Int w50);
+                ("queue_wait_p90", Int w90);
+                ("queue_wait_p99", Int w99);
+                ("queue_wait_max", Int wmax);
+                ("ttp_p50", Int t50);
+                ("ttp_p90", Int t90);
+                ("ttp_p99", Int t99);
+                ("ttp_max", Int tmax);
+              ];
+          fleet_due := now + Obs.Timeline.interval tl
+        end
   in
   (* round-robin, one iteration per tenant per turn; tenants drop out as
      they finish *)
@@ -210,9 +288,12 @@ let run ?(limits = default_limits) (tenants : tenant list) : tenant_report list 
           slice lv;
           if lv.lv_done < lv.lv_tenant.tn_iters then remaining := true
         end)
-      lives
+      lives;
+    fleet_sample ~force:false ()
   done;
-  List.map finish lives
+  let reports = List.map finish lives in
+  fleet_sample ~force:true ();
+  reports
 
 let report_json (reports : tenant_report list) : Support.Json.t =
   Support.Json.Obj
@@ -243,9 +324,13 @@ let report_json (reports : tenant_report list) : Support.Json.t =
                    ("cache_used", Support.Json.Int r.tr_cache_used);
                    ("queue_depth", Support.Json.Int r.tr_queue_depth);
                    ("queue_wait_p50", Support.Json.Int r.tr_queue_wait_p50);
+                   ("queue_wait_p90", Support.Json.Int r.tr_queue_wait_p90);
                    ("queue_wait_p99", Support.Json.Int r.tr_queue_wait_p99);
+                   ("queue_wait_max", Support.Json.Int r.tr_queue_wait_max);
                    ("time_to_peak_p50", Support.Json.Int r.tr_ttp_p50);
+                   ("time_to_peak_p90", Support.Json.Int r.tr_ttp_p90);
                    ("time_to_peak_p99", Support.Json.Int r.tr_ttp_p99);
+                   ("time_to_peak_max", Support.Json.Int r.tr_ttp_max);
                  ])
              reports) );
     ]

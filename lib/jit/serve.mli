@@ -73,21 +73,38 @@ type tenant_report = {
           sized against *)
   tr_queue_depth : int;        (** requests still waiting at end of run *)
   tr_queue_wait_p50 : int;
+  tr_queue_wait_p90 : int;
   tr_queue_wait_p99 : int;
+  tr_queue_wait_max : int;
   tr_ttp_p50 : int;            (** time-to-peak percentiles, cycles *)
+  tr_ttp_p90 : int;
   tr_ttp_p99 : int;
+  tr_ttp_max : int;
 }
 
 val percentile : int list -> float -> int
-(** Exact rank percentile of an ascending list (0 when empty); exposed
-    for the fleet sections of the bench smoke. *)
+(** Exact rank percentile of an ascending list (0 when empty) — the
+    shared {!Support.Stats.percentile}, re-exported for the fleet
+    sections of the bench smoke. *)
 
-val run : ?limits:limits -> tenant list -> tenant_report list
+val run :
+  ?limits:limits -> ?timeline:Obs.Timeline.t -> ?slo:Obs.Slo.monitor ->
+  tenant list -> tenant_report list
 (** Serves the fleet to completion and reports per tenant, in input
     order. Emits [serve_start] / [serve_slice] / [serve_tenant_done]
     trace events (the per-engine [serve_*]/[evict]/[shed] events come
     from {!Engine}); each slice runs under the tenant's own chaos plan
-    and trace clock. *)
+    and trace clock.
+
+    With [timeline], every tenant's engine samples its gauges on its own
+    clock ({!Engine.attach_timeline}) and the driver adds one
+    [timeline_fleet] row per round-robin turn when due — queue/cache
+    totals plus p50/p90/p99/max latency percentiles across the fleet.
+    With [slo], the shared monitor runs over every tenant's samples
+    (per-tenant detector state) and firings become [slo_violation]
+    trace events. Sampling only reads engine state, so arming it never
+    perturbs tenant behavior — the fleet-vs-solo isolation invariant
+    holds with the timeline on. *)
 
 val report_json : tenant_report list -> Support.Json.t
 (** Deterministic fleet report: per-tenant outputs are digested (MD5

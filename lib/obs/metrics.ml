@@ -142,13 +142,21 @@ let reset () : unit =
           Array.fill h.h_buckets 0 nbuckets 0)
     registry
 
+(* Inclusive lower bound of bucket [i]: 0 for bucket 0, else one past the
+   previous bucket's upper bound. *)
+let bucket_ge (i : int) : int = if i = 0 then 0 else bucket_le (i - 1) + 1
+
 let histogram_json (h : histogram) : Support.Json.t =
   let buckets = ref [] in
   for i = nbuckets - 1 downto 0 do
     if h.h_buckets.(i) > 0 then
       buckets :=
         Support.Json.Obj
-          [ ("le", Support.Json.Int (bucket_le i)); ("n", Support.Json.Int h.h_buckets.(i)) ]
+          [
+            ("ge", Support.Json.Int (bucket_ge i));
+            ("le", Support.Json.Int (bucket_le i));
+            ("n", Support.Json.Int h.h_buckets.(i));
+          ]
         :: !buckets
   done;
   Support.Json.Obj
@@ -159,6 +167,7 @@ let histogram_json (h : histogram) : Support.Json.t =
       ("max", Support.Json.Int h.h_max);
       ("p50", Support.Json.Int (percentile h 0.5));
       ("p90", Support.Json.Int (percentile h 0.9));
+      ("bucketing", Support.Json.String "log2");
       ("buckets", Support.Json.List !buckets);
     ]
 

@@ -55,4 +55,6 @@ val reset : unit -> unit
 val to_json : unit -> Support.Json.t
 (** [{"counters": {...}, "gauges": {...}, "histograms": {...}}] with each
     section sorted by name. Histograms serialize count/sum/min/max,
-    p50/p90, and their populated buckets as [{"le", "n"}] pairs. *)
+    p50/p90, a ["bucketing": "log2"] marker, and their populated buckets
+    as [{"ge", "le", "n"}] triples — both bounds are explicit (inclusive)
+    so external tools need not hardcode the log2 bucketing. *)

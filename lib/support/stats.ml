@@ -45,3 +45,22 @@ let steady_state_window xs =
   drop (n - k) xs
 
 let steady_state_mean xs = mean (steady_state_window xs)
+
+(* Exact rank percentile of an ascending int list: the smallest element
+   whose rank reaches ceil(q * n); 0 on an empty list. The serving layer
+   and the timeline's fleet snapshots share this so their percentile
+   semantics can never drift apart. *)
+let percentile (xs : int list) (q : float) : int =
+  let n = List.length xs in
+  if n = 0 then 0
+  else
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    List.nth xs (min (max rank 1) n - 1)
+
+(* The fleet summary tuple: p50 / p90 / p99 / max of an ascending list
+   (all 0 when empty). *)
+let percentiles (xs : int list) : int * int * int * int =
+  ( percentile xs 0.50,
+    percentile xs 0.90,
+    percentile xs 0.99,
+    percentile xs 1.0 )

@@ -20,3 +20,11 @@ val steady_state_window : float list -> float list
     @raise Invalid_argument on an empty list. *)
 
 val steady_state_mean : float list -> float
+
+val percentile : int list -> float -> int
+(** Exact rank percentile of an {b ascending} int list: the smallest
+    element whose rank reaches [ceil (q * n)]; 0 when the list is empty.
+    Shared by {!Jit.Serve} and the timeline's fleet snapshots. *)
+
+val percentiles : int list -> int * int * int * int
+(** [(p50, p90, p99, max)] of an ascending int list, all 0 when empty. *)

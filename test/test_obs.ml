@@ -688,6 +688,239 @@ let attribution_tests =
    scripts, OBSERVABILITY.md): this pins every event kind's field names
    and JSON types so schema drift fails the suite loudly. *)
 
+(* ---------- timeline ---------- *)
+
+let timeline_tests =
+  [
+    test "rows carry ev/cycles/seq and round-trip through the reader" (fun () ->
+        let tl, read = Obs.Timeline.memory ~interval:5 () in
+        Alcotest.(check int) "interval" 5 (Obs.Timeline.interval tl);
+        Obs.Timeline.sample tl ~source:"t#0" ~cycles:10
+          [ ("steps", Support.Json.Int 3) ];
+        Obs.Timeline.fleet tl ~cycles:12 [ ("tenants", Support.Json.Int 1) ];
+        Alcotest.(check int) "two rows" 2 (Obs.Timeline.rows tl);
+        match Obs.Timeline.rows_of_lines (read ()) with
+        | Error e -> Alcotest.fail e
+        | Ok [ a; b ] ->
+            Alcotest.(check string) "sample kind" "timeline_sample"
+              a.Obs.Timeline.r_kind;
+            Alcotest.(check string) "source" "t#0" a.Obs.Timeline.r_source;
+            Alcotest.(check int) "cycles" 10 a.Obs.Timeline.r_cycles;
+            Alcotest.(check int) "seq 0" 0 a.Obs.Timeline.r_seq;
+            Alcotest.(check (option int))
+              "gauge field" (Some 3)
+              (Obs.Timeline.field a "steps");
+            Alcotest.(check bool) "metrics snapshot embedded" true
+              (Support.Json.member "metrics" a.Obs.Timeline.r_fields <> None);
+            Alcotest.(check string) "fleet kind" "timeline_fleet"
+              b.Obs.Timeline.r_kind;
+            Alcotest.(check string) "fleet rows have no tenant" ""
+              b.Obs.Timeline.r_source;
+            Alcotest.(check int) "seq 1" 1 b.Obs.Timeline.r_seq
+        | Ok rs -> Alcotest.failf "expected 2 rows, got %d" (List.length rs));
+    test "reader is strict: the first malformed line is the error" (fun () ->
+        match
+          Obs.Timeline.rows_of_lines
+            [ {|{"ev": "timeline_sample", "cycles": 1, "seq": 0}|}; "{bad" ]
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "accepted a malformed line");
+    test "interval clamps to at least one cycle" (fun () ->
+        let tl, _ = Obs.Timeline.memory ~interval:(-3) () in
+        Alcotest.(check int) "clamped" 1 (Obs.Timeline.interval tl));
+  ]
+
+(* ---------- slo ---------- *)
+
+let inv n = [ ("invalidations", Support.Json.Int n) ]
+
+let slo_tests =
+  [
+    test "window-rate fires on growth past the limit, once per incident"
+      (fun () ->
+        let mon = Obs.Slo.monitor [ Obs.Slo.deopt_storm ~window:100 ~limit:5 () ] in
+        let feed cycles n = Obs.Slo.feed mon ~source:"t" ~cycles (inv n) in
+        Alcotest.(check int) "quiet at zero" 0 (List.length (feed 0 0));
+        Alcotest.(check int) "slow growth stays quiet" 0
+          (List.length (feed 50 4));
+        (match feed 90 10 with
+        | [ v ] ->
+            Alcotest.(check string) "slo" "deopt-storm" v.Obs.Slo.v_slo;
+            Alcotest.(check string) "source" "t" v.Obs.Slo.v_source;
+            Alcotest.(check string) "field" "invalidations" v.Obs.Slo.v_field;
+            Alcotest.(check int) "observed growth" 10 v.Obs.Slo.v_value;
+            Alcotest.(check int) "limit" 5 v.Obs.Slo.v_limit;
+            Alcotest.(check int) "window" 100 v.Obs.Slo.v_window
+        | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs));
+        (* the storm persists: edge-triggered, no second firing *)
+        Alcotest.(check int) "no re-fire while active" 0
+          (List.length (feed 120 16));
+        (* the window slides past the storm: the detector re-arms... *)
+        Alcotest.(check int) "clears once growth stops" 0
+          (List.length (feed 400 16));
+        (* ...and a second storm is a second incident *)
+        Alcotest.(check int) "re-fires after clearing" 1
+          (List.length (feed 450 30));
+        Alcotest.(check int) "two incidents recorded" 2
+          (List.length (Obs.Slo.violations mon)));
+    test "level detector fires above the limit and re-arms below it" (fun () ->
+        let mon = Obs.Slo.monitor [ Obs.Slo.cache_thrash ~limit:2 () ] in
+        let feed cycles n =
+          Obs.Slo.feed mon ~source:"t" ~cycles
+            [ ("evict_max", Support.Json.Int n) ]
+        in
+        Alcotest.(check int) "fires" 1 (List.length (feed 10 3));
+        Alcotest.(check int) "holds" 0 (List.length (feed 20 4));
+        Alcotest.(check int) "clears" 0 (List.length (feed 30 2));
+        match feed 40 5 with
+        | [ v ] ->
+            Alcotest.(check int) "level reported" 5 v.Obs.Slo.v_value;
+            Alcotest.(check int) "window 0 on level" 0 v.Obs.Slo.v_window
+        | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs));
+    test "detector state is per source: one tenant's storm is invisible to \
+          another"
+      (fun () ->
+        let mon = Obs.Slo.monitor [ Obs.Slo.deopt_storm ~window:100 ~limit:2 () ] in
+        ignore (Obs.Slo.feed mon ~source:"a" ~cycles:0 (inv 0));
+        Alcotest.(check int) "a fires" 1
+          (List.length (Obs.Slo.feed mon ~source:"a" ~cycles:50 (inv 10)));
+        Alcotest.(check int) "b unaffected" 0
+          (List.length (Obs.Slo.feed mon ~source:"b" ~cycles:60 (inv 1)));
+        match Obs.Slo.violations mon with
+        | [ v ] -> Alcotest.(check string) "attributed to a" "a" v.Obs.Slo.v_source
+        | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs));
+    test "missing fields are skipped, not zeroes" (fun () ->
+        let mon = Obs.Slo.monitor [ Obs.Slo.cache_thrash ~limit:0 () ] in
+        Alcotest.(check int) "no field, no firing" 0
+          (List.length (Obs.Slo.feed mon ~source:"t" ~cycles:10 (inv 5))));
+    test "offline check replays a timeline stream and ignores fleet rows"
+      (fun () ->
+        let tl, read = Obs.Timeline.memory ~interval:1 () in
+        Obs.Timeline.sample tl ~source:"t#0" ~cycles:0 (inv 0);
+        Obs.Timeline.fleet tl ~cycles:5 (inv 1000);
+        Obs.Timeline.sample tl ~source:"t#0" ~cycles:10 (inv 9);
+        let specs = [ Obs.Slo.deopt_storm ~window:100 ~limit:5 () ] in
+        match Obs.Slo.check_lines ~specs (read ()) with
+        | Error e -> Alcotest.fail e
+        | Ok [ v ] ->
+            Alcotest.(check string) "tenant" "t#0" v.Obs.Slo.v_source;
+            Alcotest.(check int) "cycles" 10 v.Obs.Slo.v_cycles;
+            Alcotest.(check bool) "render is one line" true
+              (String.split_on_char '\n' (Obs.Slo.render [ v ]) |> List.length
+              = 2)
+        | Ok vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs));
+    test "violation_fields carries the slo_violation event schema" (fun () ->
+        let v =
+          {
+            Obs.Slo.v_slo = "deopt-storm"; v_source = "t#0"; v_cycles = 7;
+            v_field = "invalidations"; v_value = 9; v_limit = 5; v_window = 100;
+          }
+        in
+        Alcotest.(check (list string))
+          "field names"
+          [ "slo"; "tenant"; "field"; "value"; "limit"; "window" ]
+          (List.map fst (Obs.Slo.violation_fields v)));
+    test "find_spec resolves the default monitors by name" (fun () ->
+        List.iter
+          (fun n ->
+            match Obs.Slo.find_spec n with
+            | Some s -> Alcotest.(check string) n n s.Obs.Slo.sp_name
+            | None -> Alcotest.failf "no spec %s" n)
+          [ "deopt-storm"; "queue-saturation"; "cache-thrash" ];
+        Alcotest.(check bool) "unknown name" true
+          (Obs.Slo.find_spec "nope" = None));
+  ]
+
+(* ---------- diff ---------- *)
+
+(* A small two-level call graph traced under the incremental inliner;
+   [params] perturbs the trial thresholds to manufacture decision drift. *)
+let drift_trace ?(params = Inliner.Params.default) () : string list =
+  let sink, lines = Obs.Trace.memory_sink () in
+  Obs.Trace.scoped sink (fun () ->
+      let e =
+        engine ~hotness:3
+          {|def leaf(x: Int): Int = x + 1
+            def work(n: Int): Int = { var i = 0; var s = 0; while (i < n) { s = s + leaf(i); i = i + 1 }; s }
+            def bench(): Int = work(20)
+            def main(): Unit = println(bench())|}
+          (Some (incremental ~params ())) "drift"
+      in
+      for _ = 1 to 20 do
+        ignore (Jit.Engine.run_meth e "bench" [ Runtime.Values.Vunit ])
+      done);
+  lines ()
+
+let comps_of lines =
+  match Obs.Explain.of_lines lines with
+  | Ok cs -> cs
+  | Error e -> Alcotest.failf "bad trace: %s" e
+
+let diff_tests =
+  [
+    test "diff_json: identical documents diff to nothing" (fun () ->
+        let j =
+          Support.Json.(Obj [ ("x", Int 1); ("l", List [ Int 1; Int 2 ]) ])
+        in
+        Alcotest.(check int) "no deltas" 0 (List.length (Obs.Diff.diff_json j j)));
+    test "diff_json: scalar, absent and nested deltas with dotted paths"
+      (fun () ->
+        let a =
+          Support.Json.(
+            Obj [ ("nest", Obj [ ("y", Int 2) ]); ("only_a", Int 3); ("x", Int 1) ])
+        in
+        let b = Support.Json.(Obj [ ("nest", Obj [ ("y", Int 5) ]); ("x", Int 9) ]) in
+        let ds = Obs.Diff.diff_json a b in
+        Alcotest.(check (list string))
+          "paths in sorted key order"
+          [ "nest.y"; "only_a"; "x" ]
+          (List.map (fun (d : Obs.Diff.delta) -> d.dl_path) ds);
+        let abs = List.nth ds 1 in
+        Alcotest.(check string) "absent marker" "(absent)" abs.Obs.Diff.dl_b);
+    test "diff_json: list length and per-index deltas" (fun () ->
+        let a = Support.Json.(List [ Int 1; Int 2 ]) in
+        let b = Support.Json.(List [ Int 1; Int 7; Int 8 ]) in
+        Alcotest.(check (list string))
+          "length then indexes" [ "length"; "1" ]
+          (List.map (fun (d : Obs.Diff.delta) -> d.dl_path) (Obs.Diff.diff_json a b)));
+    test "diff_lines: per-line deltas plus a tail-length delta" (fun () ->
+        let ds = Obs.Diff.diff_lines [ "a"; "b" ] [ "a"; "c"; "d" ] in
+        Alcotest.(check (list string))
+          "paths" [ "line 2"; "length" ]
+          (List.map (fun (d : Obs.Diff.delta) -> d.dl_path) ds);
+        Alcotest.(check int) "identical streams diff to nothing" 0
+          (List.length (Obs.Diff.diff_lines [ "a"; "b" ] [ "a"; "b" ])));
+    test "diff_decisions: same build, same seed — zero drift" (fun () ->
+        let a = comps_of (drift_trace ()) in
+        let b = comps_of (drift_trace ()) in
+        Alcotest.(check int) "no drift" 0
+          (List.length (Obs.Diff.diff_decisions a b)));
+    test "diff_decisions: a perturbed threshold surfaces as per-callsite \
+          deltas, not an opaque mismatch"
+      (fun () ->
+        let a = comps_of (drift_trace ()) in
+        let b =
+          comps_of
+            (drift_trace
+               ~params:(Inliner.Params.with_fixed ~te:300 ~ti:600
+                          Inliner.Params.default)
+               ())
+        in
+        let ds = Obs.Diff.diff_decisions a b in
+        Alcotest.(check bool) "non-empty drift report" true (ds <> []);
+        Alcotest.(check bool) "threshold deltas attributed to callsites" true
+          (List.exists
+             (fun (d : Obs.Diff.drift) ->
+               d.df_node <> ""
+               && (d.df_kind = "expand-threshold" || d.df_kind = "inline-threshold"))
+             ds);
+        (* every drift is anchored to a stable compilation identity *)
+        List.iter
+          (fun (d : Obs.Diff.drift) ->
+            Alcotest.(check bool) "has compilation" true (d.df_comp <> ""))
+          ds);
+  ]
+
 let json_type_name : Support.Json.t -> string = function
   | Support.Json.Null -> "null"
   | Support.Json.Bool _ -> "bool"
@@ -746,8 +979,11 @@ let schema_of_lines (lines : string list) : string list =
    compile_done, install, inline_round, expand_decision, inline_decision,
    opt_round), an async engine (pending_install), a phase-shifted
    speculation (invalidate), a crashing compiler (compile_bailout), a
-   chaos-injected run (chaos), and a long loop that OSR-enters compiled
-   code and then traps (osr_enter, osr_exit). *)
+   chaos-injected run (chaos), a long loop that OSR-enters compiled
+   code and then traps (osr_enter, osr_exit), and a starved serve fleet
+   with a timeline and zero-limit SLO monitors (serve_*, shed, evict,
+   slo_violation, plus the timeline_sample / timeline_fleet rows that
+   share the event shape). *)
 let all_kind_lines () : string list =
   let collect f =
     let sink, lines = Obs.Trace.memory_sink () in
@@ -864,6 +1100,7 @@ let all_kind_lines () : string list =
         try ignore (Jit.Engine.run_main e)
         with Runtime.Values.Trap _ -> ())
   in
+  let timeline_lines = ref [] in
   let serve =
     collect (fun () ->
         (* two tenants under a one-slot queue and a one-node cache: the
@@ -905,9 +1142,27 @@ let all_kind_lines () : string list =
             chaos_seed = 0;
           }
         in
-        ignore (Jit.Serve.run ~limits [ tn "t#0"; tn "t#1" ]))
+        (* a one-cycle timeline plus zero-limit SLO monitors: every shed
+           and eviction trips a detector, so the slo_violation trace
+           event is exercised, and the timeline rows — which share the
+           trace-event shape — are pinned in the same golden schema *)
+        let tl, read = Obs.Timeline.memory ~interval:1 () in
+        let mon =
+          Obs.Slo.monitor
+            [
+              Obs.Slo.deopt_storm ~limit:0 ();
+              Obs.Slo.queue_saturation ~limit:0 ();
+              Obs.Slo.cache_thrash ~limit:0 ();
+            ]
+        in
+        ignore
+          (Jit.Serve.run ~limits ~timeline:tl ~slo:mon [ tn "t#0"; tn "t#1" ]);
+        if Obs.Slo.violations mon = [] then
+          Alcotest.fail "schema serve run fired no SLO violations";
+        timeline_lines := read ())
   in
   harness @ async @ invalidation @ bailouts @ chaos @ osr @ serve
+  @ !timeline_lines
 
 let schema_tests =
   [
@@ -951,5 +1206,8 @@ let () =
       ("metrics", metrics_tests);
       ("explain", explain_tests);
       ("attribution", attribution_tests);
+      ("timeline", timeline_tests);
+      ("slo", slo_tests);
+      ("diff", diff_tests);
       ("schema", schema_tests);
     ]

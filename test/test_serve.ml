@@ -499,6 +499,131 @@ let serve_tests =
         | rs -> Alcotest.failf "solo run returned %d reports" (List.length rs));
   ]
 
+(* ---------- fleet timeline + SLO ---------- *)
+
+(* The ISSUE-10 soak shape: chaos 0.2, bounded queue and cache, a fast
+   sampling cadence so short test programs still produce many rows. *)
+let timeline_limits : Jit.Serve.limits =
+  { soak_limits with chaos_rate = 0.2 }
+
+let timeline_run ?slo () : string list * Jit.Serve.tenant_report list =
+  let tl, read = Obs.Timeline.memory ~interval:50 () in
+  let tenants =
+    [ tenant "a#0" tenant_a_src; tenant "b#0" tenant_b_src;
+      tenant "a#1" tenant_a_src ]
+  in
+  let reports = Jit.Serve.run ~limits:timeline_limits ~timeline:tl ?slo tenants in
+  (read (), reports)
+
+let timeline_tests =
+  [
+    test "same-seed timelines under chaos are byte-identical; diff reports \
+          zero drift"
+      (fun () ->
+        let l1, _ = timeline_run () in
+        let l2, _ = timeline_run () in
+        Alcotest.(check bool) "rows collected" true (List.length l1 > 10);
+        Alcotest.(check (list string)) "byte-identical" l1 l2;
+        Alcotest.(check int) "diff_lines agrees: zero drift" 0
+          (List.length (Obs.Diff.diff_lines l1 l2)));
+    test "sampling is passive: tenant reports identical with and without a \
+          timeline"
+      (fun () ->
+        let _, with_tl = timeline_run () in
+        let bare =
+          Jit.Serve.run ~limits:timeline_limits
+            [ tenant "a#0" tenant_a_src; tenant "b#0" tenant_b_src;
+              tenant "a#1" tenant_a_src ]
+        in
+        List.iter2
+          (fun (f : Jit.Serve.tenant_report) s ->
+            check_tenant_equal (f.tr_id ^ " with timeline") f s)
+          with_tl bare);
+    test "sample rows carry per-tenant gauges; fleet rows carry ordered \
+          percentiles"
+      (fun () ->
+        let lines, reports = timeline_run () in
+        match Obs.Timeline.rows_of_lines lines with
+        | Error e -> Alcotest.fail e
+        | Ok rows ->
+            let samples, rest =
+              List.partition
+                (fun (r : Obs.Timeline.row) -> r.r_kind = "timeline_sample")
+                rows
+            in
+            let fleets =
+              List.filter
+                (fun (r : Obs.Timeline.row) -> r.r_kind = "timeline_fleet")
+                rest
+            in
+            Alcotest.(check bool) "has samples" true (samples <> []);
+            Alcotest.(check bool) "has fleet rows" true (fleets <> []);
+            (* every tenant sampled at least once, under its own id *)
+            List.iter
+              (fun (r : Jit.Serve.tenant_report) ->
+                Alcotest.(check bool) (r.tr_id ^ " sampled") true
+                  (List.exists
+                     (fun (s : Obs.Timeline.row) -> s.r_source = r.tr_id)
+                     samples))
+              reports;
+            (* seq is the dense global emission order *)
+            List.iteri
+              (fun i (r : Obs.Timeline.row) ->
+                Alcotest.(check int) "dense seq" i r.r_seq)
+              rows;
+            let last = List.nth fleets (List.length fleets - 1) in
+            let g n =
+              match Obs.Timeline.field last n with
+              | Some v -> v
+              | None -> Alcotest.failf "fleet row lacks %s" n
+            in
+            Alcotest.(check int) "tenant count" 3 (g "tenants");
+            let p50 = g "queue_wait_p50" and p90 = g "queue_wait_p90" in
+            let p99 = g "queue_wait_p99" and pmax = g "queue_wait_max" in
+            Alcotest.(check bool) "p50<=p90<=p99<=max" true
+              (p50 <= p90 && p90 <= p99 && p99 <= pmax));
+    test "tight SLO specs fire deterministically over the live fleet"
+      (fun () ->
+        let fire () =
+          let mon =
+            Obs.Slo.monitor
+              [
+                Obs.Slo.queue_saturation ~window:1_000_000 ~limit:0 ();
+                Obs.Slo.cache_thrash ~limit:0 ();
+              ]
+          in
+          let _, _ = timeline_run ~slo:mon () in
+          Obs.Slo.violations mon
+        in
+        let v1 = fire () in
+        Alcotest.(check bool) "starved fleet trips the monitors" true
+          (v1 <> []);
+        Alcotest.(check bool) "violations are byte-identical across reruns"
+          true
+          (v1 = fire ());
+        (* the default thresholds stay quiet on this small soak *)
+        let quiet = Obs.Slo.monitor Obs.Slo.default_specs in
+        let _, _ = timeline_run ~slo:quiet () in
+        Alcotest.(check int) "defaults quiet" 0
+          (List.length (Obs.Slo.violations quiet)));
+    test "offline replay of the stream matches the live monitor" (fun () ->
+        let specs = [ Obs.Slo.cache_thrash ~limit:0 () ] in
+        let mon = Obs.Slo.monitor specs in
+        let lines, _ = timeline_run ~slo:mon () in
+        match Obs.Slo.check_lines ~specs lines with
+        | Error e -> Alcotest.fail e
+        | Ok offline ->
+            Alcotest.(check bool) "same violations" true
+              (offline = Obs.Slo.violations mon));
+    test "p90 and max percentiles are exact ranks" (fun () ->
+        let xs = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] in
+        let p50, p90, p99, pmax = Support.Stats.percentiles xs in
+        Alcotest.(check int) "p50" 5 p50;
+        Alcotest.(check int) "p90" 9 p90;
+        Alcotest.(check int) "p99" 10 p99;
+        Alcotest.(check int) "max" 10 pmax);
+  ]
+
 let () =
   Alcotest.run "serve"
     [
@@ -510,4 +635,5 @@ let () =
       ( "engine-properties",
         List.map QCheck_alcotest.to_alcotest [ eviction_exactness_prop ] );
       ("serve", serve_tests);
+      ("timeline", timeline_tests);
     ]
